@@ -1,0 +1,219 @@
+package tofumd
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation section on the simulated Fugaku substrate. The reported
+// "ns/op" is host time and irrelevant; the paper's quantities are attached
+// as custom metrics (virtual seconds, speedups, reductions). Run:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark uses scaled-down defaults so the full suite stays in the
+// minutes range; cmd/benchsuite -full runs paper-sized parameters.
+
+import (
+	"testing"
+
+	"tofumd/internal/bench"
+	"tofumd/internal/trace"
+)
+
+// BenchmarkTable1CommPatterns regenerates the Table 1 analysis: message
+// volumes, hop counts and message counts of the 3-stage vs p2p patterns.
+func BenchmarkTable1CommPatterns(b *testing.B) {
+	var res bench.Table1Result
+	for i := 0; i < b.N; i++ {
+		res = bench.Table1(2.94, 2.8)
+	}
+	b.ReportMetric(res.TotalThreeStage/res.TotalP2P, "volume-ratio-3stage/p2p")
+	b.ReportMetric(float64(res.TotalMsgsP2P), "p2p-msgs")
+	b.ReportMetric(float64(res.TotalMsgsThreeStage), "3stage-msgs")
+}
+
+// BenchmarkFig6MessageTime regenerates Fig. 6: ghost-exchange message time
+// per variant, excluding packing.
+func BenchmarkFig6MessageTime(b *testing.B) {
+	var res bench.Fig6Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.Fig6(bench.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		b.ReportMetric(1e6*row.SmallTime, row.Variant+"-us-small")
+	}
+	b.ReportMetric(100*res.ReductionVsMPI3Stage, "p2p-vs-mpi3stage-reduction-%")
+}
+
+// BenchmarkFig8MessageRate regenerates Fig. 8: one-node message rate and
+// bandwidth vs message size for the three injection schemes.
+func BenchmarkFig8MessageRate(b *testing.B) {
+	var res bench.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.Fig8(bench.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	small := res.Rows[0]
+	b.ReportMetric(small.Rate4TNI/1e6, "4tni-Mmsg/s-small")
+	b.ReportMetric(small.Rate6TNI/1e6, "6tni-Mmsg/s-small")
+	b.ReportMetric(small.RateParallel/1e6, "parallel-Mmsg/s-small")
+	b.ReportMetric(float64(res.BoostBytes), "boost50-up-to-bytes")
+}
+
+// BenchmarkFig11Accuracy regenerates Fig. 11: the ref-vs-opt pressure trace
+// agreement for both potentials (50K steps in the paper; shortened here).
+func BenchmarkFig11Accuracy(b *testing.B) {
+	var res bench.Fig11Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.Fig11(bench.Options{Steps: 60})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MaxRelDiffLJ, "lj-max-rel-pressure-diff")
+	b.ReportMetric(res.MaxRelDiffEAM, "eam-max-rel-pressure-diff")
+}
+
+// BenchmarkFig12StepByStep regenerates Fig. 12: the six code variants on
+// the 65K and 1.7M systems for both potentials.
+func BenchmarkFig12StepByStep(b *testing.B) {
+	var res bench.Fig12Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.Fig12(bench.Options{Steps: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.SpeedupSmallLJ, "lj-65k-speedup-x")
+	b.ReportMetric(res.SpeedupSmallEAM, "eam-65k-speedup-x")
+	b.ReportMetric(res.SpeedupBigLJ, "lj-1.7m-speedup-x")
+	b.ReportMetric(res.SpeedupBigEAM, "eam-1.7m-speedup-x")
+	b.ReportMetric(100*res.CommReductionSmallLJ, "comm-reduction-%")
+}
+
+// BenchmarkFig13StrongScaling regenerates Fig. 13: strong scaling from 768
+// to 36,864 nodes for both potentials.
+func BenchmarkFig13StrongScaling(b *testing.B) {
+	var res bench.Fig13Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.Fig13(bench.Options{Steps: 99})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.SpeedupLJ, "lj-36864-speedup-x")
+	b.ReportMetric(res.SpeedupEAM, "eam-36864-speedup-x")
+	b.ReportMetric(100*res.PairDropLJ, "lj-pair-drop-%")
+	b.ReportMetric(100*res.PairDropEAM, "eam-pair-drop-%")
+	last := res.Rows[4]
+	b.ReportMetric(last.OptPerf, "lj-opt-tau/day")
+}
+
+// BenchmarkTable3Breakdown regenerates Table 3: the stage breakdown of both
+// codes at the 36,864-node strong-scaling point.
+func BenchmarkTable3Breakdown(b *testing.B) {
+	var res bench.Fig13Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.Fig13(bench.Options{Steps: 99})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, name := range []string{"Origin-L-J", "Opt-L-J", "Origin-EAM", "Opt-EAM"} {
+		bd := res.Table3[name]
+		if bd == nil {
+			b.Fatalf("missing %s", name)
+		}
+		b.ReportMetric(100*bd.Get(trace.Comm)/bd.Total(), name+"-comm-%")
+	}
+}
+
+// BenchmarkFig14WeakScaling regenerates Fig. 14: weak scaling to 99/72
+// billion atoms.
+func BenchmarkFig14WeakScaling(b *testing.B) {
+	var res bench.Fig14Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.Fig14(bench.Options{Steps: 99})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		if row.Nodes == 20736 {
+			b.ReportMetric(100*row.LinearityVsFirst, row.Kind+"-linearity-%")
+			b.ReportMetric(float64(row.Atoms), row.Kind+"-atoms")
+		}
+	}
+}
+
+// BenchmarkFig15ExtendedNeighbors regenerates Fig. 15: p2p vs 3-stage at
+// 26, 62 and 124 neighbors.
+func BenchmarkFig15ExtendedNeighbors(b *testing.B) {
+	var res bench.Fig15Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.Fig15(bench.Options{Steps: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		ratio := row.CommThreeStage / row.CommP2P
+		b.ReportMetric(ratio, nbLabel(row.Neighbors)+"-3stage/p2p-ratio")
+	}
+}
+
+// BenchmarkAblations isolates each of the paper's optimizations by removing
+// it from the full optimized code (sections 3.3-3.5).
+func BenchmarkAblations(b *testing.B) {
+	var res bench.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.Ablations(bench.Options{Steps: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		b.ReportMetric(row.CommPenalty, ablLabel(row.Name)+"-comm-x")
+	}
+}
+
+func ablLabel(name string) string {
+	switch name {
+	case "opt (all on)":
+		return "opt"
+	case "- thread pool":
+		return "no-threadpool"
+	case "- preregistered":
+		return "no-prereg"
+	case "- msg combine":
+		return "no-combine"
+	case "- border bins":
+		return "no-bins"
+	case "- topo map":
+		return "no-topomap"
+	default:
+		return "ref"
+	}
+}
+
+func nbLabel(n int) string {
+	switch n {
+	case 26:
+		return "n26"
+	case 62:
+		return "n62"
+	default:
+		return "n124"
+	}
+}

@@ -1,0 +1,103 @@
+// Command benchsuite regenerates the paper's tables and figures on the
+// simulated substrate and prints them in the paper's layout. By default it
+// runs scaled-down configurations that finish in minutes; -full selects
+// paper-sized parameters.
+//
+// Example:
+//
+//	benchsuite -experiment fig12
+//	benchsuite -experiment all -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"tofumd/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchsuite: ")
+	var (
+		experiment = flag.String("experiment", "all",
+			"which experiment: all, table1, fig6, fig8, fig11, fig12, fig13, table3, fig14, fig15, ablations")
+		full  = flag.Bool("full", false, "paper-scale parameters (slow)")
+		steps = flag.Int("steps", 0, "override step count")
+	)
+	flag.Parse()
+	opt := bench.Options{Full: *full, Steps: *steps}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*experiment, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	run := func(name string, fn func() (string, error)) {
+		if !all && !want[name] {
+			return
+		}
+		start := time.Now()
+		out, err := fn()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s regenerated in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+
+	run("table1", func() (string, error) {
+		// The 65K/768-node geometry: cubic sub-box side 2.94, ghost cutoff
+		// 2.8 (Table 2).
+		return bench.Table1(2.94, 2.8).Format(), nil
+	})
+	run("fig6", func() (string, error) {
+		r, err := bench.Fig6(opt)
+		return r.Format(), err
+	})
+	run("fig8", func() (string, error) {
+		r, err := bench.Fig8(opt)
+		return r.Format(), err
+	})
+	run("fig11", func() (string, error) {
+		r, err := bench.Fig11(opt)
+		return r.Format(), err
+	})
+	run("fig12", func() (string, error) {
+		r, err := bench.Fig12(opt)
+		return r.Format(), err
+	})
+	var fig13 *bench.Fig13Result
+	run("fig13", func() (string, error) {
+		r, err := bench.Fig13(opt)
+		if err == nil {
+			fig13 = &r
+		}
+		return r.Format(), err
+	})
+	run("table3", func() (string, error) {
+		if fig13 == nil {
+			r, err := bench.Fig13(opt)
+			if err != nil {
+				return "", err
+			}
+			fig13 = &r
+		}
+		return fig13.FormatTable3(), nil
+	})
+	run("fig14", func() (string, error) {
+		r, err := bench.Fig14(opt)
+		return r.Format(), err
+	})
+	run("fig15", func() (string, error) {
+		r, err := bench.Fig15(opt)
+		return r.Format(), err
+	})
+	run("ablations", func() (string, error) {
+		r, err := bench.Ablations(opt)
+		return r.Format(), err
+	})
+}

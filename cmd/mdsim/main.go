@@ -1,0 +1,197 @@
+// Command mdsim runs one MD simulation on the simulated Fugaku machine and
+// prints a LAMMPS-style report: thermo samples plus the MPI task timing
+// breakdown. It is the `lmp` stand-in of this reproduction.
+//
+// Example:
+//
+//	mdsim -potential lj -atoms 65536 -nodes 4x6x4 -variant opt -steps 99
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"tofumd/internal/core"
+	"tofumd/internal/md/dump"
+	"tofumd/internal/md/sim"
+	"tofumd/internal/script"
+	"tofumd/internal/trace"
+	"tofumd/internal/units"
+	"tofumd/internal/vec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mdsim: ")
+	var (
+		potName  = flag.String("potential", "lj", "potential: lj or eam")
+		atoms    = flag.Int("atoms", 65536, "approximate atom count")
+		nodes    = flag.String("nodes", "4x6x4", "node torus shape XxYxZ")
+		variant  = flag.String("variant", "opt", "code variant: ref, mpi-p2p, utofu-3stage, 4tni-p2p, 6tni-p2p, opt")
+		steps    = flag.Int("steps", 99, "MD steps")
+		thermoEv = flag.Int("thermo", 20, "thermo output interval (0 = off)")
+		newton   = flag.Bool("newton", true, "Newton's 3rd law")
+		inFile   = flag.String("in", "", "LAMMPS-style input deck (overrides potential/atoms/steps flags)")
+		dumpFile = flag.String("dump", "", "write an extended-XYZ trajectory to this file")
+		dumpEv   = flag.Int("dumpevery", 20, "dump interval in steps")
+	)
+	flag.Parse()
+
+	shape, err := parseShape(*nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *inFile != "" {
+		runDeck(*inFile, shape, *variant)
+		return
+	}
+	kind := core.LJ
+	if *potName == "eam" {
+		kind = core.EAM
+	} else if *potName != "lj" {
+		log.Fatalf("unknown potential %q", *potName)
+	}
+	v, err := variantByName(*variant)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	wl := core.Workload{
+		Name:      fmt.Sprintf("%s-%d", kind, *atoms),
+		Kind:      kind,
+		Atoms:     *atoms,
+		FullShape: shape,
+		Steps:     *steps,
+	}
+	spec := core.RunSpec{
+		Workload:    wl,
+		TileShape:   shape,
+		Variant:     v,
+		Steps:       *steps,
+		NewtonOff:   !*newton,
+		ThermoEvery: *thermoEv,
+	}
+	if *dumpFile != "" {
+		f, err := os.Create(*dumpFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w := dump.NewWriter(f)
+		defer w.Flush()
+		every := *dumpEv
+		if every < 1 {
+			every = 1
+		}
+		spec.Observer = func(s *sim.Simulation, step int) {
+			if step%every == 0 {
+				if err := w.WriteFrame(s, step); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	res, err := core.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("tofumd (%s potential, %s variant) on %d nodes / %d ranks\n",
+		kind, v.Name, shape.Prod(), res.Ranks)
+	fmt.Printf("%d atoms (%.1f per rank), %d steps\n\n", res.Atoms, res.AtomsPerRank, res.Steps)
+	if len(res.Thermo) > 0 {
+		fmt.Println("Step  Temp        E_pair      Press")
+		for _, s := range res.Thermo {
+			fmt.Printf("%-5d %-11.6g %-11.6g %-11.6g\n", s.Step, s.Temperature, s.PEPerAtom, s.Pressure)
+		}
+		fmt.Println()
+	}
+	fmt.Println("MPI task timing breakdown (virtual seconds, rank average):")
+	fmt.Println(res.Breakdown.Report())
+	unit := "tau/day"
+	if kind == core.EAM {
+		unit = "us/day"
+	}
+	fmt.Printf("Performance: %.6g %s (virtual wall clock %.6f s)\n", res.PerfPerDay, unit, res.Elapsed)
+	os.Exit(0)
+}
+
+// runDeck executes a parsed LAMMPS-style input file on the machine.
+func runDeck(path string, shape vec.I3, variantName string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	deck, err := script.Parse(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	cfg, steps, err := deck.ToConfig()
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	v, err := variantByName(variantName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := sim.NewMachine(shape)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := sim.New(m, v, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	s.Run(steps)
+
+	kind := core.LJ
+	unit := "tau/day"
+	if cfg.UnitsStyle == units.Metal {
+		kind = core.EAM // metal-units perf metric: simulated us/day
+		unit = "us/day"
+	}
+	fmt.Printf("tofumd < %s (%s variant) on %d nodes / %d ranks\n",
+		path, v.Name, shape.Prod(), len(s.Ranks()))
+	fmt.Printf("%d atoms, %d steps\n\n", s.TotalAtoms(), steps)
+	if len(s.Thermo) > 0 {
+		fmt.Println("Step  Temp        E_pair      Press")
+		for _, t := range s.Thermo {
+			fmt.Printf("%-5d %-11.6g %-11.6g %-11.6g\n", t.Step, t.Temperature, t.PEPerAtom, t.Pressure)
+		}
+		fmt.Println()
+	}
+	bd := trace.Merge(s.Breakdowns())
+	fmt.Println("MPI task timing breakdown (virtual seconds, rank average):")
+	fmt.Println(bd.Report())
+	elapsed := s.ElapsedMax()
+	fmt.Printf("Performance: %.6g %s (virtual wall clock %.6f s)\n",
+		core.PerfPerDay(kind, steps, cfg.Dt, elapsed), unit, elapsed)
+}
+
+func parseShape(s string) (vec.I3, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 3 {
+		return vec.I3{}, fmt.Errorf("shape %q: want XxYxZ", s)
+	}
+	var out [3]int
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(p, "%d", &out[i]); err != nil {
+			return vec.I3{}, fmt.Errorf("shape %q: %v", s, err)
+		}
+	}
+	return vec.I3{X: out[0], Y: out[1], Z: out[2]}, nil
+}
+
+func variantByName(name string) (sim.Variant, error) {
+	for _, v := range sim.StepByStepVariants() {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return sim.Variant{}, fmt.Errorf("unknown variant %q", name)
+}

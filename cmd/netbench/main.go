@@ -1,0 +1,33 @@
+// Command netbench runs the network microbenchmarks of the paper: the
+// ghost-exchange message-time comparison (Fig. 6) and the one-node message
+// rate / bandwidth sweep (Fig. 8). It exercises only the TofuD fabric and
+// uTofu/MPI layers — no MD.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tofumd/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netbench: ")
+	full := flag.Bool("full", false, "use the full 768-node tile")
+	flag.Parse()
+	opt := bench.Options{Full: *full}
+
+	f6, err := bench.Fig6(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f6.Format())
+
+	f8, err := bench.Fig8(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f8.Format())
+}

@@ -1,0 +1,56 @@
+// Strong scaling: sweep the paper's Fig. 13 experiment — a fixed 4.2M-atom
+// Lennard-Jones system spread over machines from 768 to 36,864 nodes — in
+// modeled mode, and print performance, parallel efficiency and the
+// baseline-vs-optimized speedup at every point. At the last point each CPU
+// core holds just 2.3 atoms; communication is everything.
+//
+//	go run ./examples/strongscaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tofumd/internal/core"
+	"tofumd/internal/md/sim"
+	"tofumd/internal/topo"
+	"tofumd/internal/trace"
+)
+
+func main() {
+	atoms := core.StrongScalingAtoms(core.LJ)
+	fmt.Printf("strong scaling, %d LJ atoms, 99 steps\n\n", atoms)
+	fmt.Println("nodes   atoms/core  ref tau/day   opt tau/day   speedup  comm share (ref -> opt)")
+	var firstRef, firstOpt, firstNodes float64
+	for i, shape := range topo.PaperStrongScalingShapes() {
+		ranks := shape.Prod() * 4
+		run := func(v sim.Variant) *core.RunResult {
+			res, err := core.Modeled(core.ModelSpec{
+				Kind:         core.LJ,
+				Variant:      v,
+				FullShape:    shape,
+				AtomsPerRank: float64(atoms) / float64(ranks),
+				Steps:        99,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return res
+		}
+		ref := run(sim.Ref())
+		opt := run(sim.Opt())
+		if i == 0 {
+			firstRef, firstOpt, firstNodes = ref.PerfPerDay, opt.PerfPerDay, float64(shape.Prod())
+		}
+		scale := float64(shape.Prod()) / firstNodes
+		fmt.Printf("%-7d %-11.2f %-8.3g(%3.0f%%) %-8.3g(%3.0f%%)  %.2fx    %.0f%% -> %.0f%%\n",
+			shape.Prod(),
+			float64(atoms)/float64(ranks*12),
+			ref.PerfPerDay, 100*ref.PerfPerDay/(firstRef*scale),
+			opt.PerfPerDay, 100*opt.PerfPerDay/(firstOpt*scale),
+			ref.Elapsed/opt.Elapsed,
+			100*ref.Breakdown.Get(trace.Comm)/ref.Breakdown.Total(),
+			100*opt.Breakdown.Get(trace.Comm)/opt.Breakdown.Total())
+	}
+	fmt.Println("\npaper: 2.9x speedup at 36,864 nodes, 8.77M tau/day")
+}

@@ -1,0 +1,3 @@
+module tofumd
+
+go 1.22

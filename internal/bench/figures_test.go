@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"testing"
+
+	"tofumd/internal/trace"
+)
+
+func TestTable1(t *testing.T) {
+	res := Table1(2.94, 2.8)
+	t.Log("\n" + res.Format())
+	if res.TotalMsgsP2P != 13 || res.TotalMsgsThreeStage != 6 {
+		t.Errorf("message counts %d/%d, want 6/13", res.TotalMsgsThreeStage, res.TotalMsgsP2P)
+	}
+	if res.TotalP2P >= res.TotalThreeStage {
+		t.Error("p2p must halve the exchanged volume with Newton on")
+	}
+}
+
+func TestFig6(t *testing.T) {
+	res, err := Fig6(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Format())
+	tm := map[string][2]float64{}
+	for _, r := range res.Rows {
+		tm[r.Variant] = [2]float64{r.SmallTime, r.BigTime}
+	}
+	// The Fig. 6 orderings on the small system.
+	if !(tm["mpi-p2p"][0] > tm["ref"][0]) {
+		t.Error("MPI p2p must be slower than MPI 3-stage")
+	}
+	if !(tm["utofu-3stage"][0] < tm["ref"][0]/2) {
+		t.Error("uTofu 3-stage must at least halve the MPI 3-stage time")
+	}
+	if !(tm["6tni-p2p"][0] > tm["4tni-p2p"][0]) {
+		t.Error("single-thread 6-TNI must lose to 4-TNI")
+	}
+	if !(tm["opt"][0] < tm["4tni-p2p"][0]) {
+		t.Error("thread pool must win")
+	}
+	// Big system: every uTofu p2p beats uTofu 3-stage (section 4.2).
+	if !(tm["4tni-p2p"][1] < tm["utofu-3stage"][1] && tm["opt"][1] < tm["utofu-3stage"][1]) {
+		t.Error("at 1.7M atoms all uTofu p2p variants must beat 3-stage")
+	}
+	// Headline reduction ~79%.
+	if res.ReductionVsMPI3Stage < 0.65 || res.ReductionVsMPI3Stage > 0.9 {
+		t.Errorf("reduction %.0f%% outside [65%%, 90%%] (paper 79%%)", 100*res.ReductionVsMPI3Stage)
+	}
+}
+
+func TestFig8(t *testing.T) {
+	res, err := Fig8(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Format())
+	small := res.Rows[0]
+	if small.Rate6TNI >= small.Rate4TNI {
+		t.Error("6-TNI spraying must lower the single-thread message rate")
+	}
+	if small.RateParallel < 1.5*small.Rate4TNI {
+		t.Error("parallel injection must boost the small-message rate by >=50%")
+	}
+	if res.BoostBytes < 128 || res.BoostBytes > 2048 {
+		t.Errorf("boost cutoff %dB outside the paper's small-message band", res.BoostBytes)
+	}
+	// Large messages converge to link-limited bandwidth.
+	last := res.Rows[len(res.Rows)-1]
+	if last.Bandwidth < 35e9 || last.Bandwidth > 41e9 {
+		t.Errorf("large-message bandwidth %.1f GB/s, want ~40.8 (6 x 6.8)", last.Bandwidth/1e9)
+	}
+}
+
+func TestFig11(t *testing.T) {
+	res, err := Fig11(Options{Steps: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Format())
+	if res.MaxRelDiffLJ > 1e-9 {
+		t.Errorf("LJ ref/opt pressure deviation %.2e", res.MaxRelDiffLJ)
+	}
+	if res.MaxRelDiffEAM > 1e-9 {
+		t.Errorf("EAM ref/opt pressure deviation %.2e", res.MaxRelDiffEAM)
+	}
+	if len(res.LJRef.Steps) < 3 {
+		t.Error("too few samples")
+	}
+}
+
+func TestFig12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional 1.7M-atom tile runs are slow")
+	}
+	res, err := Fig12(Options{Steps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Format())
+	// Headline speedups in generous bands around the paper's values.
+	check := func(name string, got, paper, lo, hi float64) {
+		t.Helper()
+		if got < lo || got > hi {
+			t.Errorf("%s speedup %.2fx outside [%.1f, %.1f] (paper %.2fx)", name, got, lo, hi, paper)
+		}
+	}
+	check("lj-65k", res.SpeedupSmallLJ, 3.01, 2.0, 4.5)
+	check("eam-65k", res.SpeedupSmallEAM, 2.45, 2.0, 4.5)
+	check("lj-1.7m", res.SpeedupBigLJ, 1.6, 1.2, 2.6)
+	check("eam-1.7m", res.SpeedupBigEAM, 1.4, 1.2, 2.6)
+	if res.CommReductionSmallLJ < 0.65 || res.CommReductionSmallLJ > 0.93 {
+		t.Errorf("comm reduction %.0f%% (paper 77%%)", 100*res.CommReductionSmallLJ)
+	}
+	// The big systems must improve less than the small ones (pair-bound).
+	if res.SpeedupBigLJ >= res.SpeedupSmallLJ {
+		t.Error("1.7M speedup must be below 65K speedup")
+	}
+	// MPI p2p must be a slowdown on the small system.
+	for _, r := range res.Rows {
+		if r.System == "lj-65k" && r.Variant == "mpi-p2p" && r.Speedup >= 1 {
+			t.Error("naive MPI p2p must lose to the baseline")
+		}
+	}
+}
+
+func TestFig13(t *testing.T) {
+	res, err := Fig13(Options{Steps: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Format())
+	t.Log("\n" + res.FormatTable3())
+	if res.SpeedupLJ < 2.2 || res.SpeedupLJ > 4.2 {
+		t.Errorf("LJ last-point speedup %.2fx (paper 2.9x)", res.SpeedupLJ)
+	}
+	if res.SpeedupEAM < 1.8 || res.SpeedupEAM > 3.8 {
+		t.Errorf("EAM last-point speedup %.2fx (paper 2.2x)", res.SpeedupEAM)
+	}
+	if res.PairDropLJ < 0.25 || res.PairDropLJ > 0.6 {
+		t.Errorf("LJ pair drop %.0f%% (paper 40%%)", 100*res.PairDropLJ)
+	}
+	// Speedup must grow with scale (communication increasingly dominates).
+	var prev float64
+	for _, r := range res.Rows {
+		if r.Kind != "lj" {
+			continue
+		}
+		if r.Speedup < prev {
+			t.Errorf("LJ speedup not monotone: %.2fx after %.2fx at %d nodes", r.Speedup, prev, r.Nodes)
+		}
+		prev = r.Speedup
+	}
+	// Opt efficiency beats ref efficiency at the last point.
+	last := res.Rows[4]
+	if last.OptEff <= last.RefEff {
+		t.Error("optimized parallel efficiency must exceed baseline")
+	}
+	// Table 3 qualitative facts.
+	origin := res.Table3["Origin-L-J"]
+	if origin == nil {
+		t.Fatal("missing Origin-L-J breakdown")
+	}
+	commShare := origin.Get(benchCommStage()) / origin.Total()
+	if commShare < 0.45 {
+		t.Errorf("baseline comm share %.0f%% too low (paper 64.85%%)", 100*commShare)
+	}
+	optEAM := res.Table3["Opt-EAM"]
+	if optEAM.Get(benchOtherStage()) <= optEAM.Get(benchCommStage()) {
+		t.Error("Opt-EAM 'Other' must exceed 'Comm' (the check-yes allreduce at scale)")
+	}
+}
+
+func TestFig14(t *testing.T) {
+	res, err := Fig14(Options{Steps: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Format())
+	for _, r := range res.Rows {
+		if r.LinearityVsFirst < 0.9 || r.LinearityVsFirst > 1.1 {
+			t.Errorf("%s at %d nodes: linearity %.2f", r.Kind, r.Nodes, r.LinearityVsFirst)
+		}
+	}
+	// Final atom counts reach the paper's 99/72 billion.
+	var maxLJ, maxEAM int
+	for _, r := range res.Rows {
+		if r.Kind == "lj" && r.Atoms > maxLJ {
+			maxLJ = r.Atoms
+		}
+		if r.Kind == "eam" && r.Atoms > maxEAM {
+			maxEAM = r.Atoms
+		}
+	}
+	if maxLJ < 90e9 || maxEAM < 65e9 {
+		t.Errorf("final atom counts %d / %d below the paper's 99e9 / 72e9", maxLJ, maxEAM)
+	}
+}
+
+func TestFig15(t *testing.T) {
+	res, err := Fig15(Options{Steps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Format())
+	want := map[int]bool{26: true, 62: true, 124: false}
+	for _, r := range res.Rows {
+		if r.P2PWins != want[r.Neighbors] {
+			t.Errorf("%d neighbors: p2pWins=%v, paper says %v", r.Neighbors, r.P2PWins, want[r.Neighbors])
+		}
+	}
+}
+
+func benchCommStage() trace.Stage  { return trace.Comm }
+func benchOtherStage() trace.Stage { return trace.Other }

@@ -1,0 +1,292 @@
+// Package core is the public orchestration layer of the reproduction: it
+// names the paper's benchmark workloads (Table 2, section 4), runs them
+// functionally on a simulated Fugaku tile, and models the largest machine
+// scales where holding every atom is infeasible. All results come back as
+// LAMMPS-style stage breakdowns plus the simulation-performance metric the
+// paper reports (tau/day for lj units, us/day for metal units).
+package core
+
+import (
+	"fmt"
+
+	"tofumd/internal/md/lattice"
+	"tofumd/internal/md/potential"
+	"tofumd/internal/md/sim"
+	"tofumd/internal/topo"
+	"tofumd/internal/trace"
+	"tofumd/internal/units"
+	"tofumd/internal/vec"
+)
+
+// Kind selects the benchmark potential family.
+type Kind int
+
+const (
+	// LJ is the Lennard-Jones benchmark (lj units, Table 2 left column).
+	LJ Kind = iota
+	// EAM is the embedded-atom copper benchmark (metal units, right
+	// column).
+	EAM
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == EAM {
+		return "eam"
+	}
+	return "lj"
+}
+
+// Workload is one paper benchmark configuration at full machine scale.
+type Workload struct {
+	Name string
+	Kind Kind
+	// Atoms is the particle count at full machine scale.
+	Atoms int
+	// FullShape is the paper's node allocation.
+	FullShape vec.I3
+	// Steps is the paper's step count for the experiment.
+	Steps int
+}
+
+// The paper's workloads.
+
+// LJSmall is the 65K-atom system on 768 nodes (sections 3 and 4.2).
+func LJSmall() Workload {
+	return Workload{Name: "lj-65k", Kind: LJ, Atoms: 65536, FullShape: vec.I3{X: 8, Y: 12, Z: 8}, Steps: 99}
+}
+
+// LJBig is the 1.7M-atom system on 768 nodes.
+func LJBig() Workload {
+	return Workload{Name: "lj-1.7m", Kind: LJ, Atoms: 1_700_000, FullShape: vec.I3{X: 8, Y: 12, Z: 8}, Steps: 99}
+}
+
+// EAMSmall is the 65K-atom copper system on 768 nodes.
+func EAMSmall() Workload {
+	return Workload{Name: "eam-65k", Kind: EAM, Atoms: 65536, FullShape: vec.I3{X: 8, Y: 12, Z: 8}, Steps: 99}
+}
+
+// EAMBig is the 1.7M-atom copper system on 768 nodes.
+func EAMBig() Workload {
+	return Workload{Name: "eam-1.7m", Kind: EAM, Atoms: 1_700_000, FullShape: vec.I3{X: 8, Y: 12, Z: 8}, Steps: 99}
+}
+
+// StrongScalingAtoms returns the fixed particle counts of the Fig. 13
+// strong-scaling runs.
+func StrongScalingAtoms(k Kind) int {
+	if k == EAM {
+		return 3_456_000
+	}
+	return 4_194_304
+}
+
+// WeakScalingAtomsPerCore returns the per-core loads of Fig. 14.
+func WeakScalingAtomsPerCore(k Kind) int {
+	if k == EAM {
+		return 72_000
+	}
+	return 100_000
+}
+
+// NewPotential constructs the benchmark potential of a kind.
+func NewPotential(k Kind) (potential.Pair, error) {
+	switch k {
+	case EAM:
+		return potential.NewEAMCu(4.95)
+	default:
+		return potential.NewLJ(1, 1, 2.5), nil
+	}
+}
+
+// BaseConfig returns the Table 2 configuration of a kind, without geometry.
+func BaseConfig(k Kind) (sim.Config, error) {
+	pot, err := NewPotential(k)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	switch k {
+	case EAM:
+		return sim.Config{
+			UnitsStyle:  units.Metal,
+			Potential:   pot,
+			Lat:         lattice.FCCFromConstant(3.615),
+			Dt:          0.005,
+			Skin:        1.0,
+			NeighEvery:  5,
+			CheckYes:    true,
+			Temperature: 300,
+			Seed:        20231112,
+			NewtonOn:    true,
+		}, nil
+	default:
+		return sim.Config{
+			UnitsStyle:  units.LJ,
+			Potential:   pot,
+			Lat:         lattice.FCCFromDensity(0.8442),
+			Dt:          0.005,
+			Skin:        0.3,
+			NeighEvery:  20,
+			CheckYes:    false,
+			Temperature: 1.44,
+			Seed:        20231112,
+			NewtonOn:    true,
+		}, nil
+	}
+}
+
+// RunSpec describes one functional run: a tile of TileShape nodes stands in
+// for a machine of FullShape nodes, holding the same per-rank atom load.
+type RunSpec struct {
+	Workload  Workload
+	TileShape vec.I3
+	Variant   sim.Variant
+	// Steps overrides the workload's step count when non-zero.
+	Steps int
+	// NewtonOff disables Newton's 3rd law (full lists, no reverse stage) —
+	// the Fig. 15 regimes.
+	NewtonOff bool
+	// FullList forces a full-list LJ potential (Tersoff/DeePMD stand-in).
+	FullList bool
+	// ThermoEvery records thermo output (0 = off).
+	ThermoEvery int
+	// LinearMap disables the topology-preserving rank placement (the
+	// "topo map" ablation, section 3.5.3).
+	LinearMap bool
+	// Observer, when set, is called after every step (trajectory dumps,
+	// custom diagnostics). It must not mutate the simulation.
+	Observer func(s *sim.Simulation, step int)
+}
+
+// RunResult is the outcome of a run.
+type RunResult struct {
+	Spec RunSpec
+	// Breakdown is the rank-averaged stage breakdown over the run.
+	Breakdown *trace.Breakdown
+	// Elapsed is the slowest rank's total virtual time.
+	Elapsed float64
+	// Ranks and AtomsPerRank describe the realized decomposition.
+	Ranks        int
+	Atoms        int
+	AtomsPerRank float64
+	// Steps actually run.
+	Steps int
+	// PerfPerDay is simulated time per wall-clock day: tau/day (lj) or
+	// us/day (metal), the Fig. 13/14 metric.
+	PerfPerDay float64
+	// Thermo holds recorded samples when ThermoEvery was set.
+	Thermo []sim.ThermoSample
+}
+
+// Run executes a functional simulation per the spec.
+func Run(spec RunSpec) (*RunResult, error) {
+	mode := topo.MapTopo
+	if spec.LinearMap {
+		mode = topo.MapLinear
+	}
+	m, err := sim.NewMachineMode(spec.TileShape, mode)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := BaseConfig(spec.Workload.Kind)
+	if err != nil {
+		return nil, err
+	}
+	fullRanks := spec.Workload.FullShape.Prod() * m.Map.RanksPerNode()
+	tileRanks := m.Map.Ranks()
+	tileAtoms := int(float64(spec.Workload.Atoms) * float64(tileRanks) / float64(fullRanks))
+	cfg.Cells = lattice.CellsForAtomsOnGrid(tileAtoms, m.Map.Grid)
+	cfg.ScaleRanks = fullRanks
+	cfg.ThermoEvery = spec.ThermoEvery
+	if spec.NewtonOff {
+		cfg.NewtonOn = false
+	}
+	if spec.FullList {
+		lj := potential.NewLJ(1, 1, 2.5)
+		lj.FullList = true
+		cfg.Potential = lj
+		cfg.NewtonOn = false
+	}
+	steps := spec.Steps
+	if steps == 0 {
+		steps = spec.Workload.Steps
+	}
+	s, err := sim.New(m, spec.Variant, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	if spec.Observer == nil {
+		s.Run(steps)
+	} else {
+		for i := 1; i <= steps; i++ {
+			s.Step()
+			spec.Observer(s, i)
+		}
+	}
+	return summarize(spec, s, steps, cfg), nil
+}
+
+func summarize(spec RunSpec, s *sim.Simulation, steps int, cfg sim.Config) *RunResult {
+	bd := trace.Merge(s.Breakdowns())
+	elapsed := s.ElapsedMax()
+	res := &RunResult{
+		Spec:         spec,
+		Breakdown:    bd,
+		Elapsed:      elapsed,
+		Ranks:        len(s.Ranks()),
+		Atoms:        s.TotalAtoms(),
+		AtomsPerRank: float64(s.TotalAtoms()) / float64(len(s.Ranks())),
+		Steps:        steps,
+		Thermo:       s.Thermo,
+	}
+	res.PerfPerDay = PerfPerDay(spec.Workload.Kind, steps, cfg.Dt, elapsed)
+	return res
+}
+
+// PerfPerDay converts elapsed virtual seconds into the paper's performance
+// metric: simulated tau per day for lj units, simulated microseconds per
+// day for metal units (dt is in ps).
+func PerfPerDay(k Kind, steps int, dt, elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	simulated := float64(steps) * dt // tau or ps
+	if k == EAM {
+		simulated *= 1e-6 // ps -> us
+	}
+	return simulated / elapsed * 86400
+}
+
+// DefaultTile returns a tile shape for a full machine shape, capped so
+// functional runs stay tractable: the full shape when small, otherwise a
+// proportional shape with at most maxNodes nodes.
+func DefaultTile(full vec.I3, maxNodes int) vec.I3 {
+	if full.Prod() <= maxNodes {
+		return full
+	}
+	t := full
+	for t.Prod() > maxNodes {
+		// Halve the largest axis, keeping every axis >= 2.
+		switch {
+		case t.X >= t.Y && t.X >= t.Z && t.X > 2:
+			t.X = (t.X + 1) / 2
+		case t.Y >= t.Z && t.Y > 2:
+			t.Y = (t.Y + 1) / 2
+		case t.Z > 2:
+			t.Z = (t.Z + 1) / 2
+		default:
+			return t
+		}
+	}
+	return t
+}
+
+// FormatResult renders a result as a short report line.
+func FormatResult(r *RunResult) string {
+	unit := "tau/day"
+	if r.Spec.Workload.Kind == EAM {
+		unit = "us/day"
+	}
+	return fmt.Sprintf("%-12s %-14s ranks=%-6d atoms=%-9d steps=%-4d elapsed=%.4fs perf=%.4g %s",
+		r.Spec.Workload.Name, r.Spec.Variant.Name, r.Ranks, r.Atoms, r.Steps, r.Elapsed, r.PerfPerDay, unit)
+}

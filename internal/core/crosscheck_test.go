@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"tofumd/internal/md/sim"
+	"tofumd/internal/trace"
+	"tofumd/internal/vec"
+)
+
+// TestModeledMatchesFunctional cross-validates the modeled (timing-only)
+// runner against the functional engine on the same per-rank load: modeled
+// mode is what produces the largest-scale figures, so its stage structure
+// must track the functional ground truth.
+func TestModeledMatchesFunctional(t *testing.T) {
+	tile := vec.I3{X: 4, Y: 6, Z: 4}
+	full := vec.I3{X: 8, Y: 12, Z: 8}
+	steps := 40
+	for _, v := range []sim.Variant{sim.Ref(), sim.Opt()} {
+		v := v
+		t.Run(v.Name, func(t *testing.T) {
+			fun, err := Run(RunSpec{
+				Workload:  LJSmall(),
+				TileShape: tile,
+				Variant:   v,
+				Steps:     steps,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod, err := Modeled(ModelSpec{
+				Kind:         LJ,
+				Variant:      v,
+				FullShape:    full,
+				TileShape:    tile,
+				AtomsPerRank: fun.AtomsPerRank,
+				Steps:        steps,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Total virtual time within a factor of two.
+			ratio := mod.Elapsed / fun.Elapsed
+			if ratio < 0.5 || ratio > 2.0 {
+				t.Errorf("modeled/functional total = %.2f (%.4fs vs %.4fs)",
+					ratio, mod.Elapsed, fun.Elapsed)
+			}
+			// Comm share within 0.5x-2x of functional.
+			fShare := fun.Breakdown.Get(trace.Comm) / fun.Breakdown.Total()
+			mShare := mod.Breakdown.Get(trace.Comm) / mod.Breakdown.Total()
+			if mShare < fShare/2 || mShare > fShare*2 {
+				t.Errorf("comm share: modeled %.0f%% vs functional %.0f%%",
+					100*mShare, 100*fShare)
+			}
+		})
+	}
+	// And the modeled speedup must track the functional speedup.
+	speedup := func(run func(v sim.Variant) float64) float64 {
+		return run(sim.Ref()) / run(sim.Opt())
+	}
+	fs := speedup(func(v sim.Variant) float64 {
+		r, err := Run(RunSpec{Workload: LJSmall(), TileShape: tile, Variant: v, Steps: steps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Elapsed
+	})
+	msu := speedup(func(v sim.Variant) float64 {
+		r, err := Modeled(ModelSpec{Kind: LJ, Variant: v, FullShape: full, TileShape: tile,
+			AtomsPerRank: 21.3, Steps: steps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Elapsed
+	})
+	if msu < fs*0.6 || msu > fs*1.6 {
+		t.Errorf("modeled speedup %.2fx vs functional %.2fx", msu, fs)
+	}
+}
+
+// TestTopoMapMattersAtScale: on the large torus, scrambling rank placement
+// inflates neighbor hop distances and with them the halo time — the effect
+// the paper's "topo map" (section 3.5.3) exists to avoid. At small tiles
+// the penalty is tiny; at a 16x24x16 tile it must be clearly visible.
+func TestTopoMapMattersAtScale(t *testing.T) {
+	shape := vec.I3{X: 16, Y: 24, Z: 16}
+	per := 4194304.0 / float64(shape.Prod()*4)
+	run := func(linear bool) float64 {
+		r, err := Modeled(ModelSpec{
+			Kind:         LJ,
+			Variant:      sim.Opt(),
+			FullShape:    shape,
+			TileShape:    shape, // simulate the whole 6144-node torus
+			AtomsPerRank: per,
+			Steps:        10,
+			LinearMap:    linear,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Breakdown.Get(trace.Comm)
+	}
+	topoComm := run(false)
+	linComm := run(true)
+	if linComm <= topoComm {
+		t.Errorf("linear placement comm %.3gms not above topo placement %.3gms",
+			1e3*linComm, 1e3*topoComm)
+	}
+	if linComm < 1.2*topoComm {
+		t.Logf("note: linear/topo comm ratio %.2f (hop inflation visible but modest)", linComm/topoComm)
+	} else {
+		t.Logf("linear/topo comm ratio %.2f", linComm/topoComm)
+	}
+}

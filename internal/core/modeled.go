@@ -1,0 +1,382 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tofumd/internal/machine"
+	"tofumd/internal/md/comm"
+	"tofumd/internal/md/domain"
+	"tofumd/internal/md/sim"
+	"tofumd/internal/tofu"
+	"tofumd/internal/topo"
+	"tofumd/internal/trace"
+	"tofumd/internal/vec"
+)
+
+// ModelSpec describes a modeled (timing-only) run: per-rank loads and
+// message sizes are derived analytically from the homogeneous benchmark
+// geometry, communication rounds execute on a representative torus tile,
+// and collectives are charged at the full machine's rank count. This is the
+// substitution for the machine scales a functional run cannot hold (the
+// 99-billion-atom weak scaling of Fig. 14, the 36,864-node strong-scaling
+// points of Fig. 13); see DESIGN.md section 2.
+type ModelSpec struct {
+	Kind    Kind
+	Variant sim.Variant
+	// FullShape is the machine being modeled; TileShape the torus actually
+	// simulated (defaults to DefaultTile(FullShape, 512)).
+	FullShape, TileShape vec.I3
+	// AtomsPerRank is the modeled per-rank load.
+	AtomsPerRank float64
+	// Steps is the modeled step count.
+	Steps int
+	// LinearMap disables topology-preserving placement (ablation).
+	LinearMap bool
+}
+
+// kindParams bundles the geometry constants of a benchmark kind.
+type kindParams struct {
+	density    float64 // atoms per volume
+	cutoff     float64
+	skin       float64
+	dt         float64
+	neighEvery int
+	checkYes   bool
+	// rebuildEvery is the effective rebuild interval (every check for
+	// "check no", a multiple for "check yes" where most checks pass).
+	rebuildEvery int
+}
+
+func paramsFor(k Kind) kindParams {
+	if k == EAM {
+		a := 3.615
+		return kindParams{
+			density:      4 / (a * a * a),
+			cutoff:       4.95,
+			skin:         1.0,
+			dt:           0.005,
+			neighEvery:   5,
+			checkYes:     true,
+			rebuildEvery: 20,
+		}
+	}
+	return kindParams{
+		density:      0.8442,
+		cutoff:       2.5,
+		skin:         0.3,
+		dt:           0.005,
+		neighEvery:   20,
+		checkYes:     false,
+		rebuildEvery: 20,
+	}
+}
+
+// modelLink is one synthetic neighbor channel.
+type modelLink struct {
+	src, dst  int
+	dir       vec.I3
+	atoms     float64 // expected ghost atoms on the link
+	fwd, rev  simRes
+	stage3Dim int
+}
+
+type simRes struct{ thread, tni, vcq int }
+
+// Modeled runs the timing-only model and returns a RunResult whose
+// Breakdown holds the full-run stage times of an average rank.
+func Modeled(spec ModelSpec) (*RunResult, error) {
+	if spec.TileShape == (vec.I3{}) {
+		spec.TileShape = DefaultTile(spec.FullShape, 512)
+	}
+	mode := topo.MapTopo
+	if spec.LinearMap {
+		mode = topo.MapLinear
+	}
+	m, err := sim.NewMachineMode(spec.TileShape, mode)
+	if err != nil {
+		return nil, err
+	}
+	kp := paramsFor(spec.Kind)
+	fab := tofu.NewFabric(m.Map, m.Params)
+	cost := m.Cost
+	th := spec.Variant.ComputeThreading
+	packTh := machine.Serial
+	if spec.Variant.CommThreads > 1 {
+		packTh = machine.Pool
+	}
+
+	n := spec.AtomsPerRank
+	side := math.Cbrt(n / kp.density)
+	ghCut := kp.cutoff + kp.skin
+	shells := 1
+	for ghCut > float64(shells)*side {
+		shells++
+	}
+	fullRanks := spec.FullShape.Prod() * m.Map.RanksPerNode()
+
+	// Expected half-list pair count per rank.
+	fullNeigh := 4.0 / 3.0 * math.Pi * kp.cutoff * kp.cutoff * kp.cutoff * kp.density
+	pairs := int(n * fullNeigh / 2)
+	candidates := int(n * fullNeigh * 27 / (4.0 / 3.0 * math.Pi)) // 27-bin scan ratio
+
+	links := buildModelLinks(m, spec.Variant, side, ghCut, shells, kp.density)
+
+	bd := &trace.Breakdown{}
+
+	// Per-step stage times (an average rank; the tile is homogeneous).
+	integrate := cost.IntegrateTime(int(n), th)
+
+	commRound := func(perAtomBytes int, reverse, forceMPI bool, extraPerLink int) float64 {
+		return modelRounds(fab, m, spec.Variant, links, perAtomBytes, reverse, forceMPI, extraPerLink, cost, packTh)
+	}
+
+	// Pair-stage time; EAM adds its two in-pair exchanges (section 4.1).
+	var pairPer float64
+	if spec.Kind == EAM {
+		pairPer = cost.EAMPassTime(pairs, th) + cost.EAMEmbedTime(int(n), th) + cost.EAMPassTime(pairs, th)
+		pairPer += commRound(8, true, false, 0)  // reverse rho
+		pairPer += commRound(8, false, false, 0) // forward fp
+	} else {
+		pairPer = cost.PairTime(pairs, th)
+	}
+
+	forwardPer := commRound(24, false, false, 0)
+	reversePer := commRound(24, true, false, 0)
+	// Exchange is cold-path and flows over MPI in every variant; a thin
+	// shell of movers per link.
+	exchangePer := commRound(0, false, true, 64*int(1+n*0.01))
+	borderPer := commRound(40, false, false, 0) +
+		cost.BorderDecideTime(int(n), spec.Variant.BorderBins)
+	neighPer := cost.NeighTime(int(n), candidates, th)
+
+	checkCost := cost.ScanTime(int(n)) + fab.AllreduceTime(fullRanks, 8, tofu.IfaceMPI)
+
+	steps := spec.Steps
+	rebuilds := steps / kp.rebuildEvery
+	checks := 0
+	if kp.checkYes {
+		checks = steps / kp.neighEvery
+	}
+	ordinarySteps := steps - rebuilds
+
+	bd.Add(trace.Modify, 2*integrate*float64(steps))
+	bd.Add(trace.Pair, pairPer*float64(steps))
+	bd.Add(trace.Comm, (forwardPer+reversePer)*float64(ordinarySteps))
+	bd.Add(trace.Comm, (exchangePer+borderPer+reversePer)*float64(rebuilds))
+	bd.Add(trace.Neigh, neighPer*float64(rebuilds))
+	bd.Add(trace.Other, checkCost*float64(checks)+cost.ThermoTime(int(n))+
+		cost.OtherPerStep*float64(steps))
+
+	elapsed := bd.Total()
+	wl := Workload{
+		Name:      fmt.Sprintf("%s-modeled", spec.Kind),
+		Kind:      spec.Kind,
+		Atoms:     int(n * float64(fullRanks)),
+		FullShape: spec.FullShape,
+		Steps:     spec.Steps,
+	}
+	return &RunResult{
+		Spec:         RunSpec{Workload: wl, TileShape: spec.TileShape, Variant: spec.Variant, Steps: steps},
+		Breakdown:    bd,
+		Elapsed:      elapsed,
+		Ranks:        fullRanks,
+		Atoms:        wl.Atoms,
+		AtomsPerRank: n,
+		Steps:        steps,
+		PerfPerDay:   PerfPerDay(spec.Kind, steps, kp.dt, elapsed),
+	}, nil
+}
+
+// HaloTime returns the modeled time of one ghost exchange (a forward round
+// followed by a reverse round) for the given spec, excluding data-packing
+// time — the quantity of the paper's Fig. 6 microbenchmark.
+func HaloTime(spec ModelSpec) (float64, error) {
+	if spec.TileShape == (vec.I3{}) {
+		spec.TileShape = DefaultTile(spec.FullShape, 512)
+	}
+	m, err := sim.NewMachine(spec.TileShape)
+	if err != nil {
+		return 0, err
+	}
+	kp := paramsFor(spec.Kind)
+	fab := tofu.NewFabric(m.Map, m.Params)
+	cost := m.Cost
+	cost.PackPerByte = 0
+	cost.UnpackPerByte = 0
+	n := spec.AtomsPerRank
+	side := math.Cbrt(n / kp.density)
+	ghCut := kp.cutoff + kp.skin
+	shells := 1
+	for ghCut > float64(shells)*side {
+		shells++
+	}
+	links := buildModelLinks(m, spec.Variant, side, ghCut, shells, kp.density)
+	packTh := machine.Serial
+	if spec.Variant.CommThreads > 1 {
+		packTh = machine.Pool
+	}
+	fwd := modelRounds(fab, m, spec.Variant, links, 24, false, false, 0, cost, packTh)
+	rev := modelRounds(fab, m, spec.Variant, links, 24, true, false, 0, cost, packTh)
+	return fwd + rev, nil
+}
+
+// buildModelLinks constructs the synthetic link set of one pattern over the
+// tile, mirroring the functional engine's resource assignment.
+func buildModelLinks(m *sim.Machine, v sim.Variant, side, ghCut float64, shells int, density float64) []modelLink {
+	var out []modelLink
+	tnis := m.Params.TNIsPerNode
+	sideV := vec.V3{X: side, Y: side, Z: side}
+	mkRes := func(rank, idx, nLinks int, hops int, bytes int) simRes {
+		_, slot := m.Map.NodeOf(rank)
+		switch v.TNIPolicy {
+		case comm.TNIPerRankSlot:
+			return simRes{thread: 0, tni: slot % tnis, vcq: rank}
+		case comm.TNISprayAll:
+			t := idx % tnis
+			return simRes{thread: 0, tni: t, vcq: rank*8 + t}
+		default:
+			return simRes{} // filled by balancing below
+		}
+	}
+	for rank := 0; rank < m.Map.Ranks(); rank++ {
+		var dirs []vec.I3
+		var dims []int
+		if v.Pattern == comm.P2P {
+			// Newton on: send to the lower half-shell (Fig. 5).
+			for _, d := range domain.HalfDirections(shells) {
+				dirs = append(dirs, vec.I3{X: -d.X, Y: -d.Y, Z: -d.Z})
+				dims = append(dims, -1)
+			}
+		} else {
+			for dim := 0; dim < 3; dim++ {
+				for iter := 0; iter < shells; iter++ {
+					for _, sign := range []int{-1, 1} {
+						d := vec.I3{}
+						d = d.SetComp(dim, sign)
+						dirs = append(dirs, d)
+						dims = append(dims, dim)
+					}
+				}
+			}
+		}
+		links := make([]modelLink, len(dirs))
+		specs := make([]comm.Link, len(dirs))
+		for i, d := range dirs {
+			dst := m.Map.NeighborRank(rank, d)
+			var atoms float64
+			if v.Pattern == comm.ThreeStage {
+				// Staged slabs grow with forwarded ghosts (Table 1):
+				// a^2 r, then ar(a+2r), then (a+2r)^2 r.
+				a, r := side, ghCut
+				switch dims[i] {
+				case 0:
+					atoms = a * a * r
+				case 1:
+					atoms = a * r * (a + 2*r)
+				default:
+					atoms = (a + 2*r) * (a + 2*r) * r
+				}
+				atoms *= density / float64(shells)
+			} else {
+				atoms = comm.MessageVolumeAniso(clamp1(d), sideV, ghCut) * density
+			}
+			links[i] = modelLink{
+				src: rank, dst: dst, dir: d, atoms: atoms,
+				stage3Dim: dims[i],
+			}
+			hops := m.Map.Hops(rank, dst)
+			links[i].fwd = mkRes(rank, i, len(dirs), hops, int(atoms*24))
+			links[i].rev = mkRes(dst, i, len(dirs), hops, int(atoms*24))
+			specs[i] = comm.Link{Dir: d, Bytes: int(atoms * 40), Hops: hops}
+		}
+		if v.TNIPolicy == comm.TNIThreadBound {
+			assign := comm.BalanceThreads(specs, v.CommThreads, m.Params.LinkBandwidth, m.Params.HopLatency)
+			for i := range links {
+				t := assign[i]
+				links[i].fwd = simRes{thread: t, tni: t % tnis, vcq: links[i].src*8 + t}
+				links[i].rev = simRes{thread: t, tni: t % tnis, vcq: links[i].dst*8 + t}
+			}
+		}
+		out = append(out, links...)
+	}
+	return out
+}
+
+func clamp1(d vec.I3) vec.I3 {
+	c := func(v int) int {
+		if v > 0 {
+			return 1
+		}
+		if v < 0 {
+			return -1
+		}
+		return 0
+	}
+	return vec.I3{X: c(d.X), Y: c(d.Y), Z: c(d.Z)}
+}
+
+// modelRounds executes one halo operation (all its rounds) on the fabric
+// and returns the average per-rank duration including pack/unpack costs.
+func modelRounds(fab *tofu.Fabric, m *sim.Machine, v sim.Variant, links []modelLink,
+	perAtomBytes int, reverse, forceMPI bool, extraPerLink int, cost machine.CostModel, packTh machine.Threading) float64 {
+
+	iface := tofu.IfaceUTofu
+	if v.Transport == comm.TransportMPI || forceMPI {
+		iface = tofu.IfaceMPI
+	}
+	rounds := [][]modelLink{links}
+	if v.Pattern == comm.ThreeStage {
+		byDim := map[int][]modelLink{}
+		for _, l := range links {
+			byDim[l.stage3Dim] = append(byDim[l.stage3Dim], l)
+		}
+		rounds = [][]modelLink{byDim[0], byDim[1], byDim[2]}
+		if reverse {
+			rounds = [][]modelLink{byDim[2], byDim[1], byDim[0]}
+		}
+	}
+	total := 0.0
+	for _, round := range rounds {
+		if len(round) == 0 {
+			continue
+		}
+		var bytesPerRank float64
+		transfers := make([]*tofu.Transfer, 0, len(round))
+		for _, l := range round {
+			bytes := int(l.atoms*float64(perAtomBytes)) + extraPerLink
+			if bytes == 0 {
+				continue
+			}
+			src, dst, res, dres := l.src, l.dst, l.fwd, l.rev
+			if reverse {
+				src, dst, res, dres = l.dst, l.src, l.rev, l.fwd
+			}
+			transfers = append(transfers, &tofu.Transfer{
+				Src: src, Dst: dst, TNI: res.tni, VCQ: res.vcq, Thread: res.thread,
+				DstThread: dres.thread,
+				Bytes:     bytes,
+				TwoStep:   iface == tofu.IfaceMPI && perAtomBytes == 0 && !v.CombineLength,
+			})
+			bytesPerRank += float64(bytes)
+		}
+		if len(transfers) == 0 {
+			continue
+		}
+		fab.RunRound(transfers, iface)
+		var maxDone float64
+		for _, tr := range transfers {
+			if tr.RecvComplete > maxDone {
+				maxDone = tr.RecvComplete
+			}
+		}
+		perRankBytes := int(bytesPerRank / float64(m.Map.Ranks()))
+		pack := cost.PackTime(perRankBytes, packTh)
+		unpack := cost.UnpackTime(perRankBytes, packTh)
+		if v.Preregistered && !reverse && perAtomBytes == 24 {
+			unpack = 0 // direct RDMA write into the position array
+		}
+		total += pack + maxDone + unpack
+	}
+	return total
+}

@@ -1,0 +1,87 @@
+// Package des implements a small discrete-event simulation kernel: a virtual
+// clock and a time-ordered event queue. The network fabric (internal/tofu)
+// schedules message injection and completion events on an Engine so that
+// shared resources (TNIs, links) are acquired in correct global time order
+// regardless of how the caller enumerated the messages.
+package des
+
+import "container/heap"
+
+// Event is a scheduled callback.
+type event struct {
+	time float64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a virtual-time event loop. The zero value is ready to use with
+// the clock at 0. Engines are not safe for concurrent use; the simulator
+// runs one engine per communication round.
+type Engine struct {
+	now float64
+	seq uint64
+	pq  eventHeap
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule registers fn to run at virtual time t. Events scheduled for a
+// time earlier than Now run immediately at Now (time never goes backwards).
+// Ties are broken by scheduling order, which keeps runs deterministic.
+func (e *Engine) Schedule(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.pq, event{time: t, seq: e.seq, fn: fn})
+}
+
+// Step executes the earliest pending event, advancing the clock. It returns
+// false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.time
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty and returns the final time.
+func (e *Engine) Run() float64 {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Reset clears the queue and rewinds the clock to 0 so the engine can be
+// reused for the next round without reallocating.
+func (e *Engine) Reset() {
+	e.now = 0
+	e.seq = 0
+	e.pq = e.pq[:0]
+}

@@ -1,0 +1,122 @@
+package des
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var e Engine
+	var order []float64
+	for _, tm := range []float64{3, 1, 2, 5, 4} {
+		tm := tm
+		e.Schedule(tm, func() { order = append(order, tm) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(order) {
+		t.Errorf("events out of order: %v", order)
+	}
+	if e.Now() != 5 {
+		t.Errorf("final time = %v, want 5", e.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1.0, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order = %v", order)
+		}
+	}
+}
+
+func TestScheduleInPastClampsToNow(t *testing.T) {
+	var e Engine
+	var at float64 = -1
+	e.Schedule(10, func() {
+		e.Schedule(5, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 10 {
+		t.Errorf("past event ran at %v, want clamped to 10", at)
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	var e Engine
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.Schedule(e.Now()+1, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run()
+	if count != 100 {
+		t.Errorf("count = %d", count)
+	}
+	if e.Now() != 99 {
+		t.Errorf("final time = %v, want 99", e.Now())
+	}
+}
+
+func TestStepAndPending(t *testing.T) {
+	var e Engine
+	e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	if !e.Step() {
+		t.Fatal("Step returned false with events queued")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending after step = %d", e.Pending())
+	}
+	e.Run()
+	if e.Step() {
+		t.Error("Step returned true on empty queue")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var e Engine
+	e.Schedule(5, func() {})
+	e.Run()
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 {
+		t.Errorf("after Reset: now=%v pending=%d", e.Now(), e.Pending())
+	}
+	ran := false
+	e.Schedule(1, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Error("engine unusable after Reset")
+	}
+}
+
+// Property: regardless of scheduling order, execution is monotone in time.
+func TestMonotoneExecutionProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		var e Engine
+		var ran []float64
+		for _, tv := range times {
+			tm := float64(tv)
+			e.Schedule(tm, func() { ran = append(ran, tm) })
+		}
+		e.Run()
+		return sort.Float64sAreSorted(ran)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

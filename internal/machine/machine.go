@@ -1,0 +1,199 @@
+// Package machine models the compute side of a Fugaku node: an A64FX CPU
+// with four CMGs, 12 compute cores each, running 4 MPI ranks of 12 threads
+// (the paper's coarse-grained configuration, section 3.2). Force kernels in
+// this reproduction execute for real on the host CPU; the *virtual time*
+// they are charged comes from this cost model, calibrated so the stage
+// ratios of the paper's Table 3 are preserved.
+package machine
+
+// Threading selects how a parallel region is charged.
+type Threading int
+
+const (
+	// Serial runs on one thread with no region overhead.
+	Serial Threading = iota
+	// OpenMP charges the fork-join region overhead the paper measured
+	// (5.8us) and divides work across the threads.
+	OpenMP
+	// Pool charges the spin-lock thread pool region overhead (1.1us).
+	Pool
+)
+
+// String names the threading mode.
+func (t Threading) String() string {
+	switch t {
+	case Serial:
+		return "serial"
+	case OpenMP:
+		return "openmp"
+	default:
+		return "pool"
+	}
+}
+
+// CostModel holds the per-operation virtual-time constants of one rank.
+// All times are seconds.
+type CostModel struct {
+	// ThreadsPerRank is the compute thread count per MPI rank (12: one CMG).
+	ThreadsPerRank int
+
+	// OpenMPRegion and PoolRegion are the per-parallel-region overheads.
+	OpenMPRegion float64
+	PoolRegion   float64
+
+	// PairPerNeighbor is the cost of one pair interaction evaluation.
+	PairPerNeighbor float64
+	// PairBase is the fixed per-call cost of a pair kernel invocation
+	// (neighbor-list streaming setup, cache warmup); it does not shrink
+	// with thread count.
+	PairBase float64
+	// EAMPerNeighbor is the per-neighbor cost of one EAM pass (density or
+	// force); a full EAM step runs two passes plus the embedding.
+	EAMPerNeighbor float64
+	// EAMPassBase is the fixed per-pass cost of the tabulated-EAM kernel
+	// (spline table streaming, per-pass setup); LAMMPS's EAM stays
+	// expensive even at tiny per-rank atom counts (Table 3: 62us/step with
+	// 23 atoms per rank in the optimized code).
+	EAMPassBase float64
+	// EAMEmbedPerAtom is the embedding-function evaluation per atom.
+	EAMEmbedPerAtom float64
+
+	// NeighBinPerAtom is the binning cost per atom during a rebuild.
+	NeighBinPerAtom float64
+	// NeighPerCandidate is the distance-check cost per candidate pair.
+	NeighPerCandidate float64
+
+	// IntegratePerAtom is the velocity-Verlet update cost per atom per half
+	// step.
+	IntegratePerAtom float64
+
+	// PackPerByte and UnpackPerByte are gather/scatter costs of message
+	// packing.
+	PackPerByte   float64
+	UnpackPerByte float64
+
+	// ScanPerAtom is the cross-border displacement scan per atom
+	// ("check yes", section 4.1).
+	ScanPerAtom float64
+	// BorderPerAtom is the per-atom cost of deciding target neighbors
+	// during the border stage without border bins (linear scan over the 26
+	// neighbor sub-boxes).
+	BorderPerAtom float64
+	// BorderBinPerAtom is the same decision with the 3x3x3 border-bin
+	// algorithm of section 3.5.2.
+	BorderBinPerAtom float64
+
+	// ThermoPerAtom is the local cost of computing thermodynamic output.
+	ThermoPerAtom float64
+	// OutputCost is the fixed cost of formatting/writing one thermo line.
+	OutputCost float64
+	// OtherPerStep is the fixed per-step bookkeeping cost LAMMPS accrues
+	// outside the named stages (timer management, fix/compute dispatch,
+	// output checks) — the bulk of Table 3's "Other" column at small atom
+	// counts.
+	OtherPerStep float64
+}
+
+// DefaultCostModel returns constants calibrated against the paper's stage
+// breakdowns. Absolute times are approximate (our substrate is a simulator,
+// not an A64FX); ratios between stages and between code variants are what
+// the calibration targets.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ThreadsPerRank: 12,
+
+		OpenMPRegion: 5.8e-6,
+		PoolRegion:   1.1e-6,
+
+		PairPerNeighbor: 50e-9,
+		PairBase:        2.0e-6,
+		EAMPerNeighbor:  36e-9,
+		EAMPassBase:     8.0e-6,
+		EAMEmbedPerAtom: 60e-9,
+
+		NeighBinPerAtom:   14e-9,
+		NeighPerCandidate: 7e-9,
+
+		IntegratePerAtom: 9e-9,
+
+		PackPerByte:   0.10e-9,
+		UnpackPerByte: 0.10e-9,
+
+		ScanPerAtom:      4e-9,
+		BorderPerAtom:    55e-9,
+		BorderBinPerAtom: 9e-9,
+
+		ThermoPerAtom: 6e-9,
+		OutputCost:    40e-6,
+		OtherPerStep:  6e-6,
+	}
+}
+
+// Region charges a parallel region of `work` serial-seconds under the given
+// threading mode: region overhead plus work divided over the threads.
+func (c *CostModel) Region(work float64, th Threading) float64 {
+	switch th {
+	case Serial:
+		return work
+	case OpenMP:
+		return c.OpenMPRegion + work/float64(c.ThreadsPerRank)
+	default:
+		return c.PoolRegion + work/float64(c.ThreadsPerRank)
+	}
+}
+
+// PairTime charges a pair-force kernel over nPairs interactions.
+func (c *CostModel) PairTime(nPairs int, th Threading) float64 {
+	return c.PairBase + c.Region(float64(nPairs)*c.PairPerNeighbor, th)
+}
+
+// EAMPassTime charges one EAM pass (density or force) over nPairs.
+func (c *CostModel) EAMPassTime(nPairs int, th Threading) float64 {
+	return c.EAMPassBase + c.Region(float64(nPairs)*c.EAMPerNeighbor, th)
+}
+
+// EAMEmbedTime charges the embedding evaluation over n atoms.
+func (c *CostModel) EAMEmbedTime(n int, th Threading) float64 {
+	return c.Region(float64(n)*c.EAMEmbedPerAtom, th)
+}
+
+// NeighTime charges a neighbor-list rebuild that binned nAtoms and distance-
+// checked nCandidates pairs.
+func (c *CostModel) NeighTime(nAtoms, nCandidates int, th Threading) float64 {
+	work := float64(nAtoms)*c.NeighBinPerAtom + float64(nCandidates)*c.NeighPerCandidate
+	return c.Region(work, th)
+}
+
+// IntegrateTime charges one velocity-Verlet half-step over n atoms.
+func (c *CostModel) IntegrateTime(n int, th Threading) float64 {
+	return c.Region(float64(n)*c.IntegratePerAtom, th)
+}
+
+// PackTime charges gathering bytes into a send buffer.
+func (c *CostModel) PackTime(bytes int, th Threading) float64 {
+	return c.Region(float64(bytes)*c.PackPerByte, th)
+}
+
+// UnpackTime charges scattering bytes out of a receive buffer.
+func (c *CostModel) UnpackTime(bytes int, th Threading) float64 {
+	return c.Region(float64(bytes)*c.UnpackPerByte, th)
+}
+
+// ScanTime charges the half-skin displacement scan over n atoms.
+func (c *CostModel) ScanTime(n int) float64 {
+	return float64(n) * c.ScanPerAtom
+}
+
+// BorderDecideTime charges the neighbor-target decision over n atoms, with
+// or without the border-bin algorithm.
+func (c *CostModel) BorderDecideTime(n int, borderBins bool) float64 {
+	if borderBins {
+		return float64(n) * c.BorderBinPerAtom
+	}
+	return float64(n) * c.BorderPerAtom
+}
+
+// ThermoTime charges a thermodynamic output computation over n atoms.
+func (c *CostModel) ThermoTime(n int) float64 {
+	return float64(n)*c.ThermoPerAtom + c.OutputCost
+}

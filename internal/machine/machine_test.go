@@ -1,0 +1,126 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionSerialHasNoOverhead(t *testing.T) {
+	c := DefaultCostModel()
+	if got := c.Region(1e-6, Serial); got != 1e-6 {
+		t.Errorf("serial region = %v", got)
+	}
+}
+
+func TestRegionOverheadOrdering(t *testing.T) {
+	c := DefaultCostModel()
+	work := 0.0
+	omp := c.Region(work, OpenMP)
+	pool := c.Region(work, Pool)
+	if pool >= omp {
+		t.Errorf("pool overhead %v not below OpenMP %v", pool, omp)
+	}
+	if omp != c.OpenMPRegion || pool != c.PoolRegion {
+		t.Errorf("empty region should equal overhead: %v %v", omp, pool)
+	}
+}
+
+func TestRegionDividesWork(t *testing.T) {
+	c := DefaultCostModel()
+	work := 120e-6
+	got := c.Region(work, Pool) - c.PoolRegion
+	want := work / float64(c.ThreadsPerRank)
+	if got != want {
+		t.Errorf("parallel work = %v, want %v", got, want)
+	}
+}
+
+func TestSmallModifyOpenMPPenalty(t *testing.T) {
+	// Section 3.3: with tiny atom counts, OpenMP makes the modify stage
+	// take ~10x longer than serial work because the region overhead
+	// dominates. 22 atoms per rank is the strong-scaling end point.
+	c := DefaultCostModel()
+	serial := c.IntegrateTime(22, Serial)
+	omp := c.IntegrateTime(22, OpenMP)
+	if omp < 8*serial {
+		t.Errorf("OpenMP modify %v not ~10x serial %v at small counts", omp, serial)
+	}
+	pool := c.IntegrateTime(22, Pool)
+	if pool >= omp {
+		t.Errorf("pool modify %v not below OpenMP %v", pool, omp)
+	}
+}
+
+func TestPairTimeMonotoneInPairs(t *testing.T) {
+	c := DefaultCostModel()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return c.PairTime(x, Pool) <= c.PairTime(y, Pool)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolBeatsOpenMPForAllWorkloads(t *testing.T) {
+	c := DefaultCostModel()
+	f := func(pairs uint16) bool {
+		return c.PairTime(int(pairs), Pool) < c.PairTime(int(pairs), OpenMP)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBorderBinsCheaper(t *testing.T) {
+	c := DefaultCostModel()
+	n := 1000
+	if c.BorderDecideTime(n, true) >= c.BorderDecideTime(n, false) {
+		t.Error("border bins not cheaper than linear scan")
+	}
+}
+
+func TestPackUnpackScaleWithBytes(t *testing.T) {
+	c := DefaultCostModel()
+	if c.PackTime(2000, Serial) != 2*c.PackTime(1000, Serial) {
+		t.Error("pack not linear in bytes")
+	}
+	if c.UnpackTime(0, Serial) != 0 {
+		t.Error("unpack of 0 bytes should be free in serial mode")
+	}
+}
+
+func TestEAMCostsPositive(t *testing.T) {
+	c := DefaultCostModel()
+	if c.EAMPassTime(100, Pool) <= 0 || c.EAMEmbedTime(100, Pool) <= 0 {
+		t.Error("EAM costs must be positive")
+	}
+}
+
+func TestNeighTime(t *testing.T) {
+	c := DefaultCostModel()
+	small := c.NeighTime(10, 100, Pool)
+	big := c.NeighTime(1000, 100000, Pool)
+	if big <= small {
+		t.Error("neighbor rebuild cost not increasing")
+	}
+}
+
+func TestScanAndThermo(t *testing.T) {
+	c := DefaultCostModel()
+	if c.ScanTime(1000) != 1000*c.ScanPerAtom {
+		t.Error("scan time not linear")
+	}
+	if c.ThermoTime(100) <= c.OutputCost {
+		t.Error("thermo must include per-atom work on top of output cost")
+	}
+}
+
+func TestThreadingString(t *testing.T) {
+	if Serial.String() != "serial" || OpenMP.String() != "openmp" || Pool.String() != "pool" {
+		t.Error("threading names wrong")
+	}
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import "testing"
+
+func TestMSDColdCrystalBounded(t *testing.T) {
+	s := newLJ(t, 0.05)
+	m := NewMSD(s)
+	var last float64
+	for i := 0; i < 4; i++ {
+		s.Run(10)
+		v, err := m.Sample(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = v
+	}
+	// Atoms vibrate but stay on their lattice sites.
+	if last > 0.05 {
+		t.Errorf("cold crystal MSD = %.4f sigma^2, expected bounded vibration", last)
+	}
+}
+
+func TestMSDLiquidGrows(t *testing.T) {
+	s := newLJ(t, 3.0) // hot liquid
+	s.Run(30)          // melt
+	m := NewMSD(s)
+	var first, last float64
+	for i := 0; i < 5; i++ {
+		s.Run(10)
+		v, err := m.Sample(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = v
+		}
+		last = v
+	}
+	if last <= first {
+		t.Errorf("liquid MSD did not grow: %.4f -> %.4f", first, last)
+	}
+	if last < 0.1 {
+		t.Errorf("liquid MSD %.4f suspiciously small", last)
+	}
+}
+
+func TestMSDSurvivesMigration(t *testing.T) {
+	// Sampling across reneighbor/exchange steps must keep tracking atoms
+	// as they change owners and wrap around the box.
+	s := newLJ(t, 3.0)
+	m := NewMSD(s)
+	for i := 0; i < 8; i++ {
+		s.Run(10) // crosses several exchanges at NeighEvery=20
+		if _, err := m.Sample(s); err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+	}
+}

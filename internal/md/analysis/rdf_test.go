@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"tofumd/internal/md/lattice"
+	"tofumd/internal/md/potential"
+	"tofumd/internal/md/sim"
+	"tofumd/internal/units"
+	"tofumd/internal/vec"
+)
+
+func newLJ(t *testing.T, temp float64) *sim.Simulation {
+	t.Helper()
+	m, err := sim.NewMachine(vec.I3{X: 2, Y: 2, Z: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(m, sim.Opt(), sim.Config{
+		UnitsStyle:  units.LJ,
+		Potential:   potential.NewLJ(1, 1, 2.5),
+		Cells:       vec.I3{X: 8, Y: 8, Z: 8},
+		Lat:         lattice.FCCFromDensity(0.8442),
+		Skin:        0.3,
+		NeighEvery:  20,
+		Temperature: temp,
+		Seed:        12,
+		NewtonOn:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestNewRDFValidation(t *testing.T) {
+	s := newLJ(t, 0.1)
+	if _, err := NewRDF(s, 1e6, 100); err == nil {
+		t.Error("rmax beyond half box accepted")
+	}
+	if _, err := NewRDF(s, -1, 100); err == nil {
+		t.Error("negative rmax accepted")
+	}
+	if _, err := NewRDF(s, 2, 1); err == nil {
+		t.Error("single bin accepted")
+	}
+}
+
+func TestCrystalFirstPeakAtNearestNeighbor(t *testing.T) {
+	s := newLJ(t, 0.01) // essentially a perfect crystal
+	r, err := NewRDF(s, 3.0, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Accumulate(s)
+	// FCC nearest-neighbor distance a/sqrt(2), a = (4/0.8442)^(1/3).
+	a := math.Cbrt(4 / 0.8442)
+	want := a / math.Sqrt2
+	if got := r.FirstPeak(); math.Abs(got-want) > 0.05 {
+		t.Errorf("first RDF peak at %.3f, want %.3f", got, want)
+	}
+}
+
+func TestGOfRNormalizedAtLargeR(t *testing.T) {
+	s := newLJ(t, 1.44)
+	s.Run(40) // melt a bit
+	r, err := NewRDF(s, 3.2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Accumulate(s)
+	centers, g := r.Result()
+	// Average g(r) over the outer 20% of the range should be near 1.
+	var sum float64
+	var n int
+	for i, c := range centers {
+		if c > 2.6 {
+			sum += g[i]
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no outer bins")
+	}
+	if avg := sum / float64(n); avg < 0.8 || avg > 1.2 {
+		t.Errorf("g(r->large) = %.3f, want ~1", avg)
+	}
+	// And an excluded core: g ~ 0 below r=0.8.
+	for i, c := range centers {
+		if c < 0.8 && g[i] > 0.01 {
+			t.Errorf("g(%.2f) = %.3f inside the excluded core", c, g[i])
+		}
+	}
+}
+
+func TestMultiFrameAveraging(t *testing.T) {
+	s := newLJ(t, 1.44)
+	r, err := NewRDF(s, 3.0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 3; f++ {
+		r.Accumulate(s)
+		s.Run(5)
+	}
+	_, g := r.Result()
+	var total float64
+	for _, v := range g {
+		total += v
+	}
+	if total <= 0 {
+		t.Error("empty averaged histogram")
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	s := newLJ(t, 1)
+	r, err := NewRDF(s, 3.0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, g := r.Result()
+	for _, v := range g {
+		if v != 0 {
+			t.Error("non-zero g(r) with no frames")
+		}
+	}
+}

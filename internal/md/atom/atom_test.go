@@ -1,0 +1,172 @@
+package atom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tofumd/internal/vec"
+)
+
+func TestAddLocal(t *testing.T) {
+	a := New(4)
+	a.AddLocal(1, 1, vec.V3{X: 1}, vec.V3{Y: 2})
+	a.AddLocal(2, 1, vec.V3{X: 2}, vec.V3{})
+	if a.NLocal != 2 || a.Total() != 2 {
+		t.Errorf("NLocal=%d Total=%d", a.NLocal, a.Total())
+	}
+	if a.X[0].X != 1 || a.V[0].Y != 2 || a.ID[1] != 2 {
+		t.Error("stored values wrong")
+	}
+	if err := a.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddGhostAndClear(t *testing.T) {
+	a := New(4)
+	a.AddLocal(1, 1, vec.V3{}, vec.V3{})
+	idx := a.AddGhost(9, 2, vec.V3{Z: 3})
+	if idx != 1 || a.NGhost != 1 || a.Total() != 2 {
+		t.Errorf("ghost idx=%d NGhost=%d", idx, a.NGhost)
+	}
+	if a.ID[idx] != 9 || a.Type[idx] != 2 || a.X[idx].Z != 3 {
+		t.Error("ghost values wrong")
+	}
+	a.ClearGhosts()
+	if a.NGhost != 0 || a.Total() != 1 || len(a.X) != 1 {
+		t.Error("ClearGhosts incomplete")
+	}
+	if err := a.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddLocalAfterGhostPanics(t *testing.T) {
+	a := New(2)
+	a.AddLocal(1, 1, vec.V3{}, vec.V3{})
+	a.AddGhost(2, 1, vec.V3{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddLocal with ghosts did not panic")
+		}
+	}()
+	a.AddLocal(3, 1, vec.V3{}, vec.V3{})
+}
+
+func TestGrowGhosts(t *testing.T) {
+	a := New(2)
+	a.AddLocal(1, 1, vec.V3{}, vec.V3{})
+	first := a.GrowGhosts(5)
+	if first != 1 || a.NGhost != 5 || a.Total() != 6 {
+		t.Errorf("GrowGhosts: first=%d NGhost=%d", first, a.NGhost)
+	}
+	if err := a.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoveLocalSwaps(t *testing.T) {
+	a := New(4)
+	for i := int64(1); i <= 4; i++ {
+		a.AddLocal(i, 1, vec.V3{X: float64(i)}, vec.V3{})
+	}
+	a.RemoveLocal(1) // atom id 2 removed; id 4 swapped into slot 1
+	if a.NLocal != 3 {
+		t.Fatalf("NLocal = %d", a.NLocal)
+	}
+	if a.ID[1] != 4 || a.X[1].X != 4 {
+		t.Errorf("swap failed: ID[1]=%d", a.ID[1])
+	}
+	if err := a.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemoveLocalPanics(t *testing.T) {
+	a := New(2)
+	a.AddLocal(1, 1, vec.V3{}, vec.V3{})
+	t.Run("out of range", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		a.RemoveLocal(5)
+	})
+	t.Run("with ghosts", func(t *testing.T) {
+		a.AddGhost(2, 1, vec.V3{})
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		a.RemoveLocal(0)
+	})
+}
+
+func TestZeroForces(t *testing.T) {
+	a := New(2)
+	a.AddLocal(1, 1, vec.V3{}, vec.V3{})
+	a.AddGhost(2, 1, vec.V3{})
+	a.F[0] = vec.V3{X: 5}
+	a.F[1] = vec.V3{Y: 7}
+	a.ZeroForces()
+	if a.F[0] != (vec.V3{}) || a.F[1] != (vec.V3{}) {
+		t.Error("forces not zeroed")
+	}
+}
+
+func TestEAMArraysTrackSize(t *testing.T) {
+	a := New(2)
+	a.EnableEAM()
+	a.AddLocal(1, 1, vec.V3{}, vec.V3{})
+	a.AddGhost(2, 1, vec.V3{})
+	if len(a.Rho) != 2 || len(a.Fp) != 2 {
+		t.Errorf("EAM arrays: %d/%d, want 2/2", len(a.Rho), len(a.Fp))
+	}
+	a.Rho[0] = 3
+	a.ZeroRho()
+	if a.Rho[0] != 0 {
+		t.Error("ZeroRho failed")
+	}
+	a.ClearGhosts()
+	if len(a.Rho) != 1 {
+		t.Errorf("EAM arrays after ClearGhosts: %d", len(a.Rho))
+	}
+	if err := a.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after any sequence of adds/removes the invariants hold and the
+// surviving IDs are exactly those not removed.
+func TestMutationInvariantProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a := New(8)
+		next := int64(1)
+		live := map[int64]bool{}
+		for _, op := range ops {
+			if op%3 == 0 || a.NLocal == 0 {
+				a.AddLocal(next, 1, vec.V3{X: float64(next)}, vec.V3{})
+				live[next] = true
+				next++
+			} else {
+				i := int(op) % a.NLocal
+				delete(live, a.ID[i])
+				a.RemoveLocal(i)
+			}
+		}
+		if a.Check() != nil || a.NLocal != len(live) {
+			return false
+		}
+		for i := 0; i < a.NLocal; i++ {
+			if !live[a.ID[i]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,267 @@
+// Package domain implements the spatial domain decomposition of the MD
+// engine: the global periodic box is split into a 3D grid of sub-boxes, one
+// per MPI rank (Fig. 1). It also provides the geometry of ghost-region
+// communication: which neighbor sub-boxes an atom must be sent to, including
+// the 3x3x3 border-bin accelerator of section 3.5.2 and the multi-shell
+// neighborhoods (62/124 neighbors) of the extended experiment (Fig. 15).
+package domain
+
+import (
+	"fmt"
+
+	"tofumd/internal/vec"
+)
+
+// Decomp is the global decomposition.
+type Decomp struct {
+	// Box is the global periodic box lengths.
+	Box vec.V3
+	// Grid is the rank-grid shape.
+	Grid vec.I3
+	// side is the per-axis sub-box side length.
+	side vec.V3
+}
+
+// NewDecomp validates and builds a decomposition.
+func NewDecomp(box vec.V3, grid vec.I3) (*Decomp, error) {
+	if box.X <= 0 || box.Y <= 0 || box.Z <= 0 {
+		return nil, fmt.Errorf("domain: invalid box %+v", box)
+	}
+	if grid.X <= 0 || grid.Y <= 0 || grid.Z <= 0 {
+		return nil, fmt.Errorf("domain: invalid grid %+v", grid)
+	}
+	return &Decomp{
+		Box:  box,
+		Grid: grid,
+		side: box.Div(grid.ToV3()),
+	}, nil
+}
+
+// Side returns the sub-box side lengths.
+func (d *Decomp) Side() vec.V3 { return d.side }
+
+// SubBox returns the half-open region [lo, hi) of the rank at grid
+// coordinate c.
+func (d *Decomp) SubBox(c vec.I3) (lo, hi vec.V3) {
+	lo = d.side.Mul(c.ToV3())
+	hi = d.side.Mul(c.Add(vec.I3{X: 1, Y: 1, Z: 1}).ToV3())
+	return lo, hi
+}
+
+// OwnerCoord returns the grid coordinate owning position x (which must be
+// inside the box; callers wrap first).
+func (d *Decomp) OwnerCoord(x vec.V3) vec.I3 {
+	c := vec.I3{
+		X: int(x.X / d.side.X),
+		Y: int(x.Y / d.side.Y),
+		Z: int(x.Z / d.side.Z),
+	}
+	// Guard the x == Box edge case from float rounding.
+	if c.X >= d.Grid.X {
+		c.X = d.Grid.X - 1
+	}
+	if c.Y >= d.Grid.Y {
+		c.Y = d.Grid.Y - 1
+	}
+	if c.Z >= d.Grid.Z {
+		c.Z = d.Grid.Z - 1
+	}
+	return c
+}
+
+// WrapPosition maps x into the periodic box.
+func (d *Decomp) WrapPosition(x vec.V3) vec.V3 {
+	return vec.V3{
+		X: vec.WrapPBC(x.X, d.Box.X),
+		Y: vec.WrapPBC(x.Y, d.Box.Y),
+		Z: vec.WrapPBC(x.Z, d.Box.Z),
+	}
+}
+
+// ShellsFor returns how many shells of neighbor sub-boxes the communication
+// needs for the given ghost cutoff: 1 when every sub-box side is at least
+// the cutoff (26 neighbors), 2 when the cutoff exceeds a side (the Fig. 15
+// regime with 62/124 neighbors), and so on.
+func (d *Decomp) ShellsFor(cutoff float64) int {
+	shells := 1
+	for _, side := range []float64{d.side.X, d.side.Y, d.side.Z} {
+		need := int((cutoff-1e-12)/side) + 1
+		if need > shells {
+			shells = need
+		}
+	}
+	return shells
+}
+
+// Directions enumerates the neighbor offsets of an s-shell neighborhood:
+// all non-zero offsets in {-s..s}^3. One shell gives 26, two give 124.
+func Directions(shells int) []vec.I3 {
+	var out []vec.I3
+	for dz := -shells; dz <= shells; dz++ {
+		for dy := -shells; dy <= shells; dy++ {
+			for dx := -shells; dx <= shells; dx++ {
+				if dx == 0 && dy == 0 && dz == 0 {
+					continue
+				}
+				out = append(out, vec.I3{X: dx, Y: dy, Z: dz})
+			}
+		}
+	}
+	return out
+}
+
+// UpperHalf reports whether direction d is in the "upper" half of the
+// neighborhood under the lexicographic (z, y, x) order. With Newton's 3rd
+// law enabled, a rank receives ghosts only from its upper-half neighbors
+// and sends its border atoms to the lower half (Fig. 5): 13 of 26 for one
+// shell, 62 of 124 for two.
+func UpperHalf(d vec.I3) bool {
+	if d.Z != 0 {
+		return d.Z > 0
+	}
+	if d.Y != 0 {
+		return d.Y > 0
+	}
+	return d.X > 0
+}
+
+// HalfDirections returns the upper-half directions of an s-shell
+// neighborhood: 13 for one shell, 62 for two.
+func HalfDirections(shells int) []vec.I3 {
+	var out []vec.I3
+	for _, d := range Directions(shells) {
+		if UpperHalf(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// SendQualifier decides which neighbor sub-boxes an atom must be sent to as
+// a ghost: the atom qualifies for direction d when its distance to rank
+// (c + d)'s sub-box is within the ghost cutoff. It precomputes per-axis
+// thresholds so the per-atom test is a handful of comparisons.
+type SendQualifier struct {
+	lo, hi  vec.V3
+	side    vec.V3
+	cutoff  float64
+	shells  int
+	binEdge [3][2]float64 // border-bin thresholds per axis: [axis][lo slab end, hi slab start]
+	binsOK  bool
+}
+
+// NewSendQualifier builds the qualifier for one rank's sub-box.
+func NewSendQualifier(lo, hi, side vec.V3, cutoff float64, shells int) *SendQualifier {
+	q := &SendQualifier{lo: lo, hi: hi, side: side, cutoff: cutoff, shells: shells}
+	// Border bins are exact only when the low and high slabs of each axis
+	// do not overlap (sub-box side >= 2*cutoff) and one shell suffices.
+	q.binsOK = shells == 1 &&
+		side.X >= 2*cutoff && side.Y >= 2*cutoff && side.Z >= 2*cutoff
+	q.binEdge[0] = [2]float64{lo.X + cutoff, hi.X - cutoff}
+	q.binEdge[1] = [2]float64{lo.Y + cutoff, hi.Y - cutoff}
+	q.binEdge[2] = [2]float64{lo.Z + cutoff, hi.Z - cutoff}
+	return q
+}
+
+// BinsUsable reports whether the 3x3x3 border-bin fast path is exact for
+// this sub-box geometry.
+func (q *SendQualifier) BinsUsable() bool { return q.binsOK }
+
+// axisQualifies reports whether coordinate x (on one axis with sub-box
+// [lo,hi) and side s) is within cutoff of the neighbor box at offset d.
+func axisQualifies(x, lo, hi, s, cutoff float64, d int) bool {
+	switch {
+	case d == 0:
+		return true
+	case d > 0:
+		// Neighbor box starts at hi + (d-1)*s.
+		return x >= hi+float64(d-1)*s-cutoff
+	default:
+		// Neighbor box ends at lo + (d+1)*s.
+		return x < lo+float64(d+1)*s+cutoff
+	}
+}
+
+// Qualifies reports whether an atom at x must be sent to the neighbor at
+// offset d.
+func (q *SendQualifier) Qualifies(x vec.V3, d vec.I3) bool {
+	return axisQualifies(x.X, q.lo.X, q.hi.X, q.side.X, q.cutoff, d.X) &&
+		axisQualifies(x.Y, q.lo.Y, q.hi.Y, q.side.Y, q.cutoff, d.Y) &&
+		axisQualifies(x.Z, q.lo.Z, q.hi.Z, q.side.Z, q.cutoff, d.Z)
+}
+
+// Bin returns the 3x3x3 border-bin index of an atom (0..26) when the bin
+// fast path is usable: per axis, 0 = low slab, 1 = interior, 2 = high slab.
+func (q *SendQualifier) Bin(x vec.V3) int {
+	b := func(v float64, e [2]float64) int {
+		if v < e[0] {
+			return 0
+		}
+		if v >= e[1] {
+			return 2
+		}
+		return 1
+	}
+	return b(x.X, q.binEdge[0]) + 3*b(x.Y, q.binEdge[1]) + 9*b(x.Z, q.binEdge[2])
+}
+
+// BinDirections returns, for each of the 27 border bins, the list of
+// one-shell neighbor directions that atoms in the bin must be sent to. The
+// mapping is computed once during setup (section 3.5.2) so per-atom routing
+// is a single bin lookup.
+func (q *SendQualifier) BinDirections(dirs []vec.I3) [27][]vec.I3 {
+	var out [27][]vec.I3
+	match := func(bin, d int) bool {
+		// Bin component 0 reaches d=-1, component 2 reaches d=+1,
+		// interior reaches only d=0; d=0 always matches.
+		switch d {
+		case 0:
+			return true
+		case 1:
+			return bin == 2
+		default:
+			return bin == 0
+		}
+	}
+	for bz := 0; bz < 3; bz++ {
+		for by := 0; by < 3; by++ {
+			for bx := 0; bx < 3; bx++ {
+				idx := bx + 3*by + 9*bz
+				for _, d := range dirs {
+					if match(bx, d.X) && match(by, d.Y) && match(bz, d.Z) {
+						out[idx] = append(out[idx], d)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// PBCShift returns the position shift a ghost atom sent in direction d must
+// carry when the receiving rank sits across a periodic boundary: the
+// receiver at grid coordinate c+d sees the atom offset by -d_wrap * Box on
+// each wrapped axis. srcCoord is the sender's grid coordinate.
+func (d *Decomp) PBCShift(srcCoord, dir vec.I3) vec.V3 {
+	// When the target wraps past the high edge the receiver sits at a low
+	// coordinate, so the ghost must appear below the box (shift -Box); the
+	// mirror case shifts +Box.
+	axis := func(c, dd, n int, box float64) float64 {
+		t := c + dd
+		s := 0.0
+		for t < 0 {
+			s += box
+			t += n
+		}
+		for t >= n {
+			s -= box
+			t -= n
+		}
+		return s
+	}
+	return vec.V3{
+		X: axis(srcCoord.X, dir.X, d.Grid.X, d.Box.X),
+		Y: axis(srcCoord.Y, dir.Y, d.Grid.Y, d.Box.Y),
+		Z: axis(srcCoord.Z, dir.Z, d.Grid.Z, d.Box.Z),
+	}
+}

@@ -1,0 +1,140 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tofumd/internal/vec"
+)
+
+func TestFCCFromDensity(t *testing.T) {
+	f := FCCFromDensity(0.8442)
+	// 4 atoms per cell of volume A^3 must give the requested density.
+	got := 4 / (f.A * f.A * f.A)
+	if math.Abs(got-0.8442) > 1e-12 {
+		t.Errorf("density = %v", got)
+	}
+}
+
+func TestCountAndBox(t *testing.T) {
+	f := FCCFromConstant(3.615)
+	cells := vec.I3{X: 3, Y: 4, Z: 5}
+	if f.Count(cells) != 4*60 {
+		t.Errorf("Count = %d", f.Count(cells))
+	}
+	box := f.BoxFor(cells)
+	if math.Abs(box.X-3*3.615) > 1e-12 || math.Abs(box.Z-5*3.615) > 1e-12 {
+		t.Errorf("box = %+v", box)
+	}
+}
+
+func TestSitesInRegionFullBox(t *testing.T) {
+	f := FCCFromDensity(1)
+	cells := vec.I3{X: 3, Y: 3, Z: 3}
+	box := f.BoxFor(cells)
+	sites := f.SitesInRegion(cells, vec.V3{}, box)
+	if len(sites) != f.Count(cells) {
+		t.Errorf("full-box sites = %d, want %d", len(sites), f.Count(cells))
+	}
+	// IDs must be unique and positive.
+	seen := map[int64]bool{}
+	for _, s := range sites {
+		if s.ID <= 0 || seen[s.ID] {
+			t.Fatalf("bad or duplicate id %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+// Property: any partition of the box into slabs yields exactly the full
+// site set with no duplicates — the guarantee the domain decomposition
+// relies on.
+func TestSitesPartitionProperty(t *testing.T) {
+	f := FCCFromDensity(0.8442)
+	cells := vec.I3{X: 4, Y: 4, Z: 4}
+	box := f.BoxFor(cells)
+	full := f.SitesInRegion(cells, vec.V3{}, box)
+	check := func(cutFrac float64) bool {
+		cut := box.X * cutFrac
+		a := f.SitesInRegion(cells, vec.V3{}, vec.V3{X: cut, Y: box.Y, Z: box.Z})
+		b := f.SitesInRegion(cells, vec.V3{X: cut}, box)
+		if len(a)+len(b) != len(full) {
+			return false
+		}
+		seen := map[int64]bool{}
+		for _, s := range append(a, b...) {
+			if seen[s.ID] {
+				return false
+			}
+			seen[s.ID] = true
+		}
+		return true
+	}
+	f2 := func(v float64) bool {
+		frac := math.Mod(math.Abs(v), 1)
+		return check(frac)
+	}
+	if err := quick.Check(f2, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellsForAtoms(t *testing.T) {
+	c := CellsForAtoms(65536)
+	n := 4 * c.Prod()
+	if n < 50000 || n > 80000 {
+		t.Errorf("CellsForAtoms(65536) -> %d atoms", n)
+	}
+	if CellsForAtoms(1) != (vec.I3{X: 1, Y: 1, Z: 1}) {
+		t.Error("tiny request must give at least one cell")
+	}
+}
+
+func TestCellsForAtomsOnGrid(t *testing.T) {
+	grid := vec.I3{X: 16, Y: 24, Z: 8}
+	c := CellsForAtomsOnGrid(65536, grid)
+	n := 4 * c.Prod()
+	if n < 55000 || n > 75000 {
+		t.Errorf("grid-proportional cells give %d atoms", n)
+	}
+	// The per-rank sub-box must be (nearly) cubic: cells/grid equal ratios.
+	rx := float64(c.X) / float64(grid.X)
+	ry := float64(c.Y) / float64(grid.Y)
+	rz := float64(c.Z) / float64(grid.Z)
+	if math.Abs(rx-ry) > 0.3 || math.Abs(rx-rz) > 0.3 {
+		t.Errorf("anisotropic sub-boxes: ratios %.2f %.2f %.2f", rx, ry, rz)
+	}
+}
+
+func TestVelocityDeterministicByID(t *testing.T) {
+	v1 := Velocity(42, 1.44, 1, 1, 1, 7)
+	v2 := Velocity(42, 1.44, 1, 1, 1, 7)
+	if v1 != v2 {
+		t.Error("velocity not deterministic")
+	}
+	v3 := Velocity(43, 1.44, 1, 1, 1, 7)
+	if v1 == v3 {
+		t.Error("different atoms share velocity")
+	}
+	v4 := Velocity(42, 1.44, 1, 1, 1, 8)
+	if v1 == v4 {
+		t.Error("different seeds share velocity")
+	}
+}
+
+func TestVelocityTemperatureScaling(t *testing.T) {
+	// <v^2> should scale linearly with T.
+	sum2 := func(temp float64) float64 {
+		var s float64
+		for id := int64(1); id <= 3000; id++ {
+			v := Velocity(id, temp, 1, 1, 1, 1)
+			s += v.Norm2()
+		}
+		return s / 3000
+	}
+	a, b := sum2(1), sum2(4)
+	if b/a < 3.5 || b/a > 4.5 {
+		t.Errorf("<v^2> ratio = %v, want ~4", b/a)
+	}
+}

@@ -1,0 +1,219 @@
+// Package neighbor builds Verlet neighbor lists over binned atoms, in the
+// three flavors the paper's experiments need:
+//
+//   - HalfNewton: the LAMMPS default with Newton's 3rd law on and a full
+//     surrounding ghost shell (3-stage communication). Local pairs are
+//     stored once (j > i); pairs with ghosts use a coordinate tie-break so
+//     exactly one of the two owning ranks computes each cross-boundary pair.
+//   - HalfShell: the p2p pattern of Fig. 5, where ghosts exist only from
+//     the upper-half neighbors; every local-ghost pair is stored
+//     unconditionally and the force flows back in the reverse stage.
+//   - Full: every neighbor of every local atom (Newton off, or potentials
+//     like Tersoff/DeePMD that need full lists, section 4.4).
+//
+// Lists are built with cutoff = force cutoff + skin and reused until an
+// atom moves more than half the skin (the "check yes" trigger of Table 2)
+// or a forced rebuild interval expires.
+package neighbor
+
+import (
+	"math"
+
+	"tofumd/internal/md/atom"
+	"tofumd/internal/vec"
+)
+
+// Mode selects the list flavor.
+type Mode int
+
+const (
+	// HalfNewton is the full-ghost-shell half list (3-stage pattern).
+	HalfNewton Mode = iota
+	// HalfShell is the upper-half-ghost half list (p2p pattern).
+	HalfShell
+	// Full stores both directions of every pair.
+	Full
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case HalfNewton:
+		return "half-newton"
+	case HalfShell:
+		return "half-shell"
+	default:
+		return "full"
+	}
+}
+
+// List is a compressed neighbor list: the neighbors of local atom i are
+// Neigh[Start[i]:Start[i+1]].
+type List struct {
+	Mode  Mode
+	Start []int32
+	Neigh []int32
+	// Candidates counts distance checks performed during the build (the
+	// cost-model input).
+	Candidates int
+}
+
+// Pairs returns the stored pair count.
+func (l *List) Pairs() int { return len(l.Neigh) }
+
+// NeighborsOf returns the neighbor slice of local atom i.
+func (l *List) NeighborsOf(i int) []int32 {
+	return l.Neigh[l.Start[i]:l.Start[i+1]]
+}
+
+// upper reports whether position b is "above" a in the lexicographic
+// (z, y, x) order used to assign cross-boundary pairs to exactly one rank.
+func upper(a, b vec.V3) bool {
+	if b.Z != a.Z {
+		return b.Z > a.Z
+	}
+	if b.Y != a.Y {
+		return b.Y > a.Y
+	}
+	return b.X > a.X
+}
+
+// Build constructs the neighbor list for the rank's atoms. The bin grid
+// covers locals and ghosts; cutoff is the neighbor cutoff (force cutoff +
+// skin).
+func Build(a *atom.Arrays, cutoff float64, mode Mode) *List {
+	n := a.Total()
+	l := &List{Mode: mode, Start: make([]int32, a.NLocal+1)}
+	if a.NLocal == 0 {
+		return l
+	}
+	cut2 := cutoff * cutoff
+
+	// Compute the bounding box of all stored atoms.
+	lo, hi := a.X[0], a.X[0]
+	for _, x := range a.X[:n] {
+		lo.X = math.Min(lo.X, x.X)
+		lo.Y = math.Min(lo.Y, x.Y)
+		lo.Z = math.Min(lo.Z, x.Z)
+		hi.X = math.Max(hi.X, x.X)
+		hi.Y = math.Max(hi.Y, x.Y)
+		hi.Z = math.Max(hi.Z, x.Z)
+	}
+	// Bin extent >= cutoff so neighbors live in the 27 surrounding bins.
+	nb := func(span float64) int {
+		k := int(span / cutoff)
+		if k < 1 {
+			k = 1
+		}
+		return k
+	}
+	bx, by, bz := nb(hi.X-lo.X), nb(hi.Y-lo.Y), nb(hi.Z-lo.Z)
+	inv := vec.V3{
+		X: float64(bx) / math.Max(hi.X-lo.X, 1e-300),
+		Y: float64(by) / math.Max(hi.Y-lo.Y, 1e-300),
+		Z: float64(bz) / math.Max(hi.Z-lo.Z, 1e-300),
+	}
+	binOf := func(x vec.V3) int {
+		cx := clamp(int((x.X-lo.X)*inv.X), 0, bx-1)
+		cy := clamp(int((x.Y-lo.Y)*inv.Y), 0, by-1)
+		cz := clamp(int((x.Z-lo.Z)*inv.Z), 0, bz-1)
+		return cx + bx*(cy+by*cz)
+	}
+	// Counting sort into bins.
+	nbins := bx * by * bz
+	count := make([]int32, nbins+1)
+	binIdx := make([]int32, n)
+	for i := 0; i < n; i++ {
+		b := binOf(a.X[i])
+		binIdx[i] = int32(b)
+		count[b+1]++
+	}
+	for b := 0; b < nbins; b++ {
+		count[b+1] += count[b]
+	}
+	order := make([]int32, n)
+	fill := make([]int32, nbins)
+	for i := 0; i < n; i++ {
+		b := binIdx[i]
+		order[count[b]+fill[b]] = int32(i)
+		fill[b]++
+	}
+
+	for i := 0; i < a.NLocal; i++ {
+		l.Start[i] = int32(len(l.Neigh))
+		xi := a.X[i]
+		cx := clamp(int((xi.X-lo.X)*inv.X), 0, bx-1)
+		cy := clamp(int((xi.Y-lo.Y)*inv.Y), 0, by-1)
+		cz := clamp(int((xi.Z-lo.Z)*inv.Z), 0, bz-1)
+		for dz := -1; dz <= 1; dz++ {
+			z := cz + dz
+			if z < 0 || z >= bz {
+				continue
+			}
+			for dy := -1; dy <= 1; dy++ {
+				y := cy + dy
+				if y < 0 || y >= by {
+					continue
+				}
+				for dx := -1; dx <= 1; dx++ {
+					x := cx + dx
+					if x < 0 || x >= bx {
+						continue
+					}
+					b := x + bx*(y+by*z)
+					for _, j32 := range order[count[b]:count[b+1]] {
+						j := int(j32)
+						if j == i {
+							continue
+						}
+						switch mode {
+						case HalfNewton:
+							if j < a.NLocal {
+								if j < i {
+									continue
+								}
+							} else if !upper(xi, a.X[j]) {
+								continue
+							}
+						case HalfShell:
+							if j < a.NLocal && j < i {
+								continue
+							}
+						}
+						l.Candidates++
+						d := a.X[j].Sub(xi)
+						if d.Norm2() <= cut2 {
+							l.Neigh = append(l.Neigh, j32)
+						}
+					}
+				}
+			}
+		}
+	}
+	l.Start[a.NLocal] = int32(len(l.Neigh))
+	return l
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// MaxDisplacement2 returns the squared maximum displacement of locals from
+// their positions at the last rebuild; the "check yes" trigger compares it
+// against (skin/2)^2.
+func MaxDisplacement2(cur, hold []vec.V3, nLocal int) float64 {
+	var max float64
+	for i := 0; i < nLocal; i++ {
+		d := cur[i].Sub(hold[i]).Norm2()
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

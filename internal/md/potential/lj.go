@@ -1,0 +1,95 @@
+package potential
+
+import (
+	"tofumd/internal/md/atom"
+	"tofumd/internal/md/neighbor"
+)
+
+// LJ is the Lennard-Jones 12-6 pair potential (Equation 1 of the paper)
+// with sigma = epsilon = 1 in the benchmark configuration (Table 2).
+type LJ struct {
+	Epsilon, Sigma float64
+	// Cut is the force cutoff (2.5 sigma in the benchmark).
+	Cut float64
+	// AtomMass is the particle mass (1 in lj units).
+	AtomMass float64
+	// FullList forces a full neighbor list, modeling potentials that need
+	// one (the 26/124-message scenarios of Fig. 15).
+	FullList bool
+
+	lj1, lj2 float64 // force coefficients
+	lj3, lj4 float64 // energy coefficients
+	cut2     float64
+}
+
+// NewLJ builds the potential with precomputed coefficients.
+func NewLJ(epsilon, sigma, cut float64) *LJ {
+	s6 := sigma * sigma * sigma * sigma * sigma * sigma
+	s12 := s6 * s6
+	return &LJ{
+		Epsilon:  epsilon,
+		Sigma:    sigma,
+		Cut:      cut,
+		AtomMass: 1,
+		lj1:      48 * epsilon * s12,
+		lj2:      24 * epsilon * s6,
+		lj3:      4 * epsilon * s12,
+		lj4:      4 * epsilon * s6,
+		cut2:     cut * cut,
+	}
+}
+
+// Name implements Pair.
+func (l *LJ) Name() string {
+	if l.FullList {
+		return "lj/cut/full"
+	}
+	return "lj/cut"
+}
+
+// Cutoff implements Pair.
+func (l *LJ) Cutoff() float64 { return l.Cut }
+
+// Mass implements Pair.
+func (l *LJ) Mass() float64 { return l.AtomMass }
+
+// NeedsFullList implements Pair.
+func (l *LJ) NeedsFullList() bool { return l.FullList }
+
+// Compute implements Pair. With a half list each pair appears once and the
+// reaction force is accumulated on j; with a full list each pair appears
+// twice (once per endpoint) and only i receives force, with energy and
+// virial halved.
+func (l *LJ) Compute(a *atom.Arrays, nl *neighbor.List) Result {
+	var res Result
+	half := nl.Mode != neighbor.Full
+	for i := 0; i < a.NLocal; i++ {
+		xi := a.X[i]
+		fi := a.F[i]
+		for _, j32 := range nl.NeighborsOf(i) {
+			j := int(j32)
+			d := xi.Sub(a.X[j])
+			r2 := d.Norm2()
+			if r2 > l.cut2 {
+				continue
+			}
+			res.Interactions++
+			inv2 := 1 / r2
+			inv6 := inv2 * inv2 * inv2
+			fpair := inv6 * (l.lj1*inv6 - l.lj2) * inv2
+			fv := d.Scale(fpair)
+			fi = fi.Add(fv)
+			e := inv6 * (l.lj3*inv6 - l.lj4)
+			if half {
+				a.F[j] = a.F[j].Sub(fv)
+				res.PotentialEnergy += e
+				res.Virial += r2 * fpair
+			} else {
+				res.PotentialEnergy += 0.5 * e
+				res.Virial += 0.5 * r2 * fpair
+			}
+		}
+		a.F[i] = fi
+	}
+	return res
+}

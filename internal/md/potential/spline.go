@@ -1,0 +1,79 @@
+package potential
+
+import "fmt"
+
+// Spline is a natural cubic spline over uniformly spaced samples, the
+// interpolation LAMMPS applies to tabulated EAM potentials (the Cu_u3.eam
+// file of Table 2 is a table; our analytic copper EAM is tabulated the same
+// way so the code path matches).
+type Spline struct {
+	x0, dx float64
+	n      int
+	// Coefficients per interval: y = a + b*t + c*t^2 + d*t^3, t = x - x_i.
+	a, b, c, d []float64
+}
+
+// NewSpline fits a natural cubic spline through the samples y[i] taken at
+// x0 + i*dx.
+func NewSpline(x0, dx float64, y []float64) (*Spline, error) {
+	n := len(y)
+	if n < 3 {
+		return nil, fmt.Errorf("potential: spline needs >= 3 samples, got %d", n)
+	}
+	if dx <= 0 {
+		return nil, fmt.Errorf("potential: spline dx %v <= 0", dx)
+	}
+	// Solve the tridiagonal system for second derivatives (natural BC).
+	m := make([]float64, n) // second derivatives / 2 staging
+	l := make([]float64, n)
+	mu := make([]float64, n)
+	z := make([]float64, n)
+	l[0] = 1
+	for i := 1; i < n-1; i++ {
+		alpha := 3*(y[i+1]-y[i])/dx - 3*(y[i]-y[i-1])/dx
+		l[i] = 4*dx - dx*mu[i-1]
+		mu[i] = dx / l[i]
+		z[i] = (alpha - dx*z[i-1]) / l[i]
+	}
+	l[n-1] = 1
+	c := make([]float64, n)
+	b := make([]float64, n)
+	d := make([]float64, n)
+	for j := n - 2; j >= 0; j-- {
+		c[j] = z[j] - mu[j]*c[j+1]
+		b[j] = (y[j+1]-y[j])/dx - dx*(c[j+1]+2*c[j])/3
+		d[j] = (c[j+1] - c[j]) / (3 * dx)
+	}
+	_ = m
+	return &Spline{x0: x0, dx: dx, n: n, a: append([]float64(nil), y...), b: b, c: c, d: d}, nil
+}
+
+// Eval returns the spline value and first derivative at x; x is clamped to
+// the table range.
+func (s *Spline) Eval(x float64) (y, dy float64) {
+	t := (x - s.x0) / s.dx
+	i := int(t)
+	if i < 0 {
+		i = 0
+	}
+	if i > s.n-2 {
+		i = s.n - 2
+	}
+	u := x - (s.x0 + float64(i)*s.dx)
+	y = s.a[i] + u*(s.b[i]+u*(s.c[i]+u*s.d[i]))
+	dy = s.b[i] + u*(2*s.c[i]+3*u*s.d[i])
+	return y, dy
+}
+
+// Tabulate samples fn at n uniform points over [x0, x1] and fits a spline.
+func Tabulate(fn func(float64) float64, x0, x1 float64, n int) (*Spline, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("potential: tabulate needs >= 3 points")
+	}
+	dx := (x1 - x0) / float64(n-1)
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = fn(x0 + float64(i)*dx)
+	}
+	return NewSpline(x0, dx, y)
+}

@@ -1,0 +1,221 @@
+package potential
+
+import (
+	"math"
+
+	"tofumd/internal/md/atom"
+	"tofumd/internal/md/neighbor"
+	"tofumd/internal/vec"
+)
+
+// Tersoff is the Tersoff bond-order potential for silicon (J. Tersoff,
+// PRB 38, 9902 (1988)) — the class of potential the paper's extended
+// experiment (section 4.4) names as requiring a *full* neighbor list, which
+// forces every rank to communicate with all 26 neighbors:
+//
+//	E   = 1/2 sum_{i,j != i} fC(r_ij) [ fR(r_ij) + b_ij fA(r_ij) ]
+//	b_ij = (1 + (beta zeta_ij)^n)^(-1/(2n))
+//	zeta_ij = sum_{k != i,j} fC(r_ik) g(theta_ijk) exp(lam3^3 (r_ij-r_ik)^3)
+//	g(t) = gamma (1 + c^2/d^2 - c^2/(d^2 + (h - cos t)^2))
+//
+// The bond order b_ij of pair (i,j) depends on every other neighbor k of i,
+// so each ordered pair is evaluated once by the rank owning i, forces land
+// on i, j and k (the latter two possibly ghosts), and the reverse stage
+// carries ghost forces home: full list + Newton on, exactly LAMMPS's
+// requirement for pair_style tersoff.
+type Tersoff struct {
+	// Standard parameter set (defaults are silicon).
+	A, B     float64 // eV
+	Lambda1  float64 // 1/A (repulsive decay)
+	Lambda2  float64 // 1/A (attractive decay)
+	Lambda3  float64 // 1/A (zeta distance coupling, m = 3)
+	Beta     float64
+	N        float64
+	C, D, H  float64 // angular term (H = cos theta_0)
+	R, DD    float64 // cutoff center and half-width: fC ends at R+DD
+	Gamma    float64
+	AtomMass float64
+}
+
+// NewTersoffSi returns the silicon parameterization (LAMMPS Si.tersoff).
+func NewTersoffSi() *Tersoff {
+	return &Tersoff{
+		A:        1830.8,
+		B:        471.18,
+		Lambda1:  2.4799,
+		Lambda2:  1.7322,
+		Lambda3:  1.3258,
+		Beta:     1.1e-6,
+		N:        0.78734,
+		C:        1.0039e5,
+		D:        16.217,
+		H:        -0.59825,
+		R:        2.85,
+		DD:       0.15,
+		Gamma:    1.0,
+		AtomMass: 28.0855,
+	}
+}
+
+// Name implements Pair.
+func (t *Tersoff) Name() string { return "tersoff" }
+
+// Cutoff implements Pair.
+func (t *Tersoff) Cutoff() float64 { return t.R + t.DD }
+
+// Mass implements Pair.
+func (t *Tersoff) Mass() float64 { return t.AtomMass }
+
+// NeedsFullList implements Pair: the bond order needs every neighbor of i.
+func (t *Tersoff) NeedsFullList() bool { return true }
+
+// fc is the smooth cutoff function and its derivative.
+func (t *Tersoff) fc(r float64) (f, df float64) {
+	switch {
+	case r < t.R-t.DD:
+		return 1, 0
+	case r > t.R+t.DD:
+		return 0, 0
+	default:
+		arg := math.Pi / (2 * t.DD) * (r - t.R)
+		return 0.5 - 0.5*math.Sin(arg), -math.Pi / (4 * t.DD) * math.Cos(arg)
+	}
+}
+
+// g is the angular function and its derivative w.r.t. cos(theta).
+func (t *Tersoff) g(cos float64) (g, dg float64) {
+	hc := t.H - cos
+	den := t.D*t.D + hc*hc
+	g = t.Gamma * (1 + t.C*t.C/(t.D*t.D) - t.C*t.C/den)
+	dg = -2 * t.Gamma * t.C * t.C * hc / (den * den)
+	return g, dg
+}
+
+// bond returns b(zeta) and db/dzeta.
+func (t *Tersoff) bond(zeta float64) (b, db float64) {
+	if zeta <= 0 {
+		return 1, 0
+	}
+	bz := math.Pow(t.Beta*zeta, t.N)
+	base := 1 + bz
+	b = math.Pow(base, -1/(2*t.N))
+	db = -0.5 * b / base * bz / zeta
+	return b, db
+}
+
+// Compute implements Pair over a full neighbor list. Forces accumulate on
+// i, j and k; ghost contributions are returned home by the caller's reverse
+// stage.
+func (t *Tersoff) Compute(a *atom.Arrays, nl *neighbor.List) Result {
+	var res Result
+	cut := t.Cutoff()
+	cut2 := cut * cut
+	lam3cube := t.Lambda3 * t.Lambda3 * t.Lambda3
+
+	for i := 0; i < a.NLocal; i++ {
+		xi := a.X[i]
+		neigh := nl.NeighborsOf(i)
+		for _, j32 := range neigh {
+			j := int(j32)
+			u := a.X[j].Sub(xi) // i -> j
+			r2 := u.Norm2()
+			if r2 > cut2 {
+				continue
+			}
+			res.Interactions++
+			r := math.Sqrt(r2)
+			uh := u.Scale(1 / r)
+			fcR, dfcR := t.fc(r)
+			fR := t.A * math.Exp(-t.Lambda1*r)
+			fA := -t.B * math.Exp(-t.Lambda2*r)
+			dfR := -t.Lambda1 * fR
+			dfA := -t.Lambda2 * fA
+
+			// zeta over the other neighbors of i.
+			type kterm struct {
+				k             int
+				v             vec.V3
+				s             float64
+				fcS, dfcS     float64
+				gv, dgv       float64
+				cos           float64
+				x, dxdr, dxds float64 // exp factor and its r/s derivatives
+			}
+			var zeta float64
+			var kts []kterm
+			for _, k32 := range neigh {
+				k := int(k32)
+				if k == j {
+					continue
+				}
+				v := a.X[k].Sub(xi)
+				s2 := v.Norm2()
+				if s2 > cut2 {
+					continue
+				}
+				s := math.Sqrt(s2)
+				fcS, dfcS := t.fc(s)
+				if fcS == 0 {
+					continue
+				}
+				cos := u.Dot(v) / (r * s)
+				gv, dgv := t.g(cos)
+				diff := r - s
+				ex := math.Exp(lam3cube * diff * diff * diff)
+				dx := 3 * lam3cube * diff * diff * ex
+				kts = append(kts, kterm{
+					k: k, v: v, s: s, fcS: fcS, dfcS: dfcS,
+					gv: gv, dgv: dgv, cos: cos,
+					x: ex, dxdr: dx, dxds: -dx,
+				})
+				zeta += fcS * gv * ex
+			}
+			b, db := t.bond(zeta)
+
+			// Energy: each ordered pair carries half the bond energy.
+			e := 0.5 * fcR * (fR + b*fA)
+			res.PotentialEnergy += e
+
+			// Pairwise radial force: d/dr of the explicit r terms, plus the
+			// zeta terms' explicit r dependence (the exp factor).
+			fpair := 0.5 * (dfcR*(fR+b*fA) + fcR*(dfR+b*dfA))
+			dEdZ := 0.5 * fcR * fA * db // dE/dzeta
+			var dZdr float64
+			for _, kt := range kts {
+				dZdr += kt.fcS * kt.gv * kt.dxdr
+			}
+			fpair += dEdZ * dZdr
+
+			// F_a = -dE/dx_a. r grows when j recedes: force on j along -uh.
+			fj := uh.Scale(-fpair)
+			fi := uh.Scale(fpair)
+
+			// Three-body terms through zeta.
+			for _, kt := range kts {
+				vh := kt.v.Scale(1 / kt.s)
+				// d zeta / d s (cutoff and exp factors).
+				dZds := kt.dfcS*kt.gv*kt.x + kt.fcS*kt.gv*kt.dxds
+				// d zeta / d cos.
+				dZdc := kt.fcS * kt.dgv * kt.x
+				// Gradients of cos w.r.t. u and v.
+				dcdu := kt.v.Scale(1 / (r * kt.s)).Sub(u.Scale(kt.cos / (r * r)))
+				dcdv := u.Scale(1 / (r * kt.s)).Sub(kt.v.Scale(kt.cos / (kt.s * kt.s)))
+
+				gk := vh.Scale(dZds).Add(dcdv.Scale(dZdc)) // d zeta / d v
+				gj := dcdu.Scale(dZdc)                     // d zeta / d u (beyond radial)
+
+				fk := gk.Scale(-dEdZ)
+				fjExtra := gj.Scale(-dEdZ)
+				fj = fj.Add(fjExtra)
+				fi = fi.Sub(fk).Sub(fjExtra)
+
+				a.F[kt.k] = a.F[kt.k].Add(fk)
+				res.Virial += kt.v.Dot(fk)
+			}
+			a.F[i] = a.F[i].Add(fi)
+			a.F[j] = a.F[j].Add(fj)
+			res.Virial += u.Dot(fj)
+		}
+	}
+	return res
+}

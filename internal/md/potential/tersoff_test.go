@@ -1,0 +1,209 @@
+package potential
+
+import (
+	"math"
+	"testing"
+
+	"tofumd/internal/md/atom"
+	"tofumd/internal/md/neighbor"
+	"tofumd/internal/vec"
+	"tofumd/internal/xrand"
+)
+
+func tersoffCluster(pts []vec.V3) (*atom.Arrays, *neighbor.List) {
+	a := atom.New(len(pts))
+	for i, p := range pts {
+		a.AddLocal(int64(i+1), 1, p, vec.V3{})
+	}
+	return a, neighbor.Build(a, 3.2, neighbor.Full)
+}
+
+func TestTersoffDimer(t *testing.T) {
+	ts := NewTersoffSi()
+	r := 2.35 // Si bond length
+	a, nl := tersoffCluster([]vec.V3{{}, {X: r}})
+	res := ts.Compute(a, nl)
+	// With no third atom, zeta = 0, b = 1:
+	// E = 2 * 1/2 * fC [fR + fA] = fC (A e^-l1 r - B e^-l2 r).
+	fc, _ := ts.fc(r)
+	want := fc * (ts.A*math.Exp(-ts.Lambda1*r) - ts.B*math.Exp(-ts.Lambda2*r))
+	if math.Abs(res.PotentialEnergy-want) > 1e-10 {
+		t.Errorf("dimer E = %v, want %v", res.PotentialEnergy, want)
+	}
+	if a.F[0].Add(a.F[1]).Norm() > 1e-10 {
+		t.Error("dimer momentum not conserved")
+	}
+}
+
+func TestTersoffBeyondCutoff(t *testing.T) {
+	ts := NewTersoffSi()
+	a, nl := tersoffCluster([]vec.V3{{}, {X: 3.1}})
+	res := ts.Compute(a, nl)
+	if res.PotentialEnergy != 0 {
+		t.Errorf("E = %v beyond the 3.0 A cutoff", res.PotentialEnergy)
+	}
+}
+
+func TestTersoffMomentumConservation(t *testing.T) {
+	ts := NewTersoffSi()
+	rng := xrand.New(5)
+	var pts []vec.V3
+	for i := 0; i < 12; i++ {
+		pts = append(pts, vec.V3{
+			X: rng.Float64() * 5,
+			Y: rng.Float64() * 5,
+			Z: rng.Float64() * 5,
+		})
+	}
+	a, nl := tersoffCluster(pts)
+	ts.Compute(a, nl)
+	var sum vec.V3
+	for i := 0; i < a.NLocal; i++ {
+		sum = sum.Add(a.F[i])
+	}
+	if sum.Norm() > 1e-9 {
+		t.Errorf("net force %.3e on an isolated cluster", sum.Norm())
+	}
+}
+
+// TestTersoffForceMatchesGradient is the decisive check of the three-body
+// force derivation: F = -grad E numerically, atom by atom, component by
+// component, on random clusters.
+func TestTersoffForceMatchesGradient(t *testing.T) {
+	ts := NewTersoffSi()
+	rng := xrand.New(31)
+	// A compact cluster with several atoms inside each other's cutoffs and
+	// a few in the smooth taper region.
+	base := []vec.V3{
+		{X: 0, Y: 0, Z: 0},
+		{X: 2.3, Y: 0.1, Z: -0.2},
+		{X: 1.1, Y: 2.0, Z: 0.3},
+		{X: -0.9, Y: 1.2, Z: 1.9},
+		{X: 2.8, Y: 2.2, Z: 1.0},
+		{X: 0.4, Y: -0.3, Z: 2.4},
+	}
+	for trial := 0; trial < 3; trial++ {
+		pts := make([]vec.V3, len(base))
+		for i, p := range base {
+			pts[i] = p.Add(vec.V3{
+				X: (rng.Float64() - 0.5) * 0.4,
+				Y: (rng.Float64() - 0.5) * 0.4,
+				Z: (rng.Float64() - 0.5) * 0.4,
+			})
+		}
+		energyAt := func(mod []vec.V3) float64 {
+			a, nl := tersoffCluster(mod)
+			return ts.Compute(a, nl).PotentialEnergy
+		}
+		a, nl := tersoffCluster(pts)
+		ts.Compute(a, nl)
+		const h = 1e-6
+		for i := range pts {
+			for axis := 0; axis < 3; axis++ {
+				plus := make([]vec.V3, len(pts))
+				minus := make([]vec.V3, len(pts))
+				copy(plus, pts)
+				copy(minus, pts)
+				plus[i] = plus[i].SetComp(axis, plus[i].Comp(axis)+h)
+				minus[i] = minus[i].SetComp(axis, minus[i].Comp(axis)-h)
+				grad := (energyAt(plus) - energyAt(minus)) / (2 * h)
+				got := a.F[i].Comp(axis)
+				if math.Abs(got+grad) > 1e-4*(1+math.Abs(grad)) {
+					t.Fatalf("trial %d atom %d axis %d: F = %.8f, -dE/dx = %.8f",
+						trial, i, axis, got, -grad)
+				}
+			}
+		}
+	}
+}
+
+// TestTersoffSiliconCrystal checks the published material properties: the
+// diamond lattice at a = 5.432 A has cohesive energy ~ -4.63 eV/atom and
+// sits at the energy minimum.
+func TestTersoffSiliconCrystal(t *testing.T) {
+	ts := NewTersoffSi()
+	// Periodic crystal energy via a cluster with explicit images: build a
+	// 3x3x3 block and measure the energy of the central cell's atoms.
+	energyPerAtom := func(a0 float64) float64 {
+		// All atoms within the central cell plus a full shell of images.
+		basis := []vec.V3{
+			{X: 0, Y: 0, Z: 0}, {X: 0.5, Y: 0.5, Z: 0}, {X: 0.5, Y: 0, Z: 0.5}, {X: 0, Y: 0.5, Z: 0.5},
+			{X: 0.25, Y: 0.25, Z: 0.25}, {X: 0.75, Y: 0.75, Z: 0.25},
+			{X: 0.75, Y: 0.25, Z: 0.75}, {X: 0.25, Y: 0.75, Z: 0.75},
+		}
+		at := atom.New(27 * 8)
+		id := int64(1)
+		var centerIdx []int
+		for cz := -1; cz <= 1; cz++ {
+			for cy := -1; cy <= 1; cy++ {
+				for cx := -1; cx <= 1; cx++ {
+					for _, b := range basis {
+						p := vec.V3{
+							X: (float64(cx) + b.X) * a0,
+							Y: (float64(cy) + b.Y) * a0,
+							Z: (float64(cz) + b.Z) * a0,
+						}
+						at.AddLocal(id, 1, p, vec.V3{})
+						if cx == 0 && cy == 0 && cz == 0 {
+							centerIdx = append(centerIdx, int(id-1))
+						}
+						id++
+					}
+				}
+			}
+		}
+		nl := neighbor.Build(at, 3.2, neighbor.Full)
+		// Per-atom energy of the central atoms only: recompute with the
+		// per-pair loop restricted by zeroing others' contribution — easier:
+		// total energy change per central atom equals E_i = 1/2 sum_j V_ij,
+		// which Compute accumulates per i. Run Compute and extract by
+		// differencing: compute total, then total without central cell is
+		// awkward; instead evaluate E_i directly via a single-center list.
+		center := map[int]bool{}
+		for _, c := range centerIdx {
+			center[c] = true
+		}
+		// Restrict the list to central atoms as "locals": rebuild arrays
+		// with central first is complex; instead sum V_ij over central i
+		// using a filtered neighbor list copy.
+		var filtered neighbor.List
+		filtered.Mode = neighbor.Full
+		filtered.Start = make([]int32, at.NLocal+1)
+		for i := 0; i < at.NLocal; i++ {
+			filtered.Start[i] = int32(len(filtered.Neigh))
+			if center[i] {
+				filtered.Neigh = append(filtered.Neigh, nl.NeighborsOf(i)...)
+			}
+		}
+		filtered.Start[at.NLocal] = int32(len(filtered.Neigh))
+		at.ZeroForces()
+		res := ts.Compute(at, &filtered)
+		return res.PotentialEnergy / float64(len(centerIdx))
+	}
+	a0 := 5.432
+	e0 := energyPerAtom(a0)
+	if math.Abs(e0-(-4.63)) > 0.05 {
+		t.Errorf("Si cohesive energy = %.4f eV/atom, want ~-4.63", e0)
+	}
+	// Minimum: energy rises on both sides.
+	if energyPerAtom(a0-0.05) <= e0 || energyPerAtom(a0+0.05) <= e0 {
+		t.Errorf("a=%.3f is not the energy minimum: E(-)=%.4f E(0)=%.4f E(+)=%.4f",
+			a0, energyPerAtom(a0-0.05), e0, energyPerAtom(a0+0.05))
+	}
+}
+
+func TestTersoffFlags(t *testing.T) {
+	ts := NewTersoffSi()
+	if !ts.NeedsFullList() {
+		t.Error("Tersoff must demand a full list")
+	}
+	if ts.Name() != "tersoff" {
+		t.Error("name")
+	}
+	if math.Abs(ts.Cutoff()-3.0) > 1e-12 {
+		t.Errorf("cutoff %v, want 3.0", ts.Cutoff())
+	}
+	if ts.Mass() != 28.0855 {
+		t.Error("mass")
+	}
+}

@@ -1,0 +1,145 @@
+// Package restart writes and reads binary checkpoints of a simulation's
+// atomic state (the analogue of LAMMPS `write_restart` / `read_restart`).
+// A checkpoint captures the global box and every atom's id, type, position
+// and velocity; restoring distributes atoms back onto whatever
+// decomposition the new run uses, so a run checkpointed on one machine
+// shape can resume on another.
+package restart
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"tofumd/internal/md/sim"
+	"tofumd/internal/vec"
+)
+
+// magic identifies tofumd restart files (version 1).
+const magic = "TOFUMD01"
+
+// Snapshot is the decomposition-independent state of a system.
+type Snapshot struct {
+	Step  int64
+	Box   vec.V3
+	Atoms []sim.InitAtom
+}
+
+// Capture gathers a snapshot from a running simulation, sorted by atom id.
+func Capture(s *sim.Simulation, step int) *Snapshot {
+	snap := &Snapshot{Step: int64(step), Box: s.Decomp().Box}
+	for _, r := range s.Ranks() {
+		a := r.Atoms
+		for i := 0; i < a.NLocal; i++ {
+			snap.Atoms = append(snap.Atoms, sim.InitAtom{
+				ID: a.ID[i], Type: a.Type[i], Pos: a.X[i], Vel: a.V[i],
+			})
+		}
+	}
+	sort.Slice(snap.Atoms, func(i, j int) bool { return snap.Atoms[i].ID < snap.Atoms[j].ID })
+	return snap
+}
+
+// Write serializes the snapshot.
+func Write(w io.Writer, snap *Snapshot) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	writeU64 := func(v uint64) { binary.Write(bw, binary.LittleEndian, v) }
+	writeF := func(v float64) { writeU64(math.Float64bits(v)) }
+	writeU64(uint64(snap.Step))
+	writeF(snap.Box.X)
+	writeF(snap.Box.Y)
+	writeF(snap.Box.Z)
+	writeU64(uint64(len(snap.Atoms)))
+	for _, a := range snap.Atoms {
+		writeU64(uint64(a.ID))
+		writeU64(uint64(a.Type))
+		for _, v := range []float64{a.Pos.X, a.Pos.Y, a.Pos.Z, a.Vel.X, a.Vel.Y, a.Vel.Z} {
+			writeF(v)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a snapshot.
+func Read(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("restart: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("restart: bad magic %q", head)
+	}
+	readU64 := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	readF := func() (float64, error) {
+		v, err := readU64()
+		return math.Float64frombits(v), err
+	}
+	snap := &Snapshot{}
+	step, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	snap.Step = int64(step)
+	if snap.Box.X, err = readF(); err != nil {
+		return nil, err
+	}
+	if snap.Box.Y, err = readF(); err != nil {
+		return nil, err
+	}
+	if snap.Box.Z, err = readF(); err != nil {
+		return nil, err
+	}
+	n, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	const maxAtoms = 1 << 32
+	if n > maxAtoms {
+		return nil, fmt.Errorf("restart: implausible atom count %d", n)
+	}
+	snap.Atoms = make([]sim.InitAtom, n)
+	for i := range snap.Atoms {
+		id, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("restart: atom %d: %w", i, err)
+		}
+		typ, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		a := &snap.Atoms[i]
+		a.ID, a.Type = int64(id), int32(typ)
+		vals := [6]*float64{&a.Pos.X, &a.Pos.Y, &a.Pos.Z, &a.Vel.X, &a.Vel.Y, &a.Vel.Z}
+		for _, p := range vals {
+			if *p, err = readF(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return snap, nil
+}
+
+// Apply installs the snapshot into a config, validating that the config's
+// box matches the checkpointed one.
+func (snap *Snapshot) Apply(cfg *sim.Config) error {
+	box := cfg.Lat.BoxFor(cfg.Cells)
+	const tol = 1e-9
+	if math.Abs(box.X-snap.Box.X) > tol ||
+		math.Abs(box.Y-snap.Box.Y) > tol ||
+		math.Abs(box.Z-snap.Box.Z) > tol {
+		return fmt.Errorf("restart: config box %+v does not match checkpoint box %+v", box, snap.Box)
+	}
+	cfg.Initial = snap.Atoms
+	return nil
+}

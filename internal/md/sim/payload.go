@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"encoding/binary"
+	"math"
+
+	"tofumd/internal/vec"
+)
+
+// Message payload encodings. Wire sizes match the paper's accounting: a
+// forward-stage position is 24 bytes (3 float64), so the 22-atom messages of
+// the 65K/768-node configuration are 528 bytes (section 4.2); border-stage
+// records carry id + type + position (40 bytes).
+
+const (
+	posBytes    = 24
+	borderBytes = 40
+	exchBytes   = 64 // id + type + position + velocity
+	f64Bytes    = 8
+)
+
+func putF64(b []byte, v float64) {
+	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+}
+
+func getF64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func putV3(b []byte, v vec.V3) {
+	putF64(b[0:], v.X)
+	putF64(b[8:], v.Y)
+	putF64(b[16:], v.Z)
+}
+
+func getV3(b []byte) vec.V3 {
+	return vec.V3{X: getF64(b[0:]), Y: getF64(b[8:]), Z: getF64(b[16:])}
+}
+
+// encodePositions packs X[idx]+shift for each index in list.
+func encodePositions(dst []byte, x []vec.V3, list []int32, shift vec.V3) []byte {
+	need := len(list) * posBytes
+	dst = grow(dst, need)
+	for k, idx := range list {
+		putV3(dst[k*posBytes:], x[idx].Add(shift))
+	}
+	return dst[:need]
+}
+
+// decodePositions unpacks count positions into x starting at base.
+func decodePositions(src []byte, x []vec.V3, base, count int) {
+	for k := 0; k < count; k++ {
+		x[base+k] = getV3(src[k*posBytes:])
+	}
+}
+
+// encodeVectors packs raw vectors (forces) for a ghost range.
+func encodeVectors(dst []byte, f []vec.V3, base, count int) []byte {
+	need := count * posBytes
+	dst = grow(dst, need)
+	for k := 0; k < count; k++ {
+		putV3(dst[k*posBytes:], f[base+k])
+	}
+	return dst[:need]
+}
+
+// decodeAddVectors accumulates count vectors into f at the listed indices.
+func decodeAddVectors(src []byte, f []vec.V3, list []int32) {
+	for k, idx := range list {
+		f[idx] = f[idx].Add(getV3(src[k*posBytes:]))
+	}
+}
+
+// encodeScalars packs Rho/Fp values for the listed indices.
+func encodeScalars(dst []byte, s []float64, list []int32) []byte {
+	need := len(list) * f64Bytes
+	dst = grow(dst, need)
+	for k, idx := range list {
+		putF64(dst[k*f64Bytes:], s[idx])
+	}
+	return dst[:need]
+}
+
+// encodeScalarRange packs s[base:base+count].
+func encodeScalarRange(dst []byte, s []float64, base, count int) []byte {
+	need := count * f64Bytes
+	dst = grow(dst, need)
+	for k := 0; k < count; k++ {
+		putF64(dst[k*f64Bytes:], s[base+k])
+	}
+	return dst[:need]
+}
+
+// decodeScalars writes count scalars into s starting at base.
+func decodeScalars(src []byte, s []float64, base, count int) {
+	for k := 0; k < count; k++ {
+		s[base+k] = getF64(src[k*f64Bytes:])
+	}
+}
+
+// decodeAddScalars accumulates scalars into s at the listed indices.
+func decodeAddScalars(src []byte, s []float64, list []int32) {
+	for k, idx := range list {
+		s[idx] += getF64(src[k*f64Bytes:])
+	}
+}
+
+// borderRecord describes one atom shipped during the border stage.
+type borderRecord struct {
+	id  int64
+	typ int32
+	pos vec.V3
+}
+
+// encodeBorder packs border records for the listed indices.
+func encodeBorder(dst []byte, ids []int64, types []int32, x []vec.V3, list []int32, shift vec.V3) []byte {
+	need := len(list) * borderBytes
+	dst = grow(dst, need)
+	for k, idx := range list {
+		o := k * borderBytes
+		binary.LittleEndian.PutUint64(dst[o:], uint64(ids[idx]))
+		binary.LittleEndian.PutUint64(dst[o+8:], uint64(types[idx]))
+		putV3(dst[o+16:], x[idx].Add(shift))
+	}
+	return dst[:need]
+}
+
+// decodeBorder unpacks border records.
+func decodeBorder(src []byte) []borderRecord {
+	n := len(src) / borderBytes
+	out := make([]borderRecord, n)
+	for k := 0; k < n; k++ {
+		o := k * borderBytes
+		out[k] = borderRecord{
+			id:  int64(binary.LittleEndian.Uint64(src[o:])),
+			typ: int32(binary.LittleEndian.Uint64(src[o+8:])),
+			pos: getV3(src[o+16:]),
+		}
+	}
+	return out
+}
+
+// exchRecord is one migrating atom.
+type exchRecord struct {
+	id  int64
+	typ int32
+	pos vec.V3
+	vel vec.V3
+}
+
+// encodeExchange packs migrating atoms.
+func encodeExchange(dst []byte, recs []exchRecord) []byte {
+	need := len(recs) * exchBytes
+	dst = grow(dst, need)
+	for k, r := range recs {
+		o := k * exchBytes
+		binary.LittleEndian.PutUint64(dst[o:], uint64(r.id))
+		binary.LittleEndian.PutUint64(dst[o+8:], uint64(r.typ))
+		putV3(dst[o+16:], r.pos)
+		putV3(dst[o+40:], r.vel)
+	}
+	return dst[:need]
+}
+
+// decodeExchange unpacks migrating atoms.
+func decodeExchange(src []byte) []exchRecord {
+	n := len(src) / exchBytes
+	out := make([]exchRecord, n)
+	for k := 0; k < n; k++ {
+		o := k * exchBytes
+		out[k] = exchRecord{
+			id:  int64(binary.LittleEndian.Uint64(src[o:])),
+			typ: int32(binary.LittleEndian.Uint64(src[o+8:])),
+			pos: getV3(src[o+16:]),
+			vel: getV3(src[o+40:]),
+		}
+	}
+	return out
+}
+
+func grow(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"tofumd/internal/md/comm"
+	"tofumd/internal/mpi"
+	"tofumd/internal/utofu"
+)
+
+// rmsg is one message of a bulk-synchronous communication round, carrying
+// absolute virtual times.
+type rmsg struct {
+	src, dst *Rank
+	// link is the channel; nil for exchange-stage messages.
+	link *link
+	// res is the sender-side communication resource.
+	res commRes
+	// dstThread is the receiver-side polling context.
+	dstThread int
+	// data is the payload.
+	data []byte
+	// known marks length-known messages (forward/reverse reuse border
+	// lists); unknown-length messages pay the MPI two-step protocol.
+	known bool
+	// inboxDst selects the uTofu destination: the link's forward inbox,
+	// reverse inbox, or the pre-registered position array.
+	inboxDst inboxKind
+	// dstOff is the byte offset for direct-to-array puts.
+	dstOff int
+	// readyAt is the absolute sender time the payload is packed.
+	readyAt float64
+
+	// complete is the absolute receiver completion; issueDone the absolute
+	// sender CPU-free time.
+	complete, issueDone float64
+}
+
+// inboxKind selects the uTofu destination region of a message.
+type inboxKind int
+
+const (
+	inboxFwd inboxKind = iota
+	inboxRev
+	inboxXArray
+)
+
+// runRound executes the messages through the variant's transport and
+// advances the participating ranks' clocks to their completion times.
+// Payload delivery is functional: after the call, receivers read the data
+// from the rmsg (the caller unpacks).
+func (s *Simulation) runRound(msgs []*rmsg) {
+	if len(msgs) == 0 {
+		return
+	}
+	base := math.Inf(1)
+	for _, m := range msgs {
+		if m.readyAt < base {
+			base = m.readyAt
+		}
+		if m.dst.Clock < base {
+			base = m.dst.Clock
+		}
+	}
+	if s.Var.Transport == comm.TransportMPI {
+		s.runMPIRound(msgs, base)
+	} else {
+		s.runUTofuRound(msgs, base)
+	}
+	// Advance clocks: receivers to their completions, senders to their
+	// injection completions.
+	for _, m := range msgs {
+		if m.complete > m.dst.Clock {
+			m.dst.Clock = m.complete
+		}
+		if m.issueDone > m.src.Clock {
+			m.src.Clock = m.issueDone
+		}
+	}
+}
+
+func (s *Simulation) runMPIRound(msgs []*rmsg, base float64) {
+	mm := make([]*mpi.Message, len(msgs))
+	for i, m := range msgs {
+		mm[i] = &mpi.Message{
+			Src:         m.src.ID,
+			Dst:         m.dst.ID,
+			Tag:         i,
+			Data:        m.data,
+			KnownLength: m.known,
+			ReadyAt:     m.readyAt - base,
+			RecvReadyAt: m.dst.Clock - base,
+		}
+	}
+	s.mpiComm.ExchangeRound(mm)
+	for i, m := range msgs {
+		m.complete = base + mm[i].RecvComplete
+		m.issueDone = base + mm[i].IssueDone
+	}
+}
+
+func (s *Simulation) runUTofuRound(msgs []*rmsg, base float64) {
+	puts := make([]*utofu.Put, len(msgs))
+	for i, m := range msgs {
+		region, off := s.putTarget(m)
+		vcq := m.src.vcqByTNI[m.res.tni]
+		if vcq == nil {
+			panic(fmt.Sprintf("sim: rank %d has no VCQ on TNI %d", m.src.ID, m.res.tni))
+		}
+		puts[i] = &utofu.Put{
+			VCQ:       vcq,
+			Thread:    m.res.thread,
+			DstThread: m.dstThread,
+			DstSTADD:  region.STADD,
+			DstOff:    off,
+			Src:       m.data,
+			ReadyAt:   m.readyAt - base,
+		}
+	}
+	if err := s.uts.ExecuteRound(puts); err != nil {
+		panic("sim: utofu round failed: " + err.Error())
+	}
+	for i, m := range msgs {
+		m.complete = base + puts[i].RecvComplete
+		m.issueDone = base + puts[i].IssueDone
+	}
+}
+
+// putTarget resolves the destination region and offset of a uTofu message.
+func (s *Simulation) putTarget(m *rmsg) (*utofu.MemRegion, int) {
+	switch m.inboxDst {
+	case inboxXArray:
+		return s.xRegion[m.dst.ID], m.dstOff
+	case inboxRev:
+		ib := m.link.revInbox
+		return ib.regions[m.link.seq%4], 0
+	default:
+		ib := m.link.inbox
+		return ib.regions[m.link.seq%4], 0
+	}
+}
+
+// ensureInbox grows (and re-registers) an inbox to hold at least need
+// bytes, charging the registration cost to the owning rank unless the
+// buffers were pre-registered at their maximum size during setup. Returns
+// the virtual-time cost charged.
+func (s *Simulation) ensureInbox(owner *Rank, ib *inbox, need int) float64 {
+	if ib.capBy >= need {
+		return 0
+	}
+	if s.Var.Preregistered {
+		// Pre-registered buffers are sized to the theoretical maximum; a
+		// breach means the estimate was wrong — fail loudly.
+		panic(fmt.Sprintf("sim: rank %d pre-registered inbox of %dB overflowed by message of %dB",
+			owner.ID, ib.capBy, need))
+	}
+	newCap := ib.capBy
+	if newCap == 0 {
+		newCap = 1024
+	}
+	for newCap < need {
+		newCap *= 2
+	}
+	var cost float64
+	for i := range ib.bufs {
+		if ib.regions[i] != nil {
+			s.uts.Deregister(ib.regions[i])
+		}
+		ib.bufs[i] = make([]byte, newCap)
+		region, c := s.uts.Register(owner.ID, ib.bufs[i])
+		ib.regions[i] = region
+		cost += c
+	}
+	ib.capBy = newCap
+	owner.Clock += cost
+	return cost
+}

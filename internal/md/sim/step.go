@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"math"
+
+	"tofumd/internal/md/neighbor"
+	"tofumd/internal/md/thermo"
+	"tofumd/internal/mpi"
+	"tofumd/internal/tofu"
+	"tofumd/internal/trace"
+)
+
+// Run advances the simulation by the given number of MD steps.
+func (s *Simulation) Run(steps int) {
+	for i := 0; i < steps; i++ {
+		s.Step()
+	}
+}
+
+// Step advances one MD step through the LAMMPS stage sequence: initial
+// integrate (Modify), neighbor check / ghost communication (Other/Comm),
+// force evaluation (Pair), reverse communication (Comm), final integrate
+// (Modify) and periodic thermo output (Other).
+func (s *Simulation) Step() {
+	s.step++
+	s.stage(trace.Modify, func() {
+		s.forRanks(func(id int) {
+			r := s.ranks[id]
+			s.nve.InitialIntegrate(r.Atoms)
+			r.Clock += s.M.Cost.IntegrateTime(r.Atoms.NLocal, s.Var.ComputeThreading)
+		})
+	})
+
+	rebuild := false
+	if s.step%s.Cfg.NeighEvery == 0 {
+		if s.Cfg.CheckYes {
+			s.stage(trace.Other, func() { rebuild = s.checkDisplacement() })
+		} else {
+			rebuild = true
+		}
+	}
+	if rebuild {
+		s.stage(trace.Comm, func() {
+			s.doExchange()
+			s.doBorder()
+		})
+		s.stage(trace.Neigh, s.buildNeighborLists)
+	} else {
+		s.stage(trace.Comm, s.doForward)
+	}
+
+	s.stage(trace.Pair, s.computeForces)
+
+	if s.Cfg.NewtonOn {
+		s.stage(trace.Comm, s.doReverse)
+	}
+
+	s.stage(trace.Modify, func() {
+		s.forRanks(func(id int) {
+			r := s.ranks[id]
+			s.nve.FinalIntegrate(r.Atoms)
+			r.Clock += s.M.Cost.IntegrateTime(r.Atoms.NLocal, s.Var.ComputeThreading)
+		})
+	})
+
+	if s.Cfg.RescaleEvery > 0 && s.step%s.Cfg.RescaleEvery == 0 {
+		s.stage(trace.Other, s.rescaleTemperature)
+	}
+
+	if s.Cfg.ThermoEvery > 0 && s.step%s.Cfg.ThermoEvery == 0 {
+		s.stage(trace.Other, func() { s.recordThermo(true) })
+	}
+
+	// Per-step bookkeeping outside the named stages.
+	for _, r := range s.ranks {
+		r.Clock += s.M.Cost.OtherPerStep
+		r.BD.Add(trace.Other, s.M.Cost.OtherPerStep)
+	}
+}
+
+// stage runs fn and attributes every rank's clock advance to st.
+func (s *Simulation) stage(st trace.Stage, fn func()) {
+	t0 := s.snapshotClocks()
+	fn()
+	for i, r := range s.ranks {
+		r.BD.Add(st, r.Clock-t0[i])
+	}
+}
+
+// checkDisplacement runs the half-skin scan and the global LOR allreduce of
+// the dangerous-build flag (Table 2 "check yes"), returning whether a
+// rebuild is required.
+func (s *Simulation) checkDisplacement() bool {
+	half2 := (s.Cfg.Skin / 2) * (s.Cfg.Skin / 2)
+	flags := make([][]float64, len(s.ranks))
+	s.forRanks(func(id int) {
+		r := s.ranks[id]
+		v := 0.0
+		if neighbor.MaxDisplacement2(r.Atoms.X, r.XHold, r.Atoms.NLocal) > half2 {
+			v = 1
+		}
+		flags[id] = []float64{v}
+		r.Clock += s.M.Cost.ScanTime(r.Atoms.NLocal)
+	})
+	out, _, err := s.mpiComm.Allreduce(flags, mpi.OpLor)
+	if err != nil {
+		panic("sim: allreduce failed: " + err.Error())
+	}
+	s.chargeAllreduce(8)
+	return out[0] != 0
+}
+
+// chargeAllreduce synchronizes all rank clocks to the allreduce completion,
+// charging the collective at the configured machine scale.
+func (s *Simulation) chargeAllreduce(bytes int) {
+	n := s.M.Map.Ranks()
+	if s.Cfg.ScaleRanks > n {
+		n = s.Cfg.ScaleRanks
+	}
+	t := s.fab.AllreduceTime(n, bytes, tofu.IfaceMPI)
+	var entry float64
+	for _, r := range s.ranks {
+		if r.Clock > entry {
+			entry = r.Clock
+		}
+	}
+	done := entry + t
+	for _, r := range s.ranks {
+		r.Clock = done
+	}
+}
+
+// rescaleTemperature applies the velocity-rescale thermostat: measure the
+// global temperature (one allreduce) and, if it strays beyond the window,
+// scale every velocity toward the target.
+func (s *Simulation) rescaleTemperature() {
+	contrib := make([][]float64, len(s.ranks))
+	s.forRanks(func(id int) {
+		r := s.ranks[id]
+		var ke2 float64
+		for i := 0; i < r.Atoms.NLocal; i++ {
+			ke2 += s.Cfg.Potential.Mass() * r.Atoms.V[i].Norm2()
+		}
+		contrib[id] = []float64{ke2, float64(r.Atoms.NLocal)}
+		r.Clock += s.M.Cost.ScanTime(r.Atoms.NLocal)
+	})
+	sum, _, err := s.mpiComm.Allreduce(contrib, mpi.OpSum)
+	if err != nil {
+		panic("sim: rescale allreduce failed: " + err.Error())
+	}
+	s.chargeAllreduce(16)
+	n := sum[1]
+	if n <= 1 {
+		return
+	}
+	dof := 3 * (n - 1)
+	temp := s.U.Mvv2e * sum[0] / (dof * s.U.Boltz)
+	if temp <= 0 || math.Abs(temp-s.Cfg.RescaleTarget) <= s.Cfg.RescaleWindow {
+		return
+	}
+	factor := math.Sqrt(s.Cfg.RescaleTarget / temp)
+	s.forRanks(func(id int) {
+		r := s.ranks[id]
+		for i := 0; i < r.Atoms.NLocal; i++ {
+			r.Atoms.V[i] = r.Atoms.V[i].Scale(factor)
+		}
+		r.Clock += s.M.Cost.ScanTime(r.Atoms.NLocal)
+	})
+}
+
+// recordThermo computes and stores a thermodynamic sample; charged to the
+// Other stage when called mid-run.
+func (s *Simulation) recordThermo(charge bool) {
+	contrib := make([][]float64, len(s.ranks))
+	s.forRanks(func(id int) {
+		r := s.ranks[id]
+		l := thermo.Gather(r.Atoms, s.Cfg.Potential.Mass(), r.peLocal, r.virLocal)
+		contrib[id] = l.Slice()
+		if charge {
+			r.Clock += s.M.Cost.ThermoTime(r.Atoms.NLocal)
+		}
+	})
+	sum, _, err := s.mpiComm.Allreduce(contrib, mpi.OpSum)
+	if err != nil {
+		panic("sim: thermo allreduce failed: " + err.Error())
+	}
+	if charge {
+		s.chargeAllreduce(8 * 4)
+	}
+	box := s.dec.Box
+	g := thermo.Reduce(thermo.FromSlice(sum), box.X*box.Y*box.Z, s.U)
+	s.Thermo = append(s.Thermo, ThermoSample{
+		Step:        s.step,
+		Temperature: g.Temperature,
+		PEPerAtom:   g.PotentialPerAtom,
+		Pressure:    g.Pressure,
+	})
+}
+
+// TotalEnergyPerAtom returns KE+PE per atom of the latest thermo sample's
+// underlying state; used by conservation tests.
+func (s *Simulation) TotalEnergyPerAtom() float64 {
+	contrib := make([][]float64, len(s.ranks))
+	for id, r := range s.ranks {
+		l := thermo.Gather(r.Atoms, s.Cfg.Potential.Mass(), r.peLocal, r.virLocal)
+		contrib[id] = l.Slice()
+	}
+	sum, _, err := s.mpiComm.Allreduce(contrib, mpi.OpSum)
+	if err != nil {
+		panic("sim: allreduce failed: " + err.Error())
+	}
+	l := thermo.FromSlice(sum)
+	if l.N == 0 {
+		return 0
+	}
+	return (0.5*s.U.Mvv2e*l.KE2 + l.PE) / l.N
+}

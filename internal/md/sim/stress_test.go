@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"tofumd/internal/md/lattice"
+	"tofumd/internal/md/potential"
+	"tofumd/internal/trace"
+	"tofumd/internal/units"
+	"tofumd/internal/vec"
+)
+
+// TestHotGasMigrationStress drives a hot, fast-diffusing system through
+// many reneighbor/exchange cycles and checks the global invariants that
+// atom migration must preserve.
+func TestHotGasMigrationStress(t *testing.T) {
+	cfg := ljConfig()
+	cfg.Temperature = 4.0 // well above melting: rapid diffusion
+	cfg.NeighEvery = 5
+	cfg.Cells = vec.I3{X: 8, Y: 8, Z: 8}
+	s := newSim(t, Opt(), cfg)
+	want := s.TotalAtoms()
+	box := s.Decomp().Box
+
+	for block := 0; block < 6; block++ {
+		s.Run(15)
+		// Count and uniqueness of global ids.
+		seen := make(map[int64]bool, want)
+		for _, r := range s.Ranks() {
+			a := r.Atoms
+			for i := 0; i < a.NLocal; i++ {
+				if seen[a.ID[i]] {
+					t.Fatalf("duplicate atom id %d after %d steps", a.ID[i], (block+1)*15)
+				}
+				seen[a.ID[i]] = true
+				// Ownership: every local atom inside its sub-box.
+				x := a.X[i]
+				if x.X < r.Lo.X || x.X >= r.Hi.X ||
+					x.Y < r.Lo.Y || x.Y >= r.Hi.Y ||
+					x.Z < r.Lo.Z || x.Z >= r.Hi.Z {
+					t.Fatalf("atom %d at %+v outside rank %d box [%+v,%+v)",
+						a.ID[i], x, r.ID, r.Lo, r.Hi)
+				}
+				// Positions inside the global box.
+				if x.X < 0 || x.X >= box.X || x.Y < 0 || x.Y >= box.Y || x.Z < 0 || x.Z >= box.Z {
+					t.Fatalf("atom %d escaped the box: %+v", a.ID[i], x)
+				}
+			}
+			if err := a.Check(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(seen) != want {
+			t.Fatalf("%d atoms after %d steps, want %d", len(seen), (block+1)*15, want)
+		}
+	}
+	// Exchanges must actually have happened for this to be a stress test.
+	if s.Rebuilds < 10 {
+		t.Errorf("only %d rebuilds; the test should cross many exchange cycles", s.Rebuilds)
+	}
+	// After all that churn, forces still match brute force.
+	wantF := bruteForces(s)
+	gotF := simForces(s)
+	var worst float64
+	for id, w := range wantF {
+		g, ok := gotF[id]
+		if !ok {
+			t.Fatalf("atom %d missing from forces", id)
+		}
+		if d := g.Sub(w).Norm() / (1 + w.Norm()); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-9 {
+		t.Errorf("worst relative force error after stress: %.3e", worst)
+	}
+}
+
+// TestDeterministicReplay runs the same configuration twice and demands
+// bit-identical trajectories and stage breakdowns — the property that makes
+// every benchmark in this repository reproducible.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (map[int64]vec.V3, float64) {
+		cfg := ljConfig()
+		s := newSim(t, Opt(), cfg)
+		s.Run(30)
+		return positionsByID(s), trace.Merge(s.Breakdowns()).Total()
+	}
+	p1, t1 := run()
+	p2, t2 := run()
+	if t1 != t2 {
+		t.Errorf("breakdown totals differ: %v vs %v", t1, t2)
+	}
+	for id, a := range p1 {
+		if p2[id] != a {
+			t.Fatalf("atom %d position differs between identical runs", id)
+		}
+	}
+}
+
+// TestColdCrystalStays verifies a near-zero-temperature crystal barely
+// moves: the potential is at its minimum, so drift indicates force errors.
+func TestColdCrystalStays(t *testing.T) {
+	pot, err := potential.NewEAMCu(4.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		UnitsStyle:  units.Metal,
+		Potential:   pot,
+		Cells:       vec.I3{X: 8, Y: 8, Z: 8},
+		Lat:         lattice.FCCFromConstant(3.615),
+		Skin:        1.0,
+		NeighEvery:  5,
+		CheckYes:    true,
+		Temperature: 0.01,
+		Seed:        5,
+		NewtonOn:    true,
+	}
+	s := newSim(t, Ref(), cfg)
+	start := positionsByID(s)
+	s.Run(40)
+	end := positionsByID(s)
+	var worst float64
+	for id, a := range start {
+		if d := end[id].Sub(a).Norm(); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.02 {
+		t.Errorf("cold copper crystal drifted %.4f A in 40 steps", worst)
+	}
+}
+
+// TestMomentumConservation: with PBC and pair forces, total momentum is an
+// exact invariant of velocity Verlet.
+func TestMomentumConservation(t *testing.T) {
+	cfg := ljConfig()
+	s := newSim(t, Opt(), cfg)
+	mom := func() vec.V3 {
+		var p vec.V3
+		for _, r := range s.Ranks() {
+			for i := 0; i < r.Atoms.NLocal; i++ {
+				p = p.Add(r.Atoms.V[i])
+			}
+		}
+		return p
+	}
+	p0 := mom()
+	s.Run(40)
+	p1 := mom()
+	if d := p1.Sub(p0).Norm(); d > 1e-9 {
+		t.Errorf("net momentum drifted %.3e over 40 steps (from %+v)", d, p0)
+	}
+	// And the initializer removed the net momentum to begin with.
+	if p0.Norm() > 1e-9 {
+		t.Errorf("initial net momentum %.3e", p0.Norm())
+	}
+}
+
+// TestClockMonotonicity: virtual clocks never move backwards through any
+// stage of any variant.
+func TestClockMonotonicity(t *testing.T) {
+	for _, v := range StepByStepVariants() {
+		cfg := ljConfig()
+		cfg.Cells = vec.I3{X: 8, Y: 8, Z: 8}
+		s := newSim(t, v, cfg)
+		prev := make([]float64, len(s.Ranks()))
+		for step := 0; step < 25; step++ {
+			s.Step()
+			for i, r := range s.Ranks() {
+				if r.Clock < prev[i] {
+					t.Fatalf("%s: rank %d clock went backwards at step %d", v.Name, i, step)
+				}
+				prev[i] = r.Clock
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestBreakdownMatchesClock: the sum of stage times equals the clock
+// advance for every rank (no unattributed time).
+func TestBreakdownMatchesClock(t *testing.T) {
+	cfg := ljConfig()
+	s := newSim(t, Opt(), cfg)
+	s.Run(25)
+	for _, r := range s.Ranks() {
+		if d := math.Abs(r.BD.Total() - r.Clock); d > 1e-9 {
+			t.Errorf("rank %d: breakdown %.9f != clock %.9f", r.ID, r.BD.Total(), r.Clock)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"tofumd/internal/md/lattice"
+	"tofumd/internal/md/potential"
+	"tofumd/internal/units"
+	"tofumd/internal/vec"
+)
+
+// tersoffConfig is a silicon crystal under the Tersoff potential: the
+// full-list + Newton-on regime of LAMMPS's pair_style tersoff, where every
+// rank holds a full ghost shell (26 p2p neighbors) and ghost forces flow
+// home in the reverse stage.
+func tersoffConfig(temp float64) Config {
+	return Config{
+		UnitsStyle:  units.Metal,
+		Potential:   potential.NewTersoffSi(),
+		Cells:       vec.I3{X: 4, Y: 4, Z: 4},
+		Lat:         lattice.DiamondFromConstant(5.431),
+		Skin:        1.0,
+		NeighEvery:  5,
+		CheckYes:    true,
+		Temperature: temp,
+		Seed:        321,
+		NewtonOn:    true,
+	}
+}
+
+func TestTersoffFullShellLinks(t *testing.T) {
+	s := newSim(t, Opt(), tersoffConfig(300))
+	r := s.Ranks()[0]
+	if got := len(r.sendLinks); got != 26 {
+		t.Errorf("Tersoff p2p send links = %d, want 26 (full shell)", got)
+	}
+	if got := len(r.recvLinks); got != 26 {
+		t.Errorf("recv links = %d, want 26", got)
+	}
+}
+
+func TestTersoffDecompositionIndependent(t *testing.T) {
+	// The decisive distributed-correctness check: the same silicon system
+	// run on different machine shapes must produce (nearly) identical
+	// trajectories — any ghost-coverage or reverse-stage error would break
+	// this immediately for a 3-body potential.
+	run := func(shape vec.I3, v Variant) map[int64]vec.V3 {
+		m, err := NewMachine(shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(m, v, tersoffConfig(300))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		s.Run(8)
+		return positionsByID(s)
+	}
+	a := run(vec.I3{X: 2, Y: 2, Z: 2}, Opt())
+	b := run(vec.I3{X: 2, Y: 3, Z: 2}, Opt())
+	c := run(vec.I3{X: 2, Y: 2, Z: 2}, Ref())
+	compare := func(name string, other map[int64]vec.V3, tol float64) {
+		t.Helper()
+		var worst float64
+		for id, p := range a {
+			q, ok := other[id]
+			if !ok {
+				t.Fatalf("%s: atom %d missing", name, id)
+			}
+			if d := q.Sub(p).Norm(); d > worst {
+				worst = d
+			}
+		}
+		if worst > tol {
+			t.Errorf("%s diverged by %.3e after 8 steps", name, worst)
+		}
+	}
+	// Different decomposition: summation order differs -> rounding noise.
+	compare("2x3x2 vs 2x2x2", b, 1e-7)
+	// Different comm pattern, same physics.
+	compare("ref vs opt", c, 1e-7)
+}
+
+func TestTersoffColdCrystalForcesVanish(t *testing.T) {
+	s := newSim(t, Ref(), tersoffConfig(0.01))
+	var worst float64
+	for _, r := range s.Ranks() {
+		for i := 0; i < r.Atoms.NLocal; i++ {
+			if f := r.Atoms.F[i].Norm(); f > worst {
+				worst = f
+			}
+		}
+	}
+	if worst > 1e-6 {
+		t.Errorf("perfect diamond lattice has residual force %.3e eV/A", worst)
+	}
+}
+
+func TestTersoffEnergyConservation(t *testing.T) {
+	s := newSim(t, Opt(), tersoffConfig(300))
+	e0 := s.TotalEnergyPerAtom()
+	s.Run(25)
+	e1 := s.TotalEnergyPerAtom()
+	if math.Abs(e0-(-4.6)) > 0.1 {
+		t.Errorf("initial energy %.4f eV/atom far from silicon cohesive energy", e0)
+	}
+	if drift := math.Abs(e1 - e0); drift > 5e-4 {
+		t.Errorf("Tersoff NVE drift %.2e eV/atom over 25 steps", drift)
+	}
+}
+
+func TestTersoffAtomConservation(t *testing.T) {
+	cfg := tersoffConfig(1500) // hot: diffusing atoms, frequent rebuilds
+	s := newSim(t, Opt(), cfg)
+	want := s.TotalAtoms()
+	s.Run(30)
+	if got := s.TotalAtoms(); got != want {
+		t.Errorf("atoms = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,73 @@
+// Package thermo computes the thermodynamic outputs the paper's accuracy
+// experiment compares (Fig. 11): temperature, potential energy, and the
+// virial pressure of the whole system. Each rank contributes local sums;
+// the simulation driver all-reduces them.
+package thermo
+
+import (
+	"tofumd/internal/md/atom"
+	"tofumd/internal/units"
+)
+
+// Local holds one rank's contributions to the global thermodynamic state.
+type Local struct {
+	// KE2 is sum of m v^2 over locals (twice the kinetic energy in mass
+	// units; multiply by Mvv2e/2 for energy).
+	KE2 float64
+	// PE is the rank's potential-energy share.
+	PE float64
+	// Virial is the rank's pair-virial share (sum r . f).
+	Virial float64
+	// N is the local atom count.
+	N float64
+}
+
+// Gather computes a rank's contributions. pe and virial come from the force
+// evaluation result.
+func Gather(a *atom.Arrays, mass, pe, virial float64) Local {
+	var ke2 float64
+	for i := 0; i < a.NLocal; i++ {
+		ke2 += mass * a.V[i].Norm2()
+	}
+	return Local{KE2: ke2, PE: pe, Virial: virial, N: float64(a.NLocal)}
+}
+
+// Slice converts the contributions to the flat vector used by the
+// functional allreduce.
+func (l Local) Slice() []float64 { return []float64{l.KE2, l.PE, l.Virial, l.N} }
+
+// FromSlice restores contributions from a reduced vector.
+func FromSlice(s []float64) Local {
+	return Local{KE2: s[0], PE: s[1], Virial: s[2], N: s[3]}
+}
+
+// Global is the system-wide thermodynamic state after reduction.
+type Global struct {
+	N           float64
+	Temperature float64
+	// PotentialPerAtom and KineticPerAtom are intensive energies.
+	PotentialPerAtom float64
+	KineticPerAtom   float64
+	// Pressure is the virial pressure in the unit style's pressure unit.
+	Pressure float64
+}
+
+// Reduce converts globally summed contributions into thermodynamic outputs
+// for a system of volume V under unit system u.
+func Reduce(sum Local, volume float64, u units.System) Global {
+	g := Global{N: sum.N}
+	if sum.N == 0 || volume <= 0 {
+		return g
+	}
+	ke := 0.5 * u.Mvv2e * sum.KE2
+	dof := 3 * (sum.N - 1) // center-of-mass momentum removed
+	if dof < 1 {
+		dof = 1
+	}
+	g.Temperature = 2 * ke / (dof * u.Boltz)
+	g.KineticPerAtom = ke / sum.N
+	g.PotentialPerAtom = sum.PE / sum.N
+	// P = (N kB T + sum(r.f)/3) / V, converted by nktv2p.
+	g.Pressure = (sum.N*u.Boltz*g.Temperature + sum.Virial/3) / volume * u.Nktv2p
+	return g
+}

@@ -1,0 +1,98 @@
+package thermo
+
+import (
+	"math"
+	"testing"
+
+	"tofumd/internal/md/atom"
+	"tofumd/internal/units"
+	"tofumd/internal/vec"
+)
+
+func TestGatherSums(t *testing.T) {
+	a := atom.New(2)
+	a.AddLocal(1, 1, vec.V3{}, vec.V3{X: 1})
+	a.AddLocal(2, 1, vec.V3{}, vec.V3{Y: 2})
+	a.AddGhost(3, 1, vec.V3{}) // ghosts must not contribute
+	l := Gather(a, 2.0, -5, 7)
+	if l.N != 2 {
+		t.Errorf("N = %v", l.N)
+	}
+	// sum m v^2 = 2*1 + 2*4 = 10.
+	if l.KE2 != 10 {
+		t.Errorf("KE2 = %v", l.KE2)
+	}
+	if l.PE != -5 || l.Virial != 7 {
+		t.Errorf("PE/virial = %v/%v", l.PE, l.Virial)
+	}
+}
+
+func TestSliceRoundTrip(t *testing.T) {
+	l := Local{KE2: 1, PE: 2, Virial: 3, N: 4}
+	got := FromSlice(l.Slice())
+	if got != l {
+		t.Errorf("round trip %+v", got)
+	}
+}
+
+func TestReduceIdealGasPressure(t *testing.T) {
+	// With no virial, P = N kB T / V in lj units.
+	u := units.ForStyle(units.LJ)
+	n := 1000.0
+	tTarget := 1.5
+	// KE = (3/2) (N-1) kB T approximately; use dof = 3(N-1).
+	ke := 0.5 * 3 * (n - 1) * u.Boltz * tTarget
+	sum := Local{KE2: 2 * ke, N: n}
+	vol := 500.0
+	g := Reduce(sum, vol, u)
+	if math.Abs(g.Temperature-tTarget) > 1e-9 {
+		t.Errorf("T = %v, want %v", g.Temperature, tTarget)
+	}
+	wantP := n * u.Boltz * tTarget / vol
+	if math.Abs(g.Pressure-wantP) > 1e-9 {
+		t.Errorf("P = %v, want %v", g.Pressure, wantP)
+	}
+}
+
+func TestReduceVirialContribution(t *testing.T) {
+	u := units.ForStyle(units.LJ)
+	sum := Local{KE2: 0, Virial: 300, N: 100}
+	g := Reduce(sum, 100, u)
+	// P = (0 + 300/3)/100 = 1.
+	if math.Abs(g.Pressure-1) > 1e-12 {
+		t.Errorf("virial pressure = %v", g.Pressure)
+	}
+}
+
+func TestReduceMetalUnitsConversion(t *testing.T) {
+	u := units.ForStyle(units.Metal)
+	sum := Local{Virial: 3, N: 10}
+	g := Reduce(sum, 1000, u) // eV/A^3 -> bar via nktv2p
+	want := (3.0 / 3) / 1000 * u.Nktv2p
+	if math.Abs(g.Pressure-want) > 1e-9 {
+		t.Errorf("metal pressure = %v, want %v", g.Pressure, want)
+	}
+}
+
+func TestReduceEmptySystem(t *testing.T) {
+	g := Reduce(Local{}, 100, units.ForStyle(units.LJ))
+	if g.Temperature != 0 || g.Pressure != 0 {
+		t.Errorf("empty system: %+v", g)
+	}
+	g = Reduce(Local{N: 5}, 0, units.ForStyle(units.LJ))
+	if g.Pressure != 0 {
+		t.Error("zero volume must not divide")
+	}
+}
+
+func TestPerAtomEnergies(t *testing.T) {
+	u := units.ForStyle(units.LJ)
+	sum := Local{KE2: 20, PE: -40, N: 10}
+	g := Reduce(sum, 100, u)
+	if math.Abs(g.KineticPerAtom-1) > 1e-12 {
+		t.Errorf("KE/atom = %v", g.KineticPerAtom)
+	}
+	if math.Abs(g.PotentialPerAtom+4) > 1e-12 {
+		t.Errorf("PE/atom = %v", g.PotentialPerAtom)
+	}
+}

@@ -1,0 +1,177 @@
+// Package mpi implements a message-passing layer over the simulated TofuD
+// fabric with the software-stack costs of a full MPI implementation: per-
+// message tag matching, eager/rendezvous protocol switching, and an
+// injection interval several times larger than the raw uTofu interface.
+// It is the transport of the paper's baseline ("ref") LAMMPS and of the
+// naive MPI-p2p variant of Fig. 6.
+//
+// The layer is bulk-synchronous: the simulation collects the sends of one
+// communication round from every rank and executes them together, mirroring
+// how the timing of a halo exchange is determined by the whole round rather
+// than any single call.
+package mpi
+
+import (
+	"fmt"
+	"sort"
+
+	"tofumd/internal/tofu"
+)
+
+// Comm is an MPI communicator over all ranks of a fabric.
+type Comm struct {
+	Fab *tofu.Fabric
+	// CombineLength enables the message-combine optimization of
+	// section 3.5.1: the array length rides in the first element of the
+	// payload instead of a separate message. Off for the baseline.
+	CombineLength bool
+}
+
+// NewComm returns a communicator over the fabric's ranks.
+func NewComm(fab *tofu.Fabric) *Comm {
+	return &Comm{Fab: fab}
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.Fab.Map.Ranks() }
+
+// Message is one point-to-point message of a round.
+type Message struct {
+	Src, Dst int
+	Tag      int
+	// Data is the payload, delivered to the receiver verbatim.
+	Data []byte
+	// KnownLength marks messages whose size the receiver already knows
+	// (forward/reverse exchanges reuse border-stage lists); unknown-length
+	// messages pay the two-step protocol unless CombineLength is set.
+	KnownLength bool
+	// ReadyAt is the sender virtual time the payload is packed.
+	ReadyAt float64
+	// RecvReadyAt is the receiver virtual time its Irecv is posted.
+	RecvReadyAt float64
+
+	// IssueDone is when the sender's CPU is free (MPI_Isend return).
+	IssueDone float64
+	// RecvComplete is when the receiver owns the data (MPI_Wait return),
+	// including the matching/copy overhead and waiting for the receiver to
+	// have posted the receive.
+	RecvComplete float64
+}
+
+// ExchangeRound executes a set of point-to-point messages as one fabric
+// round. Every rank issues its messages from a single thread (MPI progress
+// is single-threaded here, as in the baseline code) in slice order. Payloads
+// are delivered by reference; receivers see the sender's bytes.
+func (c *Comm) ExchangeRound(msgs []*Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	transfers := make([]*tofu.Transfer, len(msgs))
+	for i, m := range msgs {
+		twoStep := !m.KnownLength && !c.CombineLength
+		bytes := len(m.Data)
+		if c.CombineLength && !m.KnownLength {
+			bytes += 8 // length header rides in the payload
+		}
+		transfers[i] = &tofu.Transfer{
+			Src:     m.Src,
+			Dst:     m.Dst,
+			TNI:     c.tniFor(m.Src),
+			VCQ:     m.Src, // one software channel per rank
+			Thread:  0,
+			Bytes:   bytes,
+			ReadyAt: m.ReadyAt,
+			TwoStep: twoStep,
+		}
+	}
+	c.Fab.RunRound(transfers, tofu.IfaceMPI)
+	for i, m := range msgs {
+		tr := transfers[i]
+		m.IssueDone = tr.IssueDone
+		// Two-sided completion also waits for the posted receive.
+		arr := tr.Arrival
+		if m.RecvReadyAt > arr {
+			arr = m.RecvReadyAt
+		}
+		m.RecvComplete = arr + (tr.RecvComplete - tr.Arrival)
+	}
+}
+
+// tniFor picks the TNI Fujitsu MPI would drive for a rank: ranks are spread
+// round-robin over the node's TNIs by their local slot.
+func (c *Comm) tniFor(rank int) int {
+	_, slot := c.Fab.Map.NodeOf(rank)
+	return slot % c.Fab.Params.TNIsPerNode
+}
+
+// ReduceOp enumerates supported allreduce operations.
+type ReduceOp int
+
+const (
+	// OpSum adds contributions element-wise.
+	OpSum ReduceOp = iota
+	// OpMax takes the element-wise maximum.
+	OpMax
+	// OpLor is a logical OR (any non-zero wins), the operation of the
+	// neighbor-list "check yes" dangerous-build flag.
+	OpLor
+)
+
+// Allreduce combines contrib (one slice per rank, equal lengths) with op and
+// returns the reduced vector plus the modeled completion time relative to
+// the latest entry time. Every rank observes the same result, as MPI
+// guarantees.
+func (c *Comm) Allreduce(contrib [][]float64, op ReduceOp) ([]float64, float64, error) {
+	n := len(contrib)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("mpi: allreduce with no ranks")
+	}
+	width := len(contrib[0])
+	for r, s := range contrib {
+		if len(s) != width {
+			return nil, 0, fmt.Errorf("mpi: allreduce rank %d width %d != %d", r, len(s), width)
+		}
+	}
+	out := make([]float64, width)
+	copy(out, contrib[0])
+	for r := 1; r < n; r++ {
+		for i, v := range contrib[r] {
+			switch op {
+			case OpSum:
+				out[i] += v
+			case OpMax:
+				if v > out[i] {
+					out[i] = v
+				}
+			case OpLor:
+				if v != 0 {
+					out[i] = 1
+				}
+			}
+		}
+	}
+	t := c.Fab.AllreduceTime(n, 8*width, tofu.IfaceMPI)
+	return out, t, nil
+}
+
+// AllreduceTimeAtScale returns the modeled allreduce time charged for a
+// machine of nranks ranks (used when a representative tile stands in for
+// the full allocation).
+func (c *Comm) AllreduceTimeAtScale(nranks, bytes int) float64 {
+	return c.Fab.AllreduceTime(nranks, bytes, tofu.IfaceMPI)
+}
+
+// SortMessages orders messages deterministically (by src, then dst, then
+// tag) so that rounds assembled from map iteration stay reproducible.
+func SortMessages(msgs []*Message) {
+	sort.SliceStable(msgs, func(i, j int) bool {
+		a, b := msgs[i], msgs[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Tag < b.Tag
+	})
+}

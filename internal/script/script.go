@@ -1,0 +1,312 @@
+// Package script parses the subset of the LAMMPS input language that the
+// paper's benchmark inputs use (the artifact's in.threadpool.lj /
+// in.threadpool.eam files): units, lattice, region/create_box/create_atoms,
+// pair_style/pair_coeff, neighbor and neigh_modify, velocity, fix nve,
+// timestep, thermo, newton and run. A parsed script converts directly into
+// a simulation Config.
+package script
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"tofumd/internal/md/lattice"
+	"tofumd/internal/md/potential"
+	"tofumd/internal/md/sim"
+	"tofumd/internal/units"
+	"tofumd/internal/vec"
+)
+
+// Script is a parsed input deck.
+type Script struct {
+	Units        units.Style
+	NewtonOn     bool
+	LatticeStyle string  // "fcc" or "diamond"
+	LatticeVal   float64 // density (lj) or constant (metal)
+	Region       vec.I3  // lattice cells
+	haveRegion   bool
+
+	PairStyle  string // "lj/cut" or "eam"
+	PairCutoff float64
+	Epsilon    float64
+	Sigma      float64
+
+	Skin       float64
+	NeighEvery int
+	CheckYes   bool
+
+	Temperature float64
+	Seed        uint64
+
+	Timestep    float64
+	ThermoEvery int
+	RunSteps    int
+
+	// Optional velocity-rescale thermostat (fix temp/rescale).
+	RescaleEvery  int
+	RescaleTarget float64
+	RescaleWindow float64
+
+	haveNVE bool
+}
+
+// Parse reads an input deck.
+func Parse(r io.Reader) (*Script, error) {
+	s := &Script{
+		NewtonOn:   true,
+		Skin:       0.3,
+		NeighEvery: 20,
+		Epsilon:    1,
+		Sigma:      1,
+		Seed:       87287,
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := s.command(fields); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Script) command(f []string) error {
+	cmd, args := f[0], f[1:]
+	switch cmd {
+	case "units":
+		if len(args) != 1 {
+			return fmt.Errorf("units: want one style")
+		}
+		switch args[0] {
+		case "lj":
+			s.Units = units.LJ
+		case "metal":
+			s.Units = units.Metal
+		default:
+			return fmt.Errorf("units: unsupported style %q", args[0])
+		}
+	case "newton":
+		if len(args) != 1 || (args[0] != "on" && args[0] != "off") {
+			return fmt.Errorf("newton: want on|off")
+		}
+		s.NewtonOn = args[0] == "on"
+	case "lattice":
+		if len(args) != 2 || (args[0] != "fcc" && args[0] != "diamond") {
+			return fmt.Errorf("lattice: only `lattice fcc|diamond <value>` supported")
+		}
+		v, err := strconv.ParseFloat(args[1], 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("lattice: bad value %q", args[1])
+		}
+		s.LatticeStyle = args[0]
+		s.LatticeVal = v
+	case "region":
+		// region box block 0 X 0 Y 0 Z
+		if len(args) < 8 || args[1] != "block" {
+			return fmt.Errorf("region: only `region <id> block 0 X 0 Y 0 Z` supported")
+		}
+		var lo [3]float64
+		var hi [3]float64
+		for i := 0; i < 3; i++ {
+			l, err1 := strconv.ParseFloat(args[2+2*i], 64)
+			h, err2 := strconv.ParseFloat(args[3+2*i], 64)
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("region: bad bounds")
+			}
+			lo[i], hi[i] = l, h
+		}
+		if lo != [3]float64{} {
+			return fmt.Errorf("region: lower bounds must be 0")
+		}
+		s.Region = vec.I3{X: int(hi[0]), Y: int(hi[1]), Z: int(hi[2])}
+		if s.Region.X < 1 || s.Region.Y < 1 || s.Region.Z < 1 {
+			return fmt.Errorf("region: empty box")
+		}
+		s.haveRegion = true
+	case "create_box", "create_atoms", "mass":
+		// Accepted for compatibility; geometry comes from region/lattice
+		// and mass from the potential.
+	case "pair_style":
+		if len(args) < 1 {
+			return fmt.Errorf("pair_style: missing style")
+		}
+		switch args[0] {
+		case "lj/cut":
+			if len(args) != 2 {
+				return fmt.Errorf("pair_style lj/cut: want cutoff")
+			}
+			c, err := strconv.ParseFloat(args[1], 64)
+			if err != nil || c <= 0 {
+				return fmt.Errorf("pair_style: bad cutoff %q", args[1])
+			}
+			s.PairStyle, s.PairCutoff = "lj/cut", c
+		case "eam":
+			s.PairStyle, s.PairCutoff = "eam", 4.95
+		case "tersoff":
+			s.PairStyle, s.PairCutoff = "tersoff", 3.0
+		default:
+			return fmt.Errorf("pair_style: unsupported style %q", args[0])
+		}
+	case "pair_coeff":
+		// `pair_coeff 1 1 eps sigma` (lj) or `pair_coeff * * <file>` (eam).
+		if s.PairStyle == "lj/cut" && len(args) >= 4 {
+			e, err1 := strconv.ParseFloat(args[2], 64)
+			g, err2 := strconv.ParseFloat(args[3], 64)
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("pair_coeff: bad coefficients")
+			}
+			s.Epsilon, s.Sigma = e, g
+		}
+		// EAM potential files map onto the built-in analytic copper EAM.
+	case "neighbor":
+		if len(args) < 1 {
+			return fmt.Errorf("neighbor: missing skin")
+		}
+		v, err := strconv.ParseFloat(args[0], 64)
+		if err != nil || v < 0 {
+			return fmt.Errorf("neighbor: bad skin %q", args[0])
+		}
+		s.Skin = v
+	case "neigh_modify":
+		for i := 0; i+1 < len(args); i += 2 {
+			switch args[i] {
+			case "every":
+				n, err := strconv.Atoi(args[i+1])
+				if err != nil || n < 1 {
+					return fmt.Errorf("neigh_modify: bad every")
+				}
+				s.NeighEvery = n
+			case "check":
+				s.CheckYes = args[i+1] == "yes"
+			case "delay":
+				// accepted, ignored
+			default:
+				return fmt.Errorf("neigh_modify: unsupported keyword %q", args[i])
+			}
+		}
+	case "velocity":
+		// velocity all create <T> <seed>
+		if len(args) < 4 || args[0] != "all" || args[1] != "create" {
+			return fmt.Errorf("velocity: only `velocity all create T seed` supported")
+		}
+		tv, err := strconv.ParseFloat(args[2], 64)
+		if err != nil || tv < 0 {
+			return fmt.Errorf("velocity: bad temperature")
+		}
+		seed, err := strconv.ParseUint(args[3], 10, 64)
+		if err != nil {
+			return fmt.Errorf("velocity: bad seed")
+		}
+		s.Temperature, s.Seed = tv, seed
+	case "fix":
+		// fix <id> all nve | fix <id> all temp/rescale N Tstart Tstop window [fraction]
+		if len(args) >= 3 && args[2] == "nve" {
+			s.haveNVE = true
+			return nil
+		}
+		if len(args) >= 7 && args[2] == "temp/rescale" {
+			n, err1 := strconv.Atoi(args[3])
+			target, err2 := strconv.ParseFloat(args[5], 64) // Tstop is the hold target
+			window, err3 := strconv.ParseFloat(args[6], 64)
+			if err1 != nil || err2 != nil || err3 != nil || n < 1 {
+				return fmt.Errorf("fix temp/rescale: bad arguments")
+			}
+			s.RescaleEvery, s.RescaleTarget, s.RescaleWindow = n, target, window
+			return nil
+		}
+		return fmt.Errorf("fix: only `fix <id> all nve` and `fix <id> all temp/rescale ...` supported")
+	case "timestep":
+		v, err := strconv.ParseFloat(args[0], 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("timestep: bad value")
+		}
+		s.Timestep = v
+	case "thermo":
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 0 {
+			return fmt.Errorf("thermo: bad interval")
+		}
+		s.ThermoEvery = n
+	case "run":
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 0 {
+			return fmt.Errorf("run: bad step count")
+		}
+		s.RunSteps = n
+	default:
+		return fmt.Errorf("unsupported command %q", cmd)
+	}
+	return nil
+}
+
+// ToConfig converts the parsed deck into a simulation Config plus the run
+// length.
+func (s *Script) ToConfig() (sim.Config, int, error) {
+	if !s.haveRegion {
+		return sim.Config{}, 0, fmt.Errorf("script: no region/box defined")
+	}
+	if !s.haveNVE {
+		return sim.Config{}, 0, fmt.Errorf("script: no `fix nve` — only NVE is supported")
+	}
+	if s.LatticeVal == 0 {
+		return sim.Config{}, 0, fmt.Errorf("script: no lattice defined")
+	}
+	cfg := sim.Config{
+		UnitsStyle:    s.Units,
+		Cells:         s.Region,
+		Skin:          s.Skin,
+		Dt:            s.Timestep,
+		NeighEvery:    s.NeighEvery,
+		CheckYes:      s.CheckYes,
+		Temperature:   s.Temperature,
+		Seed:          s.Seed,
+		NewtonOn:      s.NewtonOn,
+		ThermoEvery:   s.ThermoEvery,
+		RescaleEvery:  s.RescaleEvery,
+		RescaleTarget: s.RescaleTarget,
+		RescaleWindow: s.RescaleWindow,
+	}
+	switch {
+	case s.LatticeStyle == "diamond":
+		cfg.Lat = lattice.DiamondFromConstant(s.LatticeVal)
+	case s.Units == units.LJ:
+		cfg.Lat = lattice.FCCFromDensity(s.LatticeVal)
+	default:
+		cfg.Lat = lattice.FCCFromConstant(s.LatticeVal)
+	}
+	switch s.PairStyle {
+	case "lj/cut":
+		lj := potential.NewLJ(s.Epsilon, s.Sigma, s.PairCutoff)
+		lj.FullList = !s.NewtonOn
+		cfg.Potential = lj
+	case "eam":
+		if !s.NewtonOn {
+			return sim.Config{}, 0, fmt.Errorf("script: eam requires newton on")
+		}
+		eam, err := potential.NewEAMCu(s.PairCutoff)
+		if err != nil {
+			return sim.Config{}, 0, err
+		}
+		cfg.Potential = eam
+	case "tersoff":
+		cfg.Potential = potential.NewTersoffSi()
+	default:
+		return sim.Config{}, 0, fmt.Errorf("script: no pair_style defined")
+	}
+	return cfg, s.RunSteps, nil
+}

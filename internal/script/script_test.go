@@ -1,0 +1,216 @@
+package script
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tofumd/internal/md/lattice"
+	"tofumd/internal/md/potential"
+	"tofumd/internal/units"
+	"tofumd/internal/vec"
+)
+
+const ljDeck = `
+# comment
+units lj
+newton on
+lattice fcc 0.8442
+region box block 0 10 0 12 0 14
+create_box 1 box
+create_atoms 1 box
+mass 1 1.0
+velocity all create 1.44 87287
+pair_style lj/cut 2.5
+pair_coeff 1 1 1.0 1.0
+neighbor 0.3 bin
+neigh_modify every 20 check no
+fix 1 all nve
+timestep 0.005
+thermo 50
+run 100
+`
+
+func TestParseLJDeck(t *testing.T) {
+	s, err := Parse(strings.NewReader(ljDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, steps, err := s.ToConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 100 {
+		t.Errorf("steps = %d", steps)
+	}
+	if cfg.UnitsStyle != units.LJ || !cfg.NewtonOn {
+		t.Error("units/newton wrong")
+	}
+	if cfg.Cells != (vec.I3{X: 10, Y: 12, Z: 14}) {
+		t.Errorf("cells = %+v", cfg.Cells)
+	}
+	if cfg.Skin != 0.3 || cfg.NeighEvery != 20 || cfg.CheckYes {
+		t.Error("neighbor settings wrong")
+	}
+	if cfg.Temperature != 1.44 || cfg.Seed != 87287 {
+		t.Error("velocity settings wrong")
+	}
+	if cfg.Dt != 0.005 || cfg.ThermoEvery != 50 {
+		t.Error("timestep/thermo wrong")
+	}
+	lj, ok := cfg.Potential.(*potential.LJ)
+	if !ok {
+		t.Fatalf("potential %T", cfg.Potential)
+	}
+	if lj.Cut != 2.5 || lj.Epsilon != 1 || lj.Sigma != 1 {
+		t.Error("LJ parameters wrong")
+	}
+}
+
+func TestParseShippedDecks(t *testing.T) {
+	for _, name := range []string{"in.lj", "in.eam"} {
+		f, err := os.Open(filepath.Join("..", "..", "inputs", name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s, err := Parse(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, _, err := s.ToConfig(); err != nil {
+			t.Errorf("%s: ToConfig: %v", name, err)
+		}
+	}
+}
+
+func TestParseEAMDeck(t *testing.T) {
+	deck := strings.ReplaceAll(ljDeck, "units lj", "units metal")
+	deck = strings.ReplaceAll(deck, "lattice fcc 0.8442", "lattice fcc 3.615")
+	deck = strings.ReplaceAll(deck, "pair_style lj/cut 2.5", "pair_style eam")
+	deck = strings.ReplaceAll(deck, "pair_coeff 1 1 1.0 1.0", "pair_coeff * * Cu_u3.eam")
+	deck = strings.ReplaceAll(deck, "neigh_modify every 20 check no", "neigh_modify every 5 check yes")
+	s, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, err := s.ToConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cfg.Potential.(*potential.EAM); !ok {
+		t.Fatalf("potential %T", cfg.Potential)
+	}
+	if !cfg.CheckYes || cfg.NeighEvery != 5 {
+		t.Error("check-yes settings wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, deck string
+	}{
+		{"unknown command", "banana split"},
+		{"bad units", "units quantum"},
+		{"bad lattice", "lattice bcc 1.0"},
+		{"bad newton", "newton maybe"},
+		{"bad region", "region box sphere 0 5"},
+		{"nonzero region lo", "region box block 1 5 0 5 0 5"},
+		{"bad pair style", "pair_style reaxff"},
+		{"bad fix", "fix 1 all npt"},
+		{"bad timestep", "timestep zero"},
+		{"bad velocity", "velocity all set 1 2 3"},
+		{"bad neigh_modify", "neigh_modify sometimes 3"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.deck)); err == nil {
+			t.Errorf("%s: accepted %q", c.name, c.deck)
+		}
+	}
+}
+
+func TestToConfigValidation(t *testing.T) {
+	mk := func(mutate func(*Script)) error {
+		s, err := Parse(strings.NewReader(ljDeck))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(s)
+		_, _, err = s.ToConfig()
+		return err
+	}
+	if err := mk(func(s *Script) { s.haveRegion = false }); err == nil {
+		t.Error("missing region accepted")
+	}
+	if err := mk(func(s *Script) { s.haveNVE = false }); err == nil {
+		t.Error("missing fix nve accepted")
+	}
+	if err := mk(func(s *Script) { s.PairStyle = "" }); err == nil {
+		t.Error("missing pair_style accepted")
+	}
+	if err := mk(func(s *Script) { s.LatticeVal = 0 }); err == nil {
+		t.Error("missing lattice accepted")
+	}
+	if err := mk(func(s *Script) { s.PairStyle = "eam"; s.NewtonOn = false }); err == nil {
+		t.Error("eam with newton off accepted")
+	}
+}
+
+func TestCommentsAndBlanksIgnored(t *testing.T) {
+	deck := "# full line comment\n\nunits lj # trailing comment\n"
+	s, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Units != units.LJ {
+		t.Error("units not parsed around comments")
+	}
+}
+
+func TestParseTersoffDeck(t *testing.T) {
+	f, err := os.Open(filepath.Join("..", "..", "inputs", "in.tersoff"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, steps, err := s.ToConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 99 {
+		t.Errorf("steps = %d", steps)
+	}
+	if _, ok := cfg.Potential.(*potential.Tersoff); !ok {
+		t.Fatalf("potential %T", cfg.Potential)
+	}
+	if _, ok := cfg.Lat.(lattice.Diamond); !ok {
+		t.Fatalf("lattice %T", cfg.Lat)
+	}
+	if !cfg.NewtonOn {
+		t.Error("tersoff deck must keep newton on")
+	}
+}
+
+func TestParseTempRescaleFix(t *testing.T) {
+	deck := ljDeck + "\nfix 2 all temp/rescale 10 1.5 1.0 0.05 1.0\n"
+	s, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, err := s.ToConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RescaleEvery != 10 || cfg.RescaleTarget != 1.0 || cfg.RescaleWindow != 0.05 {
+		t.Errorf("rescale config: every=%d target=%v window=%v",
+			cfg.RescaleEvery, cfg.RescaleTarget, cfg.RescaleWindow)
+	}
+	if _, err := Parse(strings.NewReader("fix 2 all temp/rescale x 1 1 0.1 1")); err == nil {
+		t.Error("bad temp/rescale accepted")
+	}
+}

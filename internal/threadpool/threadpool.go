@@ -1,0 +1,163 @@
+// Package threadpool provides a persistent spin-wait worker pool, the Go
+// analogue of the paper's spin-lock thread pool (section 3.3). The paper
+// replaces OpenMP's fork-join regions (measured at 5.8us startup+sync) with
+// a pool of pinned threads that spin on work flags (1.1us), and uses six of
+// the pool's threads to drive six VCQs concurrently.
+//
+// Two things live here:
+//
+//   - a real pool used by the simulator to execute per-rank work in
+//     parallel on the host machine;
+//   - the modeled per-region overhead constants used to charge virtual time
+//     for OpenMP-style vs pool-style parallel regions in the A64FX cost
+//     model.
+package threadpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Modeled per-parallel-region overheads (seconds of virtual time), as
+// measured by the paper's microbenchmark (section 3.3).
+const (
+	// OpenMPRegionOverhead is the fork-join startup+synchronization cost of
+	// one OpenMP parallel region.
+	OpenMPRegionOverhead = 5.8e-6
+	// PoolRegionOverhead is the dispatch+join cost of one spin-lock thread
+	// pool region.
+	PoolRegionOverhead = 1.1e-6
+)
+
+// Pool is a fixed set of workers that execute indexed tasks. Workers spin
+// briefly before yielding, keeping dispatch latency low for the small
+// work items the simulator feeds it. The zero value is not usable; call New.
+type Pool struct {
+	workers int
+	tasks   chan task
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+}
+
+type task struct {
+	fn   func(i int)
+	i    int
+	done *countdown
+}
+
+// countdown is a lightweight completion latch with spin-then-block wait.
+type countdown struct {
+	remaining atomic.Int64
+	ch        chan struct{}
+}
+
+func newCountdown(n int) *countdown {
+	c := &countdown{ch: make(chan struct{})}
+	c.remaining.Store(int64(n))
+	return c
+}
+
+func (c *countdown) dec() {
+	if c.remaining.Add(-1) == 0 {
+		close(c.ch)
+	}
+}
+
+func (c *countdown) wait() {
+	// Spin a bounded number of iterations first — the common case in the
+	// simulator is sub-microsecond work items.
+	for spin := 0; spin < 1024; spin++ {
+		if c.remaining.Load() == 0 {
+			return
+		}
+		if spin%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+	<-c.ch
+}
+
+// New creates a pool with n workers; n <= 0 uses GOMAXPROCS.
+func New(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: n,
+		tasks:   make(chan task, 4*n),
+	}
+	p.wg.Add(n)
+	for w := 0; w < n; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		t.fn(t.i)
+		t.done.dec()
+	}
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach runs fn(i) for every i in [0, n), distributing the iterations over
+// the pool and blocking until all complete. It is safe to call from multiple
+// goroutines, but nested ForEach from inside a task would deadlock a full
+// pool and must be avoided.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		fn(0)
+		return
+	}
+	done := newCountdown(n)
+	for i := 0; i < n; i++ {
+		p.tasks <- task{fn: fn, i: i, done: done}
+	}
+	done.wait()
+}
+
+// ForEachChunked runs fn over [0, n) in contiguous chunks, one task per
+// worker, which is cheaper than ForEach when n is large and the per-index
+// work is tiny. fn receives the half-open range [lo, hi).
+func (p *Pool) ForEachChunked(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunks := p.workers
+	if chunks > n {
+		chunks = n
+	}
+	if chunks == 1 {
+		fn(0, n)
+		return
+	}
+	done := newCountdown(chunks)
+	size := (n + chunks - 1) / chunks
+	for c := 0; c < chunks; c++ {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		lo2, hi2 := lo, hi
+		p.tasks <- task{fn: func(int) { fn(lo2, hi2) }, i: c, done: done}
+	}
+	done.wait()
+}
+
+// Close shuts the pool down and waits for workers to exit. Further use of
+// the pool panics.
+func (p *Pool) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.tasks)
+		p.wg.Wait()
+	}
+}

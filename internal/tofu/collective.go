@@ -1,0 +1,64 @@
+package tofu
+
+import "math"
+
+// AllreduceTime models the virtual time of an allreduce over all ranks of
+// the fabric using a recursive-doubling algorithm, the shape Fujitsu MPI
+// uses for small payloads. The EAM neighbor-list "check yes" path performs
+// one such allreduce of a single integer every few steps (section 4.1), and
+// its cost at scale is what inflates the "Other" stage of Table 3.
+//
+// nranks may exceed the fabric's own rank count: modeled large-scale runs
+// simulate a representative torus tile but charge the allreduce for the full
+// machine's rank count.
+func (f *Fabric) AllreduceTime(nranks, bytes int, iface Interface) float64 {
+	if nranks <= 1 {
+		return 0
+	}
+	p := &f.Params
+	rounds := int(math.Ceil(math.Log2(float64(nranks))))
+	// Partner distance doubles each round; hop distance grows with the
+	// rank-space distance but saturates at the torus semi-diameter.
+	diam := (f.Map.Torus.Shape.X + f.Map.Torus.Shape.Y + f.Map.Torus.Shape.Z) / 2
+	if diam < 1 {
+		diam = 1
+	}
+	perNodeAxis := f.Map.Block.X // ranks per node along the fastest axis
+	if perNodeAxis < 1 {
+		perNodeAxis = 1
+	}
+	total := 0.0
+	for k := 0; k < rounds; k++ {
+		dist := (1 << uint(k)) / perNodeAxis
+		if dist < 0 || dist > diam {
+			dist = diam
+		}
+		hops := dist
+		if hops == 0 {
+			hops = 0 // intra-node round
+		}
+		lat := f.Latency(hops)
+		if hops == 0 {
+			lat = p.BaseLatency / 2
+		}
+		total += p.InjectGap(iface) + p.SendOverhead(iface) +
+			f.WireTime(bytes) + lat + p.RecvOverhead(iface)
+	}
+	return total
+}
+
+// BarrierTime models a barrier as a zero-byte allreduce.
+func (f *Fabric) BarrierTime(nranks int, iface Interface) float64 {
+	return f.AllreduceTime(nranks, 0, iface)
+}
+
+// BcastTime models a binomial-tree broadcast of bytes to nranks ranks.
+func (f *Fabric) BcastTime(nranks, bytes int, iface Interface) float64 {
+	if nranks <= 1 {
+		return 0
+	}
+	rounds := int(math.Ceil(math.Log2(float64(nranks))))
+	per := f.Params.InjectGap(iface) + f.Params.SendOverhead(iface) +
+		f.WireTime(bytes) + f.Latency(1) + f.Params.RecvOverhead(iface)
+	return float64(rounds) * per
+}

@@ -1,0 +1,266 @@
+package tofu
+
+import (
+	"fmt"
+	"sort"
+
+	"tofumd/internal/des"
+	"tofumd/internal/topo"
+)
+
+// Transfer is one message of a communication round. The caller fills the
+// routing and sizing fields; RunRound fills the timing outputs. Payload (if
+// any) is carried untouched — the fabric only computes time.
+type Transfer struct {
+	// Src and Dst are rank ids in the fabric's rank map.
+	Src, Dst int
+	// TNI is the index of the Tofu network interface on the source node
+	// that transmits the message.
+	TNI int
+	// VCQ identifies the virtual control queue issuing the command; used to
+	// charge the VCQ-switch overhead. Typically (rank<<3)|threadLocalCQ.
+	VCQ int
+	// Thread identifies the issuing CPU thread within the source rank;
+	// injections by the same thread serialize with the injection gap.
+	Thread int
+	// DstThread identifies the receiver-side polling context (the thread
+	// that owns the target VCQ's receive queue). Completions handled by
+	// the same context serialize with the receive overhead — with one
+	// polling thread, 124 incoming messages cost 124 serial completions,
+	// the effect that sinks p2p in the paper's Fig. 15.
+	DstThread int
+	// Bytes is the payload size on the wire.
+	Bytes int
+	// ReadyAt is the sender virtual time at which the message is packed and
+	// ready to inject.
+	ReadyAt float64
+	// TwoStep marks the MPI unknown-length protocol (a length message
+	// followed by the payload, section 3.5.1); it costs an extra injection
+	// gap at the sender and an extra match at the receiver.
+	TwoStep bool
+	// IsGet marks a one-sided read: the descriptor travels to the remote
+	// TNI first and the payload returns, doubling the latency term.
+	IsGet bool
+	// Payload is the functional data delivered to the receiver.
+	Payload []byte
+
+	// IssueDone is when the issuing thread's CPU is free again.
+	IssueDone float64
+	// Arrival is when the last payload byte is visible in receiver memory.
+	Arrival float64
+	// RecvComplete is Arrival plus the receiver-side software overhead
+	// (completion-queue poll for uTofu, tag matching and copy for MPI). For
+	// two-sided transports the receiver must also be ready; the transport
+	// layer maxes this with its own clock.
+	RecvComplete float64
+}
+
+// Fabric simulates one TofuD allocation: the torus, its nodes' TNIs and the
+// timing of message rounds. A Fabric is not safe for concurrent rounds; the
+// bulk-synchronous simulation runs rounds one at a time.
+type Fabric struct {
+	Params Params
+	Map    *topo.RankMap
+
+	eng des.Engine
+	// tniFree[node*TNIsPerNode+tni] is the time the TNI engine frees up.
+	tniFree []float64
+	// tniLastVCQ tracks the last VCQ served per TNI (unused slot = -1).
+	tniLastVCQ []int
+	// threadFree tracks per (rank, thread) CPU availability within a round.
+	threadFree map[threadKey]float64
+	// recvCtxFree tracks per (rank, thread) receive-context availability.
+	recvCtxFree map[threadKey]float64
+	// lastVCQByThread tracks the previous VCQ used by each thread to charge
+	// the VCQ-switch overhead.
+	lastVCQByThread map[threadKey]int
+}
+
+type threadKey struct {
+	rank, thread int
+}
+
+// NewFabric builds a fabric over the rank map with the given parameters.
+func NewFabric(m *topo.RankMap, p Params) *Fabric {
+	nodes := m.Torus.Nodes()
+	f := &Fabric{
+		Params:          p,
+		Map:             m,
+		tniFree:         make([]float64, nodes*p.TNIsPerNode),
+		tniLastVCQ:      make([]int, nodes*p.TNIsPerNode),
+		threadFree:      make(map[threadKey]float64),
+		recvCtxFree:     make(map[threadKey]float64),
+		lastVCQByThread: make(map[threadKey]int),
+	}
+	for i := range f.tniLastVCQ {
+		f.tniLastVCQ[i] = -1
+	}
+	return f
+}
+
+// WireTime returns the bandwidth serialization time of a message.
+func (f *Fabric) WireTime(bytes int) float64 {
+	return float64(bytes) / f.Params.LinkBandwidth
+}
+
+// Latency returns the end-to-end network latency for a given hop count,
+// excluding bandwidth serialization and software overheads.
+func (f *Fabric) Latency(hops int) float64 {
+	return f.Params.BaseLatency + float64(hops)*f.Params.HopLatency
+}
+
+// PutLatency returns the full one-sided put latency for a small message over
+// the given hop count: software issue + wire + network. For 1 hop and 8
+// bytes this is the 0.49us figure of the TofuD paper.
+func (f *Fabric) PutLatency(hops, bytes int) float64 {
+	return f.Params.UTofuPutOverhead + f.WireTime(bytes) + f.Latency(hops)
+}
+
+// RunRound simulates one communication round: all transfers are injected
+// respecting per-thread injection gaps, serialized on their TNI engines, and
+// routed across the torus. Timing outputs are written into the transfers.
+// Virtual time within the round starts at 0; ReadyAt values are relative to
+// the round start. The round is deterministic for a given transfer slice.
+func (f *Fabric) RunRound(transfers []*Transfer, iface Interface) {
+	if len(transfers) == 0 {
+		return
+	}
+	p := &f.Params
+	f.eng.Reset()
+	for i := range f.tniFree {
+		f.tniFree[i] = 0
+		f.tniLastVCQ[i] = -1
+	}
+	clear(f.threadFree)
+	clear(f.recvCtxFree)
+	clear(f.lastVCQByThread)
+
+	// Build per-thread FIFO queues preserving the caller's order, which is
+	// the order the comm plan issues messages.
+	queues := make(map[threadKey][]*Transfer)
+	var keys []threadKey
+	for _, tr := range transfers {
+		if tr.TNI < 0 || tr.TNI >= p.TNIsPerNode {
+			panic(fmt.Sprintf("tofu: transfer TNI %d out of range", tr.TNI))
+		}
+		k := threadKey{tr.Src, tr.Thread}
+		if _, ok := queues[k]; !ok {
+			keys = append(keys, k)
+		}
+		queues[k] = append(queues[k], tr)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].rank != keys[j].rank {
+			return keys[i].rank < keys[j].rank
+		}
+		return keys[i].thread < keys[j].thread
+	})
+
+	gap := p.InjectGap(iface)
+	sendOv := p.SendOverhead(iface)
+	recvOv := p.RecvOverhead(iface)
+
+	var issueNext func(k threadKey)
+	issueNext = func(k threadKey) {
+		q := queues[k]
+		if len(q) == 0 {
+			return
+		}
+		tr := q[0]
+		queues[k] = q[1:]
+		start := f.eng.Now()
+		if tr.ReadyAt > start {
+			// The thread idles until the message is packed.
+			f.eng.Schedule(tr.ReadyAt, func() {
+				queues[k] = append([]*Transfer{tr}, queues[k]...)
+				issueNext(k)
+			})
+			return
+		}
+		cost := gap + sendOv
+		if tr.TwoStep {
+			cost += gap // separate length message
+		}
+		if last, ok := f.lastVCQByThread[k]; ok && last != tr.VCQ {
+			cost += p.VCQSwitchOverhead
+		}
+		f.lastVCQByThread[k] = tr.VCQ
+		done := start + cost
+		tr.IssueDone = done
+		f.threadFree[k] = done
+		// Hand the command to the TNI engine at issue completion.
+		f.eng.Schedule(done, func() { f.transmit(tr, iface, recvOv) })
+		// The thread can issue its next message immediately after.
+		f.eng.Schedule(done, func() { issueNext(k) })
+	}
+
+	for _, k := range keys {
+		k := k
+		f.eng.Schedule(0, func() { issueNext(k) })
+	}
+	f.eng.Run()
+}
+
+// transmit serializes the command on the source TNI engine and computes the
+// network arrival time.
+func (f *Fabric) transmit(tr *Transfer, iface Interface, recvOv float64) {
+	p := &f.Params
+	srcNode, _ := f.Map.NodeOf(tr.Src)
+	dstNode, _ := f.Map.NodeOf(tr.Dst)
+	idx := srcNode*p.TNIsPerNode + tr.TNI
+
+	txStart := f.eng.Now()
+	if f.tniFree[idx] > txStart {
+		txStart = f.tniFree[idx]
+	}
+	engine := p.TNIEngineGap
+	wire := f.WireTime(tr.Bytes)
+	busy := engine
+	if wire > busy {
+		busy = wire
+	}
+	txDone := txStart + busy
+	f.tniFree[idx] = txDone
+	f.tniLastVCQ[idx] = tr.VCQ
+
+	if srcNode == dstNode {
+		// Intra-node: through the on-chip ring bus, no torus hops. The TNI
+		// engine cost still applies (the implementation uses the NIC
+		// loopback path for uniformity).
+		tr.Arrival = txDone + p.BaseLatency/2
+	} else {
+		hops := f.Map.Hops(tr.Src, tr.Dst)
+		lat := f.Latency(hops)
+		if iface == IfaceMPI && tr.Bytes > p.MPIEagerLimit {
+			// Rendezvous: RTS/CTS round trip before the payload moves.
+			lat += 2 * f.Latency(hops)
+		}
+		if tr.IsGet {
+			// The read request travels out before the payload returns.
+			lat += f.Latency(hops)
+		}
+		tr.Arrival = txDone + lat
+	}
+	cost := recvOv
+	if !p.CacheInjection {
+		cost += p.CacheMissPenalty
+	}
+	if tr.TwoStep {
+		cost += recvOv // match the length message too
+	}
+	// The receiver's polling context handles completions one at a time.
+	// For a get, the payload returns to the issuer, whose own context
+	// harvests the TCQ completion.
+	f.eng.Schedule(tr.Arrival, func() {
+		ctx := threadKey{tr.Dst, tr.DstThread}
+		if tr.IsGet {
+			ctx = threadKey{tr.Src, tr.Thread}
+		}
+		start := f.eng.Now()
+		if free := f.recvCtxFree[ctx]; free > start {
+			start = free
+		}
+		tr.RecvComplete = start + cost
+		f.recvCtxFree[ctx] = tr.RecvComplete
+	})
+}

@@ -1,0 +1,352 @@
+package tofu
+
+import (
+	"math"
+	"testing"
+
+	"tofumd/internal/topo"
+	"tofumd/internal/vec"
+)
+
+func testFabric(t *testing.T, shape vec.I3) *Fabric {
+	t.Helper()
+	tr, err := topo.NewTorus3D(shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := topo.NewRankMap(tr, topo.DefaultBlock, topo.MapTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFabric(m, DefaultParams())
+}
+
+func TestPutLatencyMatchesTofuD(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	// The TofuD paper reports 0.49us minimal one-sided latency.
+	got := f.PutLatency(1, 8)
+	if math.Abs(got-0.49e-6) > 0.05e-6 {
+		t.Errorf("PutLatency(1 hop, 8B) = %v, want ~0.49us", got)
+	}
+}
+
+func TestWireTime(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	got := f.WireTime(6800)
+	if math.Abs(got-1e-6) > 1e-12 {
+		t.Errorf("WireTime(6800B at 6.8GB/s) = %v, want 1us", got)
+	}
+}
+
+func TestSingleThreadInjectionSerializes(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	// Rank 0 sends 13 small messages from one thread on one TNI.
+	dst := f.Map.NeighborRank(0, vec.I3{X: 2, Y: 0, Z: 0}) // off-node
+	var trs []*Transfer
+	for i := 0; i < 13; i++ {
+		trs = append(trs, &Transfer{Src: 0, Dst: dst, TNI: 0, VCQ: 1, Thread: 0, Bytes: 64})
+	}
+	f.RunRound(trs, IfaceUTofu)
+	p := f.Params
+	per := p.UTofuInjectGap + p.UTofuPutOverhead
+	wantLast := 13 * per
+	if math.Abs(trs[12].IssueDone-wantLast) > 1e-9 {
+		t.Errorf("13th IssueDone = %v, want %v", trs[12].IssueDone, wantLast)
+	}
+	// Arrivals must be strictly increasing (same route, serialized).
+	for i := 1; i < len(trs); i++ {
+		if trs[i].Arrival <= trs[i-1].Arrival {
+			t.Errorf("arrival %d (%v) not after %d (%v)", i, trs[i].Arrival, i-1, trs[i-1].Arrival)
+		}
+	}
+}
+
+func TestParallelThreadsInjectConcurrently(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	dst := f.Map.NeighborRank(0, vec.I3{X: 2, Y: 0, Z: 0})
+	mk := func(thread, tni int, n int) []*Transfer {
+		var out []*Transfer
+		for i := 0; i < n; i++ {
+			out = append(out, &Transfer{Src: 0, Dst: dst, TNI: tni, VCQ: 100 + thread, Thread: thread, Bytes: 64})
+		}
+		return out
+	}
+	// 12 messages on one thread vs 12 messages over 6 threads/TNIs.
+	single := mk(0, 0, 12)
+	f.RunRound(single, IfaceUTofu)
+	lastSingle := maxArrival(single)
+
+	var parallel []*Transfer
+	for th := 0; th < 6; th++ {
+		parallel = append(parallel, mk(th, th, 2)...)
+	}
+	f.RunRound(parallel, IfaceUTofu)
+	lastParallel := maxArrival(parallel)
+
+	if lastParallel >= lastSingle {
+		t.Errorf("parallel injection (%v) not faster than single thread (%v)", lastParallel, lastSingle)
+	}
+}
+
+func maxArrival(trs []*Transfer) float64 {
+	var m float64
+	for _, tr := range trs {
+		if tr.Arrival > m {
+			m = tr.Arrival
+		}
+	}
+	return m
+}
+
+func TestMPISlowerThanUTofu(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	dst := f.Map.NeighborRank(0, vec.I3{X: 2, Y: 0, Z: 0})
+	mk := func() []*Transfer {
+		var out []*Transfer
+		for i := 0; i < 13; i++ {
+			out = append(out, &Transfer{Src: 0, Dst: dst, TNI: 0, VCQ: 1, Thread: 0, Bytes: 512})
+		}
+		return out
+	}
+	u := mk()
+	f.RunRound(u, IfaceUTofu)
+	m := mk()
+	f.RunRound(m, IfaceMPI)
+	if maxArrival(m) <= maxArrival(u) {
+		t.Errorf("MPI round (%v) not slower than uTofu (%v)", maxArrival(m), maxArrival(u))
+	}
+}
+
+func TestVCQSwitchOverheadCharged(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	dst := f.Map.NeighborRank(0, vec.I3{X: 2, Y: 0, Z: 0})
+	// Same VCQ six times vs alternating VCQs six times, one thread.
+	same := make([]*Transfer, 6)
+	for i := range same {
+		same[i] = &Transfer{Src: 0, Dst: dst, TNI: 0, VCQ: 1, Thread: 0, Bytes: 64}
+	}
+	f.RunRound(same, IfaceUTofu)
+	alt := make([]*Transfer, 6)
+	for i := range alt {
+		alt[i] = &Transfer{Src: 0, Dst: dst, TNI: i % 6, VCQ: 1 + i%6, Thread: 0, Bytes: 64}
+	}
+	f.RunRound(alt, IfaceUTofu)
+	if alt[5].IssueDone <= same[5].IssueDone {
+		t.Errorf("VCQ-switching issue time (%v) not slower than same-VCQ (%v)",
+			alt[5].IssueDone, same[5].IssueDone)
+	}
+}
+
+func TestTNIEngineContention(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	// Ranks 0 and 1 share node 0. Both send big messages; same TNI
+	// serializes on the wire, different TNIs do not.
+	dst0 := f.Map.NeighborRank(0, vec.I3{X: 2, Y: 0, Z: 0})
+	dst1 := f.Map.NeighborRank(1, vec.I3{X: 2, Y: 0, Z: 0})
+	big := 680000 // 100us of wire time
+	shared := []*Transfer{
+		{Src: 0, Dst: dst0, TNI: 0, VCQ: 1, Thread: 0, Bytes: big},
+		{Src: 1, Dst: dst1, TNI: 0, VCQ: 2, Thread: 0, Bytes: big},
+	}
+	f.RunRound(shared, IfaceUTofu)
+	sharedLast := maxArrival(shared)
+	split := []*Transfer{
+		{Src: 0, Dst: dst0, TNI: 0, VCQ: 1, Thread: 0, Bytes: big},
+		{Src: 1, Dst: dst1, TNI: 1, VCQ: 2, Thread: 0, Bytes: big},
+	}
+	f.RunRound(split, IfaceUTofu)
+	splitLast := maxArrival(split)
+	if sharedLast <= splitLast {
+		t.Errorf("shared-TNI round (%v) not slower than split-TNI (%v)", sharedLast, splitLast)
+	}
+	// The shared round serializes two 100us wire times.
+	if sharedLast < 2*f.WireTime(big) {
+		t.Errorf("shared-TNI last arrival %v < 2 wire times %v", sharedLast, 2*f.WireTime(big))
+	}
+}
+
+func TestHopsIncreaseLatency(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 6, Y: 6, Z: 6})
+	near := f.Map.NeighborRank(0, vec.I3{X: 2, Y: 0, Z: 0}) // 1 node hop
+	far := f.Map.NeighborRank(0, vec.I3{X: 2, Y: 2, Z: 1})  // 3 node hops
+	a := []*Transfer{{Src: 0, Dst: near, TNI: 0, VCQ: 1, Bytes: 64}}
+	f.RunRound(a, IfaceUTofu)
+	b := []*Transfer{{Src: 0, Dst: far, TNI: 0, VCQ: 1, Bytes: 64}}
+	f.RunRound(b, IfaceUTofu)
+	if b[0].Arrival <= a[0].Arrival {
+		t.Errorf("3-hop arrival (%v) not after 1-hop (%v)", b[0].Arrival, a[0].Arrival)
+	}
+	wantDelta := 2 * f.Params.HopLatency
+	gotDelta := b[0].Arrival - a[0].Arrival
+	if math.Abs(gotDelta-wantDelta) > 1e-9 {
+		t.Errorf("hop delta = %v, want %v", gotDelta, wantDelta)
+	}
+}
+
+func TestIntraNodeCheaperThanInterNode(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	intra := f.Map.NeighborRank(0, vec.I3{X: 1, Y: 0, Z: 0}) // same node (2x2x1 block)
+	inter := f.Map.NeighborRank(0, vec.I3{X: 2, Y: 0, Z: 0})
+	a := []*Transfer{{Src: 0, Dst: intra, TNI: 0, VCQ: 1, Bytes: 64}}
+	f.RunRound(a, IfaceUTofu)
+	b := []*Transfer{{Src: 0, Dst: inter, TNI: 0, VCQ: 1, Bytes: 64}}
+	f.RunRound(b, IfaceUTofu)
+	if a[0].Arrival >= b[0].Arrival {
+		t.Errorf("intra-node (%v) not cheaper than inter-node (%v)", a[0].Arrival, b[0].Arrival)
+	}
+}
+
+func TestTwoStepCostsExtra(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	dst := f.Map.NeighborRank(0, vec.I3{X: 2, Y: 0, Z: 0})
+	one := []*Transfer{{Src: 0, Dst: dst, TNI: 0, VCQ: 1, Bytes: 256}}
+	f.RunRound(one, IfaceMPI)
+	two := []*Transfer{{Src: 0, Dst: dst, TNI: 0, VCQ: 1, Bytes: 256, TwoStep: true}}
+	f.RunRound(two, IfaceMPI)
+	if two[0].RecvComplete <= one[0].RecvComplete {
+		t.Errorf("two-step (%v) not slower than combined (%v)", two[0].RecvComplete, one[0].RecvComplete)
+	}
+}
+
+func TestRendezvousForLargeMPIMessages(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	dst := f.Map.NeighborRank(0, vec.I3{X: 2, Y: 0, Z: 0})
+	small := []*Transfer{{Src: 0, Dst: dst, TNI: 0, VCQ: 1, Bytes: 1024}}
+	f.RunRound(small, IfaceMPI)
+	big := []*Transfer{{Src: 0, Dst: dst, TNI: 0, VCQ: 1, Bytes: f.Params.MPIEagerLimit + 1}}
+	f.RunRound(big, IfaceMPI)
+	// Beyond pure bandwidth, the big message pays an extra round trip.
+	deltaWire := f.WireTime(f.Params.MPIEagerLimit+1) - f.WireTime(1024)
+	extra := (big[0].Arrival - small[0].Arrival) - deltaWire
+	if extra < f.Latency(1) {
+		t.Errorf("rendezvous extra latency %v < one round %v", extra, f.Latency(1))
+	}
+}
+
+func TestReadyAtDelaysInjection(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	dst := f.Map.NeighborRank(0, vec.I3{X: 2, Y: 0, Z: 0})
+	trs := []*Transfer{{Src: 0, Dst: dst, TNI: 0, VCQ: 1, Bytes: 64, ReadyAt: 5e-6}}
+	f.RunRound(trs, IfaceUTofu)
+	if trs[0].IssueDone < 5e-6 {
+		t.Errorf("IssueDone %v before ReadyAt", trs[0].IssueDone)
+	}
+}
+
+func TestRunRoundDeterministic(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 4, Y: 4, Z: 4})
+	mk := func() []*Transfer {
+		var out []*Transfer
+		for r := 0; r < 16; r++ {
+			for i := 0; i < 5; i++ {
+				dst := f.Map.NeighborRank(r, vec.I3{X: 2, Y: 2, Z: 0})
+				out = append(out, &Transfer{Src: r, Dst: dst, TNI: i % 6, VCQ: r*8 + i, Thread: i % 3, Bytes: 100 * (i + 1)})
+			}
+		}
+		return out
+	}
+	a := mk()
+	f.RunRound(a, IfaceUTofu)
+	b := mk()
+	f.RunRound(b, IfaceUTofu)
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].IssueDone != b[i].IssueDone {
+			t.Fatalf("transfer %d differs between identical rounds", i)
+		}
+	}
+}
+
+func TestAllreduceTimeGrowsWithRanks(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 4, Y: 4, Z: 4})
+	t16 := f.AllreduceTime(16, 8, IfaceMPI)
+	t256 := f.AllreduceTime(256, 8, IfaceMPI)
+	t147k := f.AllreduceTime(147456, 8, IfaceMPI)
+	if !(t16 < t256 && t256 < t147k) {
+		t.Errorf("allreduce times not increasing: %v %v %v", t16, t256, t147k)
+	}
+	if f.AllreduceTime(1, 8, IfaceMPI) != 0 {
+		t.Error("single-rank allreduce should be free")
+	}
+}
+
+func TestBarrierAndBcast(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 4, Y: 4, Z: 4})
+	if f.BarrierTime(64, IfaceMPI) <= 0 {
+		t.Error("barrier time not positive")
+	}
+	if f.BcastTime(1, 100, IfaceMPI) != 0 {
+		t.Error("single-rank bcast should be free")
+	}
+	if f.BcastTime(64, 100, IfaceMPI) <= 0 {
+		t.Error("bcast time not positive")
+	}
+}
+
+func TestRunRoundEmptyNoop(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	f.RunRound(nil, IfaceUTofu) // must not panic
+}
+
+func TestBadTNIPanics(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range TNI did not panic")
+		}
+	}()
+	f.RunRound([]*Transfer{{Src: 0, Dst: 1, TNI: 99, Bytes: 8}}, IfaceUTofu)
+}
+
+func TestCacheInjectionSavesReceiveTime(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	dst := f.Map.NeighborRank(0, vec.I3{X: 2, Y: 0, Z: 0})
+	withCI := []*Transfer{{Src: 0, Dst: dst, TNI: 0, VCQ: 1, Bytes: 256}}
+	f.RunRound(withCI, IfaceUTofu)
+
+	p := DefaultParams()
+	p.CacheInjection = false
+	f2 := NewFabric(f.Map, p)
+	withoutCI := []*Transfer{{Src: 0, Dst: dst, TNI: 0, VCQ: 1, Bytes: 256}}
+	f2.RunRound(withoutCI, IfaceUTofu)
+
+	want := p.CacheMissPenalty
+	got := withoutCI[0].RecvComplete - withCI[0].RecvComplete
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("cache-miss penalty = %v, want %v", got, want)
+	}
+}
+
+func TestGetTransferDoublesLatency(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	dst := f.Map.NeighborRank(0, vec.I3{X: 2, Y: 0, Z: 0})
+	put := []*Transfer{{Src: 0, Dst: dst, TNI: 0, VCQ: 1, Bytes: 64}}
+	f.RunRound(put, IfaceUTofu)
+	get := []*Transfer{{Src: 0, Dst: dst, TNI: 0, VCQ: 1, Bytes: 64, IsGet: true}}
+	f.RunRound(get, IfaceUTofu)
+	wantDelta := f.Latency(f.Map.Hops(0, dst))
+	gotDelta := get[0].Arrival - put[0].Arrival
+	if math.Abs(gotDelta-wantDelta) > 1e-9 {
+		t.Errorf("get extra latency = %v, want %v", gotDelta, wantDelta)
+	}
+}
+
+func BenchmarkRunRoundP2P(b *testing.B) {
+	tr, _ := topo.NewTorus3D(vec.I3{X: 4, Y: 6, Z: 4})
+	m, _ := topo.NewRankMap(tr, topo.DefaultBlock, topo.MapTopo)
+	f := NewFabric(m, DefaultParams())
+	mk := func() []*Transfer {
+		var out []*Transfer
+		for r := 0; r < m.Ranks(); r++ {
+			for i := 0; i < 13; i++ {
+				dst := m.NeighborRank(r, vec.I3{X: 1, Y: 1, Z: 1})
+				out = append(out, &Transfer{Src: r, Dst: dst, TNI: i % 6, VCQ: r*8 + i%6, Thread: i % 6, Bytes: 528})
+			}
+		}
+		return out
+	}
+	trs := mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.RunRound(trs, IfaceUTofu)
+	}
+}

@@ -1,0 +1,128 @@
+package topo
+
+import (
+	"testing"
+
+	"tofumd/internal/vec"
+)
+
+func mustMap(t *testing.T, shape, block vec.I3, mode MapMode) *RankMap {
+	t.Helper()
+	tr := mustTorus(t, shape)
+	m, err := NewRankMap(tr, block, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRankMapCounts(t *testing.T) {
+	m := mustMap(t, vec.I3{X: 4, Y: 4, Z: 4}, DefaultBlock, MapTopo)
+	if m.Ranks() != 256 {
+		t.Errorf("Ranks = %d, want 256 (64 nodes x 4)", m.Ranks())
+	}
+	if m.RanksPerNode() != 4 {
+		t.Errorf("RanksPerNode = %d", m.RanksPerNode())
+	}
+}
+
+func TestNewRankMapRejectsBadBlock(t *testing.T) {
+	tr := mustTorus(t, vec.I3{X: 2, Y: 2, Z: 2})
+	if _, err := NewRankMap(tr, vec.I3{X: 0, Y: 1, Z: 1}, MapTopo); err == nil {
+		t.Error("zero block accepted")
+	}
+}
+
+func TestRankIDRoundTrip(t *testing.T) {
+	m := mustMap(t, vec.I3{X: 3, Y: 2, Z: 2}, DefaultBlock, MapTopo)
+	for id := 0; id < m.Ranks(); id++ {
+		if got := m.RankID(m.RankCoord(id)); got != id {
+			t.Fatalf("round trip %d -> %v -> %d", id, m.RankCoord(id), got)
+		}
+	}
+}
+
+func TestNodeOfTopoMappingGroupsBlocks(t *testing.T) {
+	m := mustMap(t, vec.I3{X: 2, Y: 2, Z: 2}, DefaultBlock, MapTopo)
+	// The 2x2x1 rank block at origin shares node 0 with distinct slots.
+	seen := map[int]bool{}
+	for _, rc := range []vec.I3{{X: 0, Y: 0, Z: 0}, {X: 1, Y: 0, Z: 0}, {X: 0, Y: 1, Z: 0}, {X: 1, Y: 1, Z: 0}} {
+		node, slot := m.NodeOf(m.RankID(rc))
+		if node != 0 {
+			t.Errorf("rank %v on node %d, want 0", rc, node)
+		}
+		if seen[slot] {
+			t.Errorf("slot %d reused within node", slot)
+		}
+		seen[slot] = true
+	}
+}
+
+func TestEveryNodeHostsExactlyBlockRanks(t *testing.T) {
+	for _, mode := range []MapMode{MapTopo, MapLinear} {
+		m := mustMap(t, vec.I3{X: 4, Y: 2, Z: 2}, DefaultBlock, mode)
+		perNode := map[int]int{}
+		for id := 0; id < m.Ranks(); id++ {
+			node, slot := m.NodeOf(id)
+			if slot < 0 || slot >= m.RanksPerNode() {
+				t.Fatalf("mode %v: slot %d out of range", mode, slot)
+			}
+			perNode[node]++
+		}
+		if len(perNode) != m.Torus.Nodes() {
+			t.Errorf("mode %v: %d nodes used, want %d", mode, len(perNode), m.Torus.Nodes())
+		}
+		for node, n := range perNode {
+			if n != m.RanksPerNode() {
+				t.Errorf("mode %v: node %d hosts %d ranks", mode, node, n)
+			}
+		}
+	}
+}
+
+func TestIntraNodeNeighborsZeroHops(t *testing.T) {
+	m := mustMap(t, vec.I3{X: 4, Y: 4, Z: 4}, DefaultBlock, MapTopo)
+	a := m.RankID(vec.I3{X: 0, Y: 0, Z: 0})
+	b := m.RankID(vec.I3{X: 1, Y: 1, Z: 0})
+	if got := m.Hops(a, b); got != 0 {
+		t.Errorf("intra-node hops = %d, want 0", got)
+	}
+}
+
+func TestTopoNeighborHopsAtMostOnePerAxis(t *testing.T) {
+	m := mustMap(t, vec.I3{X: 4, Y: 4, Z: 4}, DefaultBlock, MapTopo)
+	// A +1 rank-grid neighbor in topo mapping is at most 1 node hop per
+	// axis, so a corner neighbor is at most 3 hops.
+	for _, id := range []int{0, 17, 100, m.Ranks() - 1} {
+		for dz := -1; dz <= 1; dz++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					nb := m.NeighborRank(id, vec.I3{X: dx, Y: dy, Z: dz})
+					if h := m.Hops(id, nb); h > 3 {
+						t.Errorf("rank %d neighbor (%d,%d,%d): %d hops", id, dx, dy, dz, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTopoMappingBeatsLinear(t *testing.T) {
+	shape := vec.I3{X: 4, Y: 4, Z: 4}
+	topoMap := mustMap(t, shape, DefaultBlock, MapTopo)
+	linMap := mustMap(t, shape, DefaultBlock, MapLinear)
+	ht := topoMap.AvgNeighborHops()
+	hl := linMap.AvgNeighborHops()
+	if ht >= hl {
+		t.Errorf("topo mapping avg hops %.3f not better than linear %.3f", ht, hl)
+	}
+}
+
+func TestNeighborRankWraps(t *testing.T) {
+	m := mustMap(t, vec.I3{X: 2, Y: 2, Z: 2}, DefaultBlock, MapTopo)
+	id := m.RankID(vec.I3{X: 0, Y: 0, Z: 0})
+	nb := m.NeighborRank(id, vec.I3{X: -1, Y: 0, Z: 0})
+	if got := m.RankCoord(nb); got != (vec.I3{X: m.Grid.X - 1, Y: 0, Z: 0}) {
+		t.Errorf("wrapped neighbor coord = %+v", got)
+	}
+}

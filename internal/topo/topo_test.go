@@ -1,0 +1,148 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tofumd/internal/vec"
+)
+
+func mustTorus(t *testing.T, shape vec.I3) *Torus3D {
+	t.Helper()
+	tr, err := NewTorus3D(shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewTorusRejectsBadShape(t *testing.T) {
+	for _, s := range []vec.I3{{X: 0, Y: 1, Z: 1}, {X: 1, Y: -2, Z: 1}, {X: 1, Y: 1, Z: 0}} {
+		if _, err := NewTorus3D(s); err == nil {
+			t.Errorf("shape %+v accepted", s)
+		}
+	}
+}
+
+func TestIDCoordRoundTrip(t *testing.T) {
+	tr := mustTorus(t, vec.I3{X: 4, Y: 3, Z: 5})
+	for id := 0; id < tr.Nodes(); id++ {
+		if got := tr.ID(tr.CoordOf(id)); got != id {
+			t.Fatalf("round trip %d -> %v -> %d", id, tr.CoordOf(id), got)
+		}
+	}
+}
+
+func TestWrap(t *testing.T) {
+	tr := mustTorus(t, vec.I3{X: 4, Y: 4, Z: 4})
+	if got := tr.Wrap(vec.I3{X: -1, Y: 4, Z: 7}); got != (vec.I3{X: 3, Y: 0, Z: 3}) {
+		t.Errorf("Wrap = %+v", got)
+	}
+}
+
+func TestAxisDist(t *testing.T) {
+	cases := []struct{ a, b, n, want int }{
+		{0, 1, 8, 1},
+		{0, 7, 8, 1}, // wraps
+		{0, 4, 8, 4},
+		{2, 2, 8, 0},
+		{1, 6, 8, 3},
+	}
+	for _, c := range cases {
+		if got := AxisDist(c.a, c.b, c.n); got != c.want {
+			t.Errorf("AxisDist(%d,%d,%d) = %d, want %d", c.a, c.b, c.n, got, c.want)
+		}
+	}
+}
+
+func TestHopsNearestNeighbors(t *testing.T) {
+	tr := mustTorus(t, vec.I3{X: 8, Y: 12, Z: 8})
+	origin := vec.I3{}
+	// Face neighbor: 1 hop; edge: 2; corner: 3 (the Table 1 hop counts).
+	if got := tr.Hops(origin, vec.I3{X: 1}); got != 1 {
+		t.Errorf("face hop = %d", got)
+	}
+	if got := tr.Hops(origin, vec.I3{X: 1, Y: 1}); got != 2 {
+		t.Errorf("edge hop = %d", got)
+	}
+	if got := tr.Hops(origin, vec.I3{X: 1, Y: 1, Z: 1}); got != 3 {
+		t.Errorf("corner hop = %d", got)
+	}
+	// Wraparound neighbor is still 1 hop on a torus.
+	if got := tr.Hops(origin, vec.I3{X: 7}); got != 1 {
+		t.Errorf("wrap hop = %d", got)
+	}
+}
+
+func TestHopsSymmetryProperty(t *testing.T) {
+	tr := mustTorus(t, vec.I3{X: 6, Y: 5, Z: 7})
+	f := func(ax, ay, az, bx, by, bz uint8) bool {
+		a := tr.Wrap(vec.I3{X: int(ax), Y: int(ay), Z: int(az)})
+		b := tr.Wrap(vec.I3{X: int(bx), Y: int(by), Z: int(bz)})
+		return tr.Hops(a, b) == tr.Hops(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHopsTriangleInequalityProperty(t *testing.T) {
+	tr := mustTorus(t, vec.I3{X: 5, Y: 4, Z: 6})
+	f := func(av, bv, cv uint16) bool {
+		a := tr.CoordOf(int(av) % tr.Nodes())
+		b := tr.CoordOf(int(bv) % tr.Nodes())
+		c := tr.CoordOf(int(cv) % tr.Nodes())
+		return tr.Hops(a, c) <= tr.Hops(a, b)+tr.Hops(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTo6DFolding(t *testing.T) {
+	// 8x12x8: divisible by the 2x3x2 cell in every axis.
+	tr := mustTorus(t, vec.I3{X: 8, Y: 12, Z: 8})
+	c := tr.To6D(vec.I3{X: 5, Y: 7, Z: 3})
+	if c.X != 2 || c.A != 1 {
+		t.Errorf("X fold: got X=%d A=%d", c.X, c.A)
+	}
+	if c.Y != 2 || c.B != 1 {
+		t.Errorf("Y fold: got Y=%d B=%d", c.Y, c.B)
+	}
+	if c.Z != 1 || c.C != 1 {
+		t.Errorf("Z fold: got Z=%d C=%d", c.Z, c.C)
+	}
+	// Non-divisible axis falls back to pure grid coordinates.
+	tr2 := mustTorus(t, vec.I3{X: 24, Y: 32, Z: 24})
+	c2 := tr2.To6D(vec.I3{X: 0, Y: 31, Z: 0})
+	if c2.Y != 31 || c2.B != 0 {
+		t.Errorf("non-divisible Y fold: got Y=%d B=%d", c2.Y, c2.B)
+	}
+}
+
+func TestShelfAligned(t *testing.T) {
+	for _, s := range PaperStrongScalingShapes() {
+		tr := mustTorus(t, s)
+		if !tr.ShelfAligned() {
+			t.Errorf("paper shape %+v (%d nodes) not shelf aligned", s, tr.Nodes())
+		}
+	}
+	if mustTorus(t, vec.I3{X: 5, Y: 5, Z: 2}).ShelfAligned() {
+		t.Error("50 nodes reported shelf aligned")
+	}
+}
+
+func TestPaperShapeNodeCounts(t *testing.T) {
+	want := []int{768, 2160, 6144, 18432, 36864}
+	for i, s := range PaperStrongScalingShapes() {
+		if n := s.Prod(); n != want[i] {
+			t.Errorf("strong scaling point %d: %d nodes, want %d", i, n, want[i])
+		}
+	}
+	wantWeak := []int{768, 2160, 6144, 20736}
+	for i, s := range PaperWeakScalingShapes() {
+		if n := s.Prod(); n != wantWeak[i] {
+			t.Errorf("weak scaling point %d: %d nodes, want %d", i, n, wantWeak[i])
+		}
+	}
+}

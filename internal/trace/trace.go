@@ -1,0 +1,164 @@
+// Package trace collects per-stage virtual-time breakdowns in the style of
+// the LAMMPS "MPI task timing breakdown". The paper's Table 3 reports the
+// five canonical stages: Pair (force evaluation, including the in-pair
+// communication of EAM), Neigh (neighbor-list builds), Comm (ghost exchange:
+// forward, reverse, border, exchange), Modify (integration fixes) and Other
+// (everything else, including the all-reduce of the neighbor-list check).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stage identifies one of the canonical LAMMPS timing stages.
+type Stage int
+
+const (
+	Pair Stage = iota
+	Neigh
+	Comm
+	Modify
+	Other
+	numStages
+)
+
+// String returns the LAMMPS-style stage name.
+func (s Stage) String() string {
+	switch s {
+	case Pair:
+		return "Pair"
+	case Neigh:
+		return "Neigh"
+	case Comm:
+		return "Comm"
+	case Modify:
+		return "Modify"
+	case Other:
+		return "Other"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// Stages lists all stages in report order.
+func Stages() []Stage { return []Stage{Pair, Neigh, Comm, Modify, Other} }
+
+// Breakdown accumulates virtual seconds per stage for one rank.
+type Breakdown struct {
+	t [numStages]float64
+}
+
+// Add accrues dt virtual seconds to stage s. Negative dt panics: stage times
+// are physical durations and a negative accrual always indicates a clock
+// bookkeeping bug in the caller.
+func (b *Breakdown) Add(s Stage, dt float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("trace: negative stage time %g for %v", dt, s))
+	}
+	b.t[s] += dt
+}
+
+// Get returns the accumulated time of stage s.
+func (b *Breakdown) Get(s Stage) float64 { return b.t[s] }
+
+// Total returns the sum over all stages.
+func (b *Breakdown) Total() float64 {
+	var sum float64
+	for _, v := range b.t {
+		sum += v
+	}
+	return sum
+}
+
+// AddAll accumulates every stage of o into b.
+func (b *Breakdown) AddAll(o *Breakdown) {
+	for i := range b.t {
+		b.t[i] += o.t[i]
+	}
+}
+
+// Scale multiplies every stage by f (used to extrapolate a short run to the
+// paper's step count).
+func (b *Breakdown) Scale(f float64) {
+	for i := range b.t {
+		b.t[i] *= f
+	}
+}
+
+// Merge returns the element-wise average breakdown over ranks, which is what
+// LAMMPS prints in the "avg" column of the task timing breakdown.
+func Merge(ranks []*Breakdown) *Breakdown {
+	out := &Breakdown{}
+	if len(ranks) == 0 {
+		return out
+	}
+	for _, r := range ranks {
+		out.AddAll(r)
+	}
+	for i := range out.t {
+		out.t[i] /= float64(len(ranks))
+	}
+	return out
+}
+
+// MaxTotal returns the maximum Total over ranks; the slowest rank determines
+// wall-clock time in a bulk-synchronous run.
+func MaxTotal(ranks []*Breakdown) float64 {
+	var max float64
+	for _, r := range ranks {
+		if t := r.Total(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Report renders the breakdown as a LAMMPS-like table with absolute seconds
+// and percentage of total per stage.
+func (b *Breakdown) Report() string {
+	total := b.Total()
+	var sb strings.Builder
+	sb.WriteString("Stage    | time (s)   | %total\n")
+	for _, s := range Stages() {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * b.t[s] / total
+		}
+		fmt.Fprintf(&sb, "%-8s | %10.6f | %6.2f\n", s, b.t[s], pct)
+	}
+	fmt.Fprintf(&sb, "%-8s | %10.6f | %6.2f\n", "Total", total, 100.0)
+	return sb.String()
+}
+
+// Named is a labeled breakdown, used when reporting several code variants
+// side by side.
+type Named struct {
+	Label string
+	B     *Breakdown
+}
+
+// CompareReport renders several named breakdowns as one table sorted by
+// total time (fastest last, mirroring the paper's figure ordering).
+func CompareReport(rows []Named) string {
+	sorted := make([]Named, len(rows))
+	copy(sorted, rows)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].B.Total() > sorted[j].B.Total()
+	})
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("%-16s", "variant"))
+	for _, s := range Stages() {
+		sb.WriteString(fmt.Sprintf(" %10s", s.String()))
+	}
+	sb.WriteString(fmt.Sprintf(" %10s\n", "Total"))
+	for _, row := range sorted {
+		sb.WriteString(fmt.Sprintf("%-16s", row.Label))
+		for _, s := range Stages() {
+			sb.WriteString(fmt.Sprintf(" %10.6f", row.B.Get(s)))
+		}
+		sb.WriteString(fmt.Sprintf(" %10.6f\n", row.B.Total()))
+	}
+	return sb.String()
+}

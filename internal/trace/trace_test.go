@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBreakdownAddGet(t *testing.T) {
+	var b Breakdown
+	b.Add(Pair, 1.5)
+	b.Add(Pair, 0.5)
+	b.Add(Comm, 3)
+	if got := b.Get(Pair); got != 2 {
+		t.Errorf("Pair = %v, want 2", got)
+	}
+	if got := b.Total(); got != 5 {
+		t.Errorf("Total = %v, want 5", got)
+	}
+}
+
+func TestNegativeAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	var b Breakdown
+	b.Add(Comm, -1)
+}
+
+func TestStageNames(t *testing.T) {
+	want := []string{"Pair", "Neigh", "Comm", "Modify", "Other"}
+	for i, s := range Stages() {
+		if s.String() != want[i] {
+			t.Errorf("stage %d = %q, want %q", i, s.String(), want[i])
+		}
+	}
+}
+
+func TestMergeAverages(t *testing.T) {
+	a := &Breakdown{}
+	a.Add(Pair, 2)
+	b := &Breakdown{}
+	b.Add(Pair, 4)
+	m := Merge([]*Breakdown{a, b})
+	if got := m.Get(Pair); got != 3 {
+		t.Errorf("merged Pair = %v, want 3", got)
+	}
+	if empty := Merge(nil); empty.Total() != 0 {
+		t.Errorf("Merge(nil).Total = %v", empty.Total())
+	}
+}
+
+func TestMaxTotal(t *testing.T) {
+	a := &Breakdown{}
+	a.Add(Pair, 2)
+	b := &Breakdown{}
+	b.Add(Comm, 7)
+	if got := MaxTotal([]*Breakdown{a, b}); got != 7 {
+		t.Errorf("MaxTotal = %v, want 7", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	b := &Breakdown{}
+	b.Add(Pair, 2)
+	b.Add(Neigh, 1)
+	b.Scale(10)
+	if b.Get(Pair) != 20 || b.Get(Neigh) != 10 {
+		t.Errorf("after Scale: %v %v", b.Get(Pair), b.Get(Neigh))
+	}
+}
+
+func TestReportContainsStagesAndPercents(t *testing.T) {
+	b := &Breakdown{}
+	b.Add(Pair, 3)
+	b.Add(Comm, 1)
+	r := b.Report()
+	for _, s := range []string{"Pair", "Neigh", "Comm", "Modify", "Other", "Total", "75.00", "25.00"} {
+		if !strings.Contains(r, s) {
+			t.Errorf("report missing %q:\n%s", s, r)
+		}
+	}
+}
+
+func TestCompareReportSortsSlowestFirst(t *testing.T) {
+	fast := &Breakdown{}
+	fast.Add(Pair, 1)
+	slow := &Breakdown{}
+	slow.Add(Pair, 9)
+	r := CompareReport([]Named{{Label: "fast", B: fast}, {Label: "slow", B: slow}})
+	iFast := strings.Index(r, "fast")
+	iSlow := strings.Index(r, "slow")
+	if iSlow > iFast {
+		t.Errorf("slow variant should come first:\n%s", r)
+	}
+}
+
+func TestAddAll(t *testing.T) {
+	a := &Breakdown{}
+	a.Add(Modify, 1)
+	b := &Breakdown{}
+	b.Add(Modify, 2)
+	b.Add(Other, 3)
+	a.AddAll(b)
+	if a.Get(Modify) != 3 || a.Get(Other) != 3 {
+		t.Errorf("AddAll: %v %v", a.Get(Modify), a.Get(Other))
+	}
+}

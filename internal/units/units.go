@@ -1,0 +1,72 @@
+// Package units defines the unit systems used by the simulator, mirroring
+// the LAMMPS "lj" and "metal" unit styles that the paper's benchmarks use
+// (Table 2). The engine itself is unit-agnostic; a System supplies the
+// constants that depend on the unit style (Boltzmann constant, pressure
+// conversion, default timestep).
+package units
+
+import "fmt"
+
+// Style enumerates supported LAMMPS-like unit styles.
+type Style int
+
+const (
+	// LJ is the reduced Lennard-Jones unit style: sigma, epsilon and mass
+	// are all 1; time is in tau.
+	LJ Style = iota
+	// Metal is the LAMMPS "metal" style: distance in Angstrom, energy in
+	// eV, time in picoseconds, pressure in bar.
+	Metal
+)
+
+// String returns the LAMMPS-style name of the unit style.
+func (s Style) String() string {
+	switch s {
+	case LJ:
+		return "lj"
+	case Metal:
+		return "metal"
+	default:
+		return fmt.Sprintf("Style(%d)", int(s))
+	}
+}
+
+// System carries the conversion constants of a unit style.
+type System struct {
+	Style Style
+	// Boltz is the Boltzmann constant in the style's energy/temperature
+	// units.
+	Boltz float64
+	// Nktv2p converts energy density (N k_B T / V) to the style's pressure
+	// unit, as in LAMMPS "nktv2p".
+	Nktv2p float64
+	// Mvv2e converts mass*velocity^2 to energy.
+	Mvv2e float64
+	// DefaultDt is the timestep used by the paper's inputs (0.005 tau for
+	// lj, 0.005 ps for metal).
+	DefaultDt float64
+}
+
+// ForStyle returns the unit System for the given style.
+func ForStyle(s Style) System {
+	switch s {
+	case LJ:
+		return System{
+			Style:     LJ,
+			Boltz:     1.0,
+			Nktv2p:    1.0,
+			Mvv2e:     1.0,
+			DefaultDt: 0.005,
+		}
+	case Metal:
+		return System{
+			Style:     Metal,
+			Boltz:     8.617343e-5,  // eV/K
+			Nktv2p:    1.6021765e6,  // eV/A^3 -> bar
+			Mvv2e:     1.0364269e-4, // g/mol * (A/ps)^2 -> eV
+			DefaultDt: 0.005,
+		}
+	default:
+		panic("units: unknown style")
+	}
+}

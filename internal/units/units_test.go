@@ -1,0 +1,44 @@
+package units
+
+import "testing"
+
+func TestStyleString(t *testing.T) {
+	if LJ.String() != "lj" || Metal.String() != "metal" {
+		t.Errorf("style names: %q %q", LJ.String(), Metal.String())
+	}
+	if got := Style(99).String(); got != "Style(99)" {
+		t.Errorf("unknown style String = %q", got)
+	}
+}
+
+func TestForStyleLJ(t *testing.T) {
+	s := ForStyle(LJ)
+	if s.Boltz != 1 || s.Nktv2p != 1 || s.Mvv2e != 1 {
+		t.Errorf("LJ reduced constants must all be 1: %+v", s)
+	}
+	if s.DefaultDt != 0.005 {
+		t.Errorf("LJ default dt = %v, want 0.005 tau (Table 2)", s.DefaultDt)
+	}
+}
+
+func TestForStyleMetal(t *testing.T) {
+	s := ForStyle(Metal)
+	if s.Boltz < 8.6e-5 || s.Boltz > 8.7e-5 {
+		t.Errorf("metal kB = %v eV/K out of range", s.Boltz)
+	}
+	if s.Nktv2p < 1.5e6 || s.Nktv2p > 1.7e6 {
+		t.Errorf("metal nktv2p = %v out of range", s.Nktv2p)
+	}
+	if s.DefaultDt != 0.005 {
+		t.Errorf("metal default dt = %v, want 0.005 ps (Table 2)", s.DefaultDt)
+	}
+}
+
+func TestForStyleUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForStyle(unknown) did not panic")
+		}
+	}()
+	ForStyle(Style(42))
+}

@@ -1,0 +1,265 @@
+// Package utofu implements a functional model of the uTofu programming
+// interface: the low-level, one-sided communication API of the Fugaku TofuD
+// interconnect that the paper's optimized code paths use instead of MPI.
+//
+// The API mirrors the real interface's concepts:
+//
+//   - a VCQ (virtual control queue) is created by a rank and bound to one CQ
+//     (control queue) of one TNI; a TNI has 9 CQs and by default each rank
+//     may hold one CQ per TNI (section 3.3, Fig. 7);
+//   - memory must be registered (STADD) before it can be the target of RDMA;
+//     registration traps into the kernel and is expensive, motivating the
+//     paper's pre-registered maximum-size buffers (section 3.4);
+//   - Put writes local bytes directly into a remote registered region at a
+//     given offset, optionally piggybacking an 8-byte immediate value in the
+//     descriptor (used to carry the ghost-atom recv_ptr offset).
+//
+// Puts are collected into rounds and executed through the tofu fabric, which
+// provides the virtual-time model; payload bytes are really copied into the
+// destination regions so the MD simulation stays functionally correct.
+package utofu
+
+import (
+	"fmt"
+
+	"tofumd/internal/tofu"
+)
+
+// System tracks VCQs and registered memory for every rank on one fabric.
+type System struct {
+	Fab *tofu.Fabric
+
+	// cqUsed[node][tni][cq] marks allocated control queues.
+	cqUsed [][][]bool
+	// rankCQOnTNI[rank][tni] counts CQs the rank holds on that TNI.
+	rankCQOnTNI [][]int
+
+	regions    map[uint64]*MemRegion
+	nextSTADD  uint64
+	nextVCQTag int
+}
+
+// VCQ is a virtual control queue bound to one CQ of one TNI on the rank's
+// node. Commands issued through the same VCQ by one thread serialize with
+// the uTofu injection gap.
+type VCQ struct {
+	Rank int
+	TNI  int
+	CQ   int
+	// Tag is a system-unique VCQ identity used for contention accounting.
+	Tag int
+	sys *System
+}
+
+// MemRegion is a registered (STADD'd) memory region owned by a rank.
+type MemRegion struct {
+	Rank  int
+	STADD uint64
+	Buf   []byte
+}
+
+// NewSystem creates the uTofu bookkeeping layer over a fabric.
+func NewSystem(fab *tofu.Fabric) *System {
+	nodes := fab.Map.Torus.Nodes()
+	ranks := fab.Map.Ranks()
+	p := fab.Params
+	cq := make([][][]bool, nodes)
+	for n := range cq {
+		cq[n] = make([][]bool, p.TNIsPerNode)
+		for t := range cq[n] {
+			cq[n][t] = make([]bool, p.CQsPerTNI)
+		}
+	}
+	rc := make([][]int, ranks)
+	for r := range rc {
+		rc[r] = make([]int, p.TNIsPerNode)
+	}
+	return &System{
+		Fab:         fab,
+		cqUsed:      cq,
+		rankCQOnTNI: rc,
+		regions:     make(map[uint64]*MemRegion),
+	}
+}
+
+// CreateVCQ allocates a CQ on the given TNI of the rank's node and binds a
+// VCQ to it. It enforces the hardware limits: 9 CQs per TNI, and at most one
+// CQ per (rank, TNI) — the default resource policy the paper works within
+// (section 3.3: "each MPI rank can only allocate one CQ on each TNI by
+// default", so 4 ranks x 6 TNIs = 24 CQs per node).
+func (s *System) CreateVCQ(rank, tni int) (*VCQ, error) {
+	p := s.Fab.Params
+	if tni < 0 || tni >= p.TNIsPerNode {
+		return nil, fmt.Errorf("utofu: TNI %d out of range [0,%d)", tni, p.TNIsPerNode)
+	}
+	if s.rankCQOnTNI[rank][tni] >= 1 {
+		return nil, fmt.Errorf("utofu: rank %d already holds a CQ on TNI %d", rank, tni)
+	}
+	node, _ := s.Fab.Map.NodeOf(rank)
+	cqs := s.cqUsed[node][tni]
+	for cq := range cqs {
+		if !cqs[cq] {
+			cqs[cq] = true
+			s.rankCQOnTNI[rank][tni]++
+			s.nextVCQTag++
+			return &VCQ{Rank: rank, TNI: tni, CQ: cq, Tag: s.nextVCQTag, sys: s}, nil
+		}
+	}
+	return nil, fmt.Errorf("utofu: no free CQ on node %d TNI %d", node, tni)
+}
+
+// FreeVCQ releases the VCQ's control queue.
+func (s *System) FreeVCQ(v *VCQ) {
+	node, _ := s.Fab.Map.NodeOf(v.Rank)
+	s.cqUsed[node][v.TNI][v.CQ] = false
+	s.rankCQOnTNI[v.Rank][v.TNI]--
+}
+
+// Register STADDs a buffer for RDMA access and returns the region plus the
+// virtual-time cost of the registration (a kernel trap). The optimized code
+// calls this once per buffer during setup; a naive implementation pays it on
+// every buffer growth.
+func (s *System) Register(rank int, buf []byte) (*MemRegion, float64) {
+	s.nextSTADD++
+	r := &MemRegion{Rank: rank, STADD: s.nextSTADD, Buf: buf}
+	s.regions[r.STADD] = r
+	return r, s.Fab.Params.RegistrationCost
+}
+
+// Deregister removes a region.
+func (s *System) Deregister(r *MemRegion) {
+	delete(s.regions, r.STADD)
+}
+
+// Lookup resolves a STADD to its region.
+func (s *System) Lookup(stadd uint64) (*MemRegion, bool) {
+	r, ok := s.regions[stadd]
+	return r, ok
+}
+
+// Put is one queued one-sided RDMA put.
+type Put struct {
+	VCQ *VCQ
+	// Thread is the issuing CPU thread within the rank.
+	Thread int
+	// DstThread is the receiver-side thread that polls the target VCQ's
+	// receive queue; completions within one context serialize.
+	DstThread int
+	// Dst addresses the remote registered region.
+	DstSTADD uint64
+	DstOff   int
+	// Src is the payload; it is copied into the destination at delivery.
+	Src []byte
+	// Piggyback optionally carries an 8-byte immediate delivered with the
+	// completion (0 means none is read; use HasPiggyback to distinguish).
+	Piggyback    uint64
+	HasPiggyback bool
+	// ReadyAt is the sender virtual time the payload is packed.
+	ReadyAt float64
+
+	// Timing outputs, filled by ExecuteRound.
+	IssueDone    float64
+	Arrival      float64
+	RecvComplete float64
+}
+
+// Get is one queued one-sided RDMA read: bytes from a remote registered
+// region are fetched into a local buffer. Gets pay a request round trip on
+// top of the payload transfer.
+type Get struct {
+	VCQ *VCQ
+	// Thread is the issuing CPU thread (also the completion-poll context).
+	Thread int
+	// Src addresses the remote registered region to read from.
+	SrcSTADD uint64
+	SrcOff   int
+	// Dst receives the payload locally.
+	Dst []byte
+	// ReadyAt is the issuer virtual time the descriptor is ready.
+	ReadyAt float64
+
+	// Timing outputs.
+	IssueDone float64
+	Complete  float64
+}
+
+// ExecuteGetRound runs a batch of gets as one fabric round, copying remote
+// bytes into the local destinations.
+func (s *System) ExecuteGetRound(gets []*Get) error {
+	if len(gets) == 0 {
+		return nil
+	}
+	transfers := make([]*tofu.Transfer, len(gets))
+	for i, g := range gets {
+		src, ok := s.Lookup(g.SrcSTADD)
+		if !ok {
+			return fmt.Errorf("utofu: get %d reads unregistered STADD %d", i, g.SrcSTADD)
+		}
+		if g.SrcOff < 0 || g.SrcOff+len(g.Dst) > len(src.Buf) {
+			return fmt.Errorf("utofu: get %d reads [%d,%d) outside region of %d bytes",
+				i, g.SrcOff, g.SrcOff+len(g.Dst), len(src.Buf))
+		}
+		transfers[i] = &tofu.Transfer{
+			Src:     g.VCQ.Rank,
+			Dst:     src.Rank,
+			TNI:     g.VCQ.TNI,
+			VCQ:     g.VCQ.Tag,
+			Thread:  g.Thread,
+			Bytes:   len(g.Dst),
+			ReadyAt: g.ReadyAt,
+			IsGet:   true,
+		}
+	}
+	s.Fab.RunRound(transfers, tofu.IfaceUTofu)
+	for i, g := range gets {
+		src, _ := s.Lookup(g.SrcSTADD)
+		copy(g.Dst, src.Buf[g.SrcOff:])
+		g.IssueDone = transfers[i].IssueDone
+		g.Complete = transfers[i].RecvComplete
+	}
+	return nil
+}
+
+// ExecuteRound runs a batch of puts as one fabric round: all timing effects
+// (injection gaps, TNI engine serialization, hop latency) are computed, and
+// payloads are copied into their destination regions. Puts issued by the
+// same (rank, thread) pair serialize in slice order.
+func (s *System) ExecuteRound(puts []*Put) error {
+	if len(puts) == 0 {
+		return nil
+	}
+	transfers := make([]*tofu.Transfer, len(puts))
+	for i, p := range puts {
+		dst, ok := s.Lookup(p.DstSTADD)
+		if !ok {
+			return fmt.Errorf("utofu: put %d targets unregistered STADD %d", i, p.DstSTADD)
+		}
+		if p.DstOff < 0 || p.DstOff+len(p.Src) > len(dst.Buf) {
+			return fmt.Errorf("utofu: put %d writes [%d,%d) outside region of %d bytes",
+				i, p.DstOff, p.DstOff+len(p.Src), len(dst.Buf))
+		}
+		bytes := len(p.Src)
+		if p.HasPiggyback && bytes == 0 {
+			bytes = 8 // descriptor-only message
+		}
+		transfers[i] = &tofu.Transfer{
+			Src:       p.VCQ.Rank,
+			Dst:       dst.Rank,
+			TNI:       p.VCQ.TNI,
+			VCQ:       p.VCQ.Tag,
+			Thread:    p.Thread,
+			DstThread: p.DstThread,
+			Bytes:     bytes,
+			ReadyAt:   p.ReadyAt,
+		}
+	}
+	s.Fab.RunRound(transfers, tofu.IfaceUTofu)
+	for i, p := range puts {
+		dst, _ := s.Lookup(p.DstSTADD)
+		copy(dst.Buf[p.DstOff:], p.Src)
+		p.IssueDone = transfers[i].IssueDone
+		p.Arrival = transfers[i].Arrival
+		p.RecvComplete = transfers[i].RecvComplete
+	}
+	return nil
+}

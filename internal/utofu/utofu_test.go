@@ -1,0 +1,226 @@
+package utofu
+
+import (
+	"bytes"
+	"testing"
+
+	"tofumd/internal/tofu"
+	"tofumd/internal/topo"
+	"tofumd/internal/vec"
+)
+
+func testSystem(t *testing.T) *System {
+	t.Helper()
+	tr, err := topo.NewTorus3D(vec.I3{X: 2, Y: 2, Z: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := topo.NewRankMap(tr, topo.DefaultBlock, topo.MapTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSystem(tofu.NewFabric(m, tofu.DefaultParams()))
+}
+
+func TestCreateVCQOnePerRankPerTNI(t *testing.T) {
+	s := testSystem(t)
+	v, err := s.CreateVCQ(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Rank != 0 || v.TNI != 0 {
+		t.Errorf("VCQ identity %+v", v)
+	}
+	if _, err := s.CreateVCQ(0, 0); err == nil {
+		t.Error("second CQ on same (rank, TNI) allowed; default policy is one")
+	}
+	// After freeing, the CQ can be reacquired.
+	s.FreeVCQ(v)
+	if _, err := s.CreateVCQ(0, 0); err != nil {
+		t.Errorf("reacquire after free: %v", err)
+	}
+}
+
+func TestFourRanksSixTNIsUseAllCQs(t *testing.T) {
+	s := testSystem(t)
+	// The node hosting ranks 0,1 and the rank-grid (0,1,0),(1,1,0) ranks
+	// can allocate 4 ranks x 6 TNIs = 24 CQs (section 3.3).
+	node0Ranks := []int{}
+	for id := 0; id < s.Fab.Map.Ranks(); id++ {
+		if n, _ := s.Fab.Map.NodeOf(id); n == 0 {
+			node0Ranks = append(node0Ranks, id)
+		}
+	}
+	if len(node0Ranks) != 4 {
+		t.Fatalf("node 0 hosts %d ranks, want 4", len(node0Ranks))
+	}
+	count := 0
+	for _, r := range node0Ranks {
+		for tni := 0; tni < 6; tni++ {
+			if _, err := s.CreateVCQ(r, tni); err != nil {
+				t.Fatalf("rank %d TNI %d: %v", r, tni, err)
+			}
+			count++
+		}
+	}
+	if count != 24 {
+		t.Errorf("allocated %d CQs, want 24", count)
+	}
+}
+
+func TestCreateVCQBadTNI(t *testing.T) {
+	s := testSystem(t)
+	if _, err := s.CreateVCQ(0, 6); err == nil {
+		t.Error("TNI 6 accepted; only 0..5 exist")
+	}
+	if _, err := s.CreateVCQ(0, -1); err == nil {
+		t.Error("TNI -1 accepted")
+	}
+}
+
+func TestRegisterLookupDeregister(t *testing.T) {
+	s := testSystem(t)
+	buf := make([]byte, 128)
+	r, cost := s.Register(3, buf)
+	if cost != s.Fab.Params.RegistrationCost {
+		t.Errorf("registration cost = %v", cost)
+	}
+	got, ok := s.Lookup(r.STADD)
+	if !ok || got != r {
+		t.Error("Lookup failed after Register")
+	}
+	s.Deregister(r)
+	if _, ok := s.Lookup(r.STADD); ok {
+		t.Error("Lookup succeeded after Deregister")
+	}
+}
+
+func TestPutDeliversPayload(t *testing.T) {
+	s := testSystem(t)
+	dstBuf := make([]byte, 64)
+	region, _ := s.Register(5, dstBuf)
+	vcq, err := s.CreateVCQ(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("ghost atoms here")
+	p := &Put{VCQ: vcq, DstSTADD: region.STADD, DstOff: 8, Src: payload}
+	if err := s.ExecuteRound([]*Put{p}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dstBuf[8:8+len(payload)], payload) {
+		t.Errorf("payload not delivered: %q", dstBuf[8:8+len(payload)])
+	}
+	if p.Arrival <= 0 || p.RecvComplete <= p.Arrival {
+		t.Errorf("timing outputs: arrival=%v recv=%v", p.Arrival, p.RecvComplete)
+	}
+}
+
+func TestPutOutOfBoundsRejected(t *testing.T) {
+	s := testSystem(t)
+	region, _ := s.Register(5, make([]byte, 16))
+	vcq, _ := s.CreateVCQ(0, 0)
+	p := &Put{VCQ: vcq, DstSTADD: region.STADD, DstOff: 10, Src: make([]byte, 10)}
+	if err := s.ExecuteRound([]*Put{p}); err == nil {
+		t.Error("out-of-bounds put accepted")
+	}
+	p2 := &Put{VCQ: vcq, DstSTADD: 9999, Src: []byte{1}}
+	if err := s.ExecuteRound([]*Put{p2}); err == nil {
+		t.Error("unregistered STADD accepted")
+	}
+}
+
+func TestPiggybackOnlyMessageHasWireCost(t *testing.T) {
+	s := testSystem(t)
+	region, _ := s.Register(5, make([]byte, 16))
+	vcq, _ := s.CreateVCQ(0, 0)
+	p := &Put{VCQ: vcq, DstSTADD: region.STADD, HasPiggyback: true, Piggyback: 42}
+	if err := s.ExecuteRound([]*Put{p}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Arrival <= 0 {
+		t.Error("piggyback-only put has no arrival time")
+	}
+}
+
+func TestExecuteRoundEmpty(t *testing.T) {
+	s := testSystem(t)
+	if err := s.ExecuteRound(nil); err != nil {
+		t.Errorf("empty round: %v", err)
+	}
+}
+
+func TestRoundSerializesPerThread(t *testing.T) {
+	s := testSystem(t)
+	region, _ := s.Register(7, make([]byte, 1024))
+	vcq, _ := s.CreateVCQ(0, 0)
+	var puts []*Put
+	for i := 0; i < 5; i++ {
+		puts = append(puts, &Put{VCQ: vcq, Thread: 0, DstSTADD: region.STADD, DstOff: i * 8, Src: []byte{byte(i)}})
+	}
+	if err := s.ExecuteRound(puts); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(puts); i++ {
+		if puts[i].IssueDone <= puts[i-1].IssueDone {
+			t.Errorf("put %d issued no later than put %d", i, i-1)
+		}
+	}
+}
+
+func TestGetFetchesRemoteBytes(t *testing.T) {
+	s := testSystem(t)
+	remote := make([]byte, 64)
+	copy(remote[16:], []byte("remote payload"))
+	region, _ := s.Register(9, remote)
+	vcq, err := s.CreateVCQ(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 14)
+	g := &Get{VCQ: vcq, SrcSTADD: region.STADD, SrcOff: 16, Dst: dst}
+	if err := s.ExecuteGetRound([]*Get{g}); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst) != "remote payload" {
+		t.Errorf("got %q", dst)
+	}
+	if g.Complete <= 0 {
+		t.Error("no completion time")
+	}
+}
+
+func TestGetRoundTripSlowerThanPut(t *testing.T) {
+	s := testSystem(t)
+	region, _ := s.Register(9, make([]byte, 64))
+	vcq, _ := s.CreateVCQ(0, 0)
+	p := &Put{VCQ: vcq, DstSTADD: region.STADD, Src: make([]byte, 32)}
+	if err := s.ExecuteRound([]*Put{p}); err != nil {
+		t.Fatal(err)
+	}
+	g := &Get{VCQ: vcq, SrcSTADD: region.STADD, Dst: make([]byte, 32)}
+	if err := s.ExecuteGetRound([]*Get{g}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Complete <= p.RecvComplete {
+		t.Errorf("get (%v) not slower than put (%v): the request must round trip",
+			g.Complete, p.RecvComplete)
+	}
+}
+
+func TestGetBoundsChecked(t *testing.T) {
+	s := testSystem(t)
+	region, _ := s.Register(9, make([]byte, 16))
+	vcq, _ := s.CreateVCQ(0, 0)
+	g := &Get{VCQ: vcq, SrcSTADD: region.STADD, SrcOff: 10, Dst: make([]byte, 10)}
+	if err := s.ExecuteGetRound([]*Get{g}); err == nil {
+		t.Error("out-of-bounds get accepted")
+	}
+	g2 := &Get{VCQ: vcq, SrcSTADD: 404, Dst: make([]byte, 1)}
+	if err := s.ExecuteGetRound([]*Get{g2}); err == nil {
+		t.Error("unregistered STADD accepted")
+	}
+	if err := s.ExecuteGetRound(nil); err != nil {
+		t.Errorf("empty get round: %v", err)
+	}
+}

@@ -1,0 +1,127 @@
+// Package vec provides small fixed-size vector math used throughout the MD
+// engine. Vectors are plain value types; all operations return new values so
+// they can be freely composed without aliasing surprises.
+package vec
+
+import "math"
+
+// V3 is a 3-component double-precision vector. It is used for atomic
+// positions, velocities, forces, and box extents.
+type V3 struct {
+	X, Y, Z float64
+}
+
+// Add returns a + b.
+func (a V3) Add(b V3) V3 { return V3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a V3) Sub(b V3) V3 { return V3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns s * a.
+func (a V3) Scale(s float64) V3 { return V3{s * a.X, s * a.Y, s * a.Z} }
+
+// Dot returns the inner product of a and b.
+func (a V3) Dot(b V3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Norm2 returns the squared Euclidean norm of a.
+func (a V3) Norm2() float64 { return a.Dot(a) }
+
+// Norm returns the Euclidean norm of a.
+func (a V3) Norm() float64 { return math.Sqrt(a.Norm2()) }
+
+// Mul returns the component-wise product of a and b.
+func (a V3) Mul(b V3) V3 { return V3{a.X * b.X, a.Y * b.Y, a.Z * b.Z} }
+
+// Div returns the component-wise quotient a / b.
+func (a V3) Div(b V3) V3 { return V3{a.X / b.X, a.Y / b.Y, a.Z / b.Z} }
+
+// Comp returns the i-th component (0 = X, 1 = Y, 2 = Z).
+func (a V3) Comp(i int) float64 {
+	switch i {
+	case 0:
+		return a.X
+	case 1:
+		return a.Y
+	default:
+		return a.Z
+	}
+}
+
+// SetComp returns a copy of a with the i-th component replaced by v.
+func (a V3) SetComp(i int, v float64) V3 {
+	switch i {
+	case 0:
+		a.X = v
+	case 1:
+		a.Y = v
+	default:
+		a.Z = v
+	}
+	return a
+}
+
+// I3 is a 3-component integer vector used for lattice indices, process grids
+// and torus coordinates.
+type I3 struct {
+	X, Y, Z int
+}
+
+// Add returns a + b.
+func (a I3) Add(b I3) I3 { return I3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a I3) Sub(b I3) I3 { return I3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Prod returns the product of the three components.
+func (a I3) Prod() int { return a.X * a.Y * a.Z }
+
+// Comp returns the i-th component (0 = X, 1 = Y, 2 = Z).
+func (a I3) Comp(i int) int {
+	switch i {
+	case 0:
+		return a.X
+	case 1:
+		return a.Y
+	default:
+		return a.Z
+	}
+}
+
+// SetComp returns a copy of a with the i-th component replaced by v.
+func (a I3) SetComp(i, v int) I3 {
+	switch i {
+	case 0:
+		a.X = v
+	case 1:
+		a.Y = v
+	default:
+		a.Z = v
+	}
+	return a
+}
+
+// ToV3 converts the integer vector to a float vector.
+func (a I3) ToV3() V3 { return V3{float64(a.X), float64(a.Y), float64(a.Z)} }
+
+// WrapPBC maps x into the periodic interval [0, l) assuming |x| < 2l, which
+// holds for atoms that moved at most one box length in a timestep.
+func WrapPBC(x, l float64) float64 {
+	if x < 0 {
+		x += l
+	}
+	if x >= l {
+		x -= l
+	}
+	return x
+}
+
+// MinImage returns the minimum-image displacement of dx in a periodic box of
+// length l.
+func MinImage(dx, l float64) float64 {
+	if dx > 0.5*l {
+		dx -= l
+	} else if dx < -0.5*l {
+		dx += l
+	}
+	return dx
+}

@@ -1,0 +1,152 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) <= 1e-12*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestV3Arithmetic(t *testing.T) {
+	a := V3{1, 2, 3}
+	b := V3{4, -5, 6}
+	if got := a.Add(b); got != (V3{5, -3, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (V3{-3, 7, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (V3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Mul(b); got != (V3{4, -10, 18}) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := b.Div(V3{2, 5, 3}); got != (V3{2, -1, 2}) {
+		t.Errorf("Div = %v", got)
+	}
+}
+
+func TestV3Norm(t *testing.T) {
+	a := V3{3, 4, 12}
+	if !almostEq(a.Norm(), 13) {
+		t.Errorf("Norm = %v, want 13", a.Norm())
+	}
+	if !almostEq(a.Norm2(), 169) {
+		t.Errorf("Norm2 = %v, want 169", a.Norm2())
+	}
+}
+
+func TestV3Components(t *testing.T) {
+	a := V3{1, 2, 3}
+	for i, want := range []float64{1, 2, 3} {
+		if got := a.Comp(i); got != want {
+			t.Errorf("Comp(%d) = %v, want %v", i, got, want)
+		}
+	}
+	b := a.SetComp(1, 9)
+	if b != (V3{1, 9, 3}) || a != (V3{1, 2, 3}) {
+		t.Errorf("SetComp mutated receiver or wrong result: %v %v", a, b)
+	}
+}
+
+func TestI3(t *testing.T) {
+	a := I3{2, 3, 4}
+	if a.Prod() != 24 {
+		t.Errorf("Prod = %d", a.Prod())
+	}
+	if got := a.Add(I3{1, 1, 1}); got != (I3{3, 4, 5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(I3{1, 1, 1}); got != (I3{1, 2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.SetComp(2, 7); got != (I3{2, 3, 7}) {
+		t.Errorf("SetComp = %v", got)
+	}
+	if got := a.ToV3(); got != (V3{2, 3, 4}) {
+		t.Errorf("ToV3 = %v", got)
+	}
+	for i, want := range []int{2, 3, 4} {
+		if got := a.Comp(i); got != want {
+			t.Errorf("Comp(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWrapPBC(t *testing.T) {
+	cases := []struct{ x, l, want float64 }{
+		{-0.5, 10, 9.5},
+		{10.5, 10, 0.5},
+		{5, 10, 5},
+		{0, 10, 0},
+		{10, 10, 0},
+	}
+	for _, c := range cases {
+		if got := WrapPBC(c.x, c.l); !almostEq(got, c.want) {
+			t.Errorf("WrapPBC(%v,%v) = %v, want %v", c.x, c.l, got, c.want)
+		}
+	}
+}
+
+func TestMinImage(t *testing.T) {
+	if got := MinImage(7, 10); got != -3 {
+		t.Errorf("MinImage(7,10) = %v, want -3", got)
+	}
+	if got := MinImage(-7, 10); got != 3 {
+		t.Errorf("MinImage(-7,10) = %v, want 3", got)
+	}
+	if got := MinImage(3, 10); got != 3 {
+		t.Errorf("MinImage(3,10) = %v, want 3", got)
+	}
+}
+
+// Property: WrapPBC output is always in [0, l) for inputs within (-l, 2l).
+func TestWrapPBCPropertyInRange(t *testing.T) {
+	f := func(frac float64) bool {
+		l := 10.0
+		x := math.Mod(math.Abs(frac), 3)*l - l // in (-l, 2l)
+		w := WrapPBC(x, l)
+		return w >= 0 && w < l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinImage result magnitude never exceeds l/2 for |dx| <= l.
+func TestMinImagePropertyBound(t *testing.T) {
+	f := func(frac float64) bool {
+		l := 4.0
+		dx := math.Mod(frac, l)
+		m := MinImage(dx, l)
+		return math.Abs(m) <= l/2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dot product is bilinear in the first argument.
+func TestDotLinearityProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, s float64) bool {
+		if math.IsNaN(ax+ay+az+bx+by+bz+s) || math.IsInf(ax+ay+az+bx+by+bz+s, 0) {
+			return true
+		}
+		// Keep magnitudes sane to avoid float blowup.
+		clamp := func(v float64) float64 { return math.Mod(v, 1e3) }
+		a := V3{clamp(ax), clamp(ay), clamp(az)}
+		b := V3{clamp(bx), clamp(by), clamp(bz)}
+		s = clamp(s)
+		lhs := a.Scale(s).Dot(b)
+		rhs := s * a.Dot(b)
+		return math.Abs(lhs-rhs) <= 1e-6*(1+math.Abs(lhs)+math.Abs(rhs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

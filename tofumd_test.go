@@ -1,0 +1,68 @@
+package tofumd
+
+// Top-level integration test grounding the README's quickstart claims: the
+// public core API runs a small benchmark end to end with sane physics and a
+// populated LAMMPS-style breakdown.
+
+import (
+	"testing"
+
+	"tofumd/internal/core"
+	"tofumd/internal/md/sim"
+	"tofumd/internal/trace"
+	"tofumd/internal/vec"
+)
+
+func TestQuickstartEndToEnd(t *testing.T) {
+	res, err := core.Run(core.RunSpec{
+		Workload: core.Workload{
+			Name:      "quickstart",
+			Kind:      core.LJ,
+			Atoms:     8000,
+			FullShape: vec.I3{X: 2, Y: 3, Z: 2},
+			Steps:     40,
+		},
+		TileShape:   vec.I3{X: 2, Y: 3, Z: 2},
+		Variant:     sim.Opt(),
+		ThermoEvery: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks != 48 {
+		t.Errorf("ranks = %d, want 48", res.Ranks)
+	}
+	if res.Atoms < 7000 || res.Atoms > 9000 {
+		t.Errorf("atoms = %d", res.Atoms)
+	}
+	if res.PerfPerDay <= 0 {
+		t.Error("no performance metric")
+	}
+	if len(res.Thermo) < 2 {
+		t.Fatalf("thermo samples = %d", len(res.Thermo))
+	}
+	// The melt's thermodynamics: temperature equilibrates below the 1.44
+	// initialization (half goes into potential energy) and stays positive.
+	last := res.Thermo[len(res.Thermo)-1]
+	if last.Temperature <= 0.2 || last.Temperature >= 1.44 {
+		t.Errorf("temperature %v outside the melt band", last.Temperature)
+	}
+	for _, st := range trace.Stages() {
+		if st != trace.Neigh && res.Breakdown.Get(st) <= 0 {
+			t.Errorf("stage %v empty", st)
+		}
+	}
+	// And the headline property: the optimized variant beats the baseline.
+	ref, err := core.Run(core.RunSpec{
+		Workload:  res.Spec.Workload,
+		TileShape: res.Spec.TileShape,
+		Variant:   sim.Ref(),
+		Steps:     40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed >= ref.Elapsed {
+		t.Errorf("opt (%.4fs) not faster than ref (%.4fs)", res.Elapsed, ref.Elapsed)
+	}
+}

@@ -13,10 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
 	"tofumd/internal/bench"
+	"tofumd/internal/trace"
 )
 
 func main() {
@@ -25,11 +27,15 @@ func main() {
 	var (
 		experiment = flag.String("experiment", "all",
 			"which experiment: all, table1, fig6, fig8, fig11, fig12, fig13, table3, fig14, fig15, ablations")
-		full  = flag.Bool("full", false, "paper-scale parameters (slow)")
-		steps = flag.Int("steps", 0, "override step count")
+		full      = flag.Bool("full", false, "paper-scale parameters (slow)")
+		steps     = flag.Int("steps", 0, "override step count")
+		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON of the fabric-level experiments to this file")
 	)
 	flag.Parse()
 	opt := bench.Options{Full: *full, Steps: *steps}
+	if *traceFile != "" {
+		opt.Rec = trace.NewRecorder()
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*experiment, ",") {
@@ -100,4 +106,19 @@ func main() {
 		r, err := bench.Ablations(opt)
 		return r.Format(), err
 	})
+
+	if opt.Rec != nil {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := opt.Rec.WriteChrome(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n\n", *traceFile)
+		fmt.Print(opt.Rec.Summarize().Format())
+	}
 }

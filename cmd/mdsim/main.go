@@ -27,25 +27,31 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mdsim: ")
 	var (
-		potName  = flag.String("potential", "lj", "potential: lj or eam")
-		atoms    = flag.Int("atoms", 65536, "approximate atom count")
-		nodes    = flag.String("nodes", "4x6x4", "node torus shape XxYxZ")
-		variant  = flag.String("variant", "opt", "code variant: ref, mpi-p2p, utofu-3stage, 4tni-p2p, 6tni-p2p, opt")
-		steps    = flag.Int("steps", 99, "MD steps")
-		thermoEv = flag.Int("thermo", 20, "thermo output interval (0 = off)")
-		newton   = flag.Bool("newton", true, "Newton's 3rd law")
-		inFile   = flag.String("in", "", "LAMMPS-style input deck (overrides potential/atoms/steps flags)")
-		dumpFile = flag.String("dump", "", "write an extended-XYZ trajectory to this file")
-		dumpEv   = flag.Int("dumpevery", 20, "dump interval in steps")
+		potName   = flag.String("potential", "lj", "potential: lj or eam")
+		atoms     = flag.Int("atoms", 65536, "approximate atom count")
+		nodes     = flag.String("nodes", "4x6x4", "node torus shape XxYxZ")
+		variant   = flag.String("variant", "opt", "code variant: ref, mpi-p2p, utofu-3stage, 4tni-p2p, 6tni-p2p, opt")
+		steps     = flag.Int("steps", 99, "MD steps")
+		thermoEv  = flag.Int("thermo", 20, "thermo output interval (0 = off)")
+		newton    = flag.Bool("newton", true, "Newton's 3rd law")
+		inFile    = flag.String("in", "", "LAMMPS-style input deck (overrides potential/atoms/steps flags)")
+		dumpFile  = flag.String("dump", "", "write an extended-XYZ trajectory to this file")
+		dumpEv    = flag.Int("dumpevery", 20, "dump interval in steps")
+		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 	)
 	flag.Parse()
 
+	var rec *trace.Recorder
+	if *traceFile != "" {
+		rec = trace.NewRecorder()
+	}
 	shape, err := parseShape(*nodes)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *inFile != "" {
-		runDeck(*inFile, shape, *variant)
+		runDeck(*inFile, shape, *variant, rec)
+		writeTrace(*traceFile, rec)
 		return
 	}
 	kind := core.LJ
@@ -73,6 +79,7 @@ func main() {
 		Steps:       *steps,
 		NewtonOff:   !*newton,
 		ThermoEvery: *thermoEv,
+		Recorder:    rec,
 	}
 	if *dumpFile != "" {
 		f, err := os.Create(*dumpFile)
@@ -116,11 +123,32 @@ func main() {
 		unit = "us/day"
 	}
 	fmt.Printf("Performance: %.6g %s (virtual wall clock %.6f s)\n", res.PerfPerDay, unit, res.Elapsed)
+	writeTrace(*traceFile, rec)
 	os.Exit(0)
 }
 
+// writeTrace emits the recorded events as Chrome trace JSON plus the
+// per-rank/per-TNI summary; a nil recorder (no -trace flag) is a no-op.
+func writeTrace(path string, rec *trace.Recorder) {
+	if rec == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rec.WriteChrome(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTrace written to %s (load in ui.perfetto.dev or chrome://tracing)\n\n", path)
+	fmt.Print(rec.Summarize().Format())
+}
+
 // runDeck executes a parsed LAMMPS-style input file on the machine.
-func runDeck(path string, shape vec.I3, variantName string) {
+func runDeck(path string, shape vec.I3, variantName string, rec *trace.Recorder) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -147,6 +175,9 @@ func runDeck(path string, shape vec.I3, variantName string) {
 		log.Fatal(err)
 	}
 	defer s.Close()
+	if rec != nil {
+		s.SetRecorder(rec)
+	}
 	s.Run(steps)
 
 	kind := core.LJ

@@ -8,16 +8,22 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"tofumd/internal/bench"
+	"tofumd/internal/trace"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("netbench: ")
 	full := flag.Bool("full", false, "use the full 768-node tile")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the fabric rounds to this file")
 	flag.Parse()
 	opt := bench.Options{Full: *full}
+	if *traceFile != "" {
+		opt.Rec = trace.NewRecorder()
+	}
 
 	f6, err := bench.Fig6(opt)
 	if err != nil {
@@ -30,4 +36,19 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println(f8.Format())
+
+	if opt.Rec != nil {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := opt.Rec.WriteChrome(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n\n", *traceFile)
+		fmt.Print(opt.Rec.Summarize().Format())
+	}
 }

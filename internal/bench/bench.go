@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"tofumd/internal/trace"
 	"tofumd/internal/vec"
 )
 
@@ -20,6 +21,9 @@ type Options struct {
 	Full bool
 	// Steps overrides the default step count when non-zero.
 	Steps int
+	// Rec, when non-nil, collects trace events from the experiments that
+	// exercise the fabric (Fig. 6, Fig. 8, Fig. 12).
+	Rec *trace.Recorder
 }
 
 // tileFor returns the functional tile for experiments pinned at 768 nodes.

@@ -54,6 +54,7 @@ func Fig12(opt Options) (Fig12Result, error) {
 				TileShape: opt.tileFor(),
 				Variant:   v,
 				Steps:     steps,
+				Recorder:  opt.Rec,
 			})
 			if err != nil {
 				return out, fmt.Errorf("%s/%s: %w", sys.name, v.Name, err)

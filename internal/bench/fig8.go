@@ -37,6 +37,7 @@ func Fig8(opt Options) (Fig8Result, error) {
 		return Fig8Result{}, err
 	}
 	fab := tofu.NewFabric(m.Map, m.Params)
+	fab.Rec = opt.Rec
 	// The four ranks of node 0 and their +x off-node peers.
 	var senders, peers []int
 	for id := 0; id < m.Map.Ranks(); id++ {

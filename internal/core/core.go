@@ -155,6 +155,10 @@ type RunSpec struct {
 	// Observer, when set, is called after every step (trajectory dumps,
 	// custom diagnostics). It must not mutate the simulation.
 	Observer func(s *sim.Simulation, step int)
+	// Recorder, when non-nil, collects per-message fabric events, per-stage
+	// spans and per-round collective events for the timed steps (setup stays
+	// untraced, matching how SetupTime is kept out of the breakdown).
+	Recorder *trace.Recorder
 }
 
 // RunResult is the outcome of a run.
@@ -215,6 +219,9 @@ func Run(spec RunSpec) (*RunResult, error) {
 		return nil, err
 	}
 	defer s.Close()
+	if spec.Recorder != nil {
+		s.SetRecorder(spec.Recorder)
+	}
 	if spec.Observer == nil {
 		s.Run(steps)
 	} else {

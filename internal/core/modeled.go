@@ -33,6 +33,9 @@ type ModelSpec struct {
 	Steps int
 	// LinearMap disables topology-preserving placement (ablation).
 	LinearMap bool
+	// Rec, when non-nil, collects per-message fabric events of the modeled
+	// rounds (each round runs on the tile fabric with time starting at 0).
+	Rec *trace.Recorder
 }
 
 // kindParams bundles the geometry constants of a benchmark kind.
@@ -99,6 +102,7 @@ func Modeled(spec ModelSpec) (*RunResult, error) {
 	}
 	kp := paramsFor(spec.Kind)
 	fab := tofu.NewFabric(m.Map, m.Params)
+	fab.Rec = spec.Rec
 	cost := m.Cost
 	th := spec.Variant.ComputeThreading
 	packTh := machine.Serial
@@ -201,6 +205,7 @@ func HaloTime(spec ModelSpec) (float64, error) {
 	}
 	kp := paramsFor(spec.Kind)
 	fab := tofu.NewFabric(m.Map, m.Params)
+	fab.Rec = spec.Rec
 	cost := m.Cost
 	cost.PackPerByte = 0
 	cost.UnpackPerByte = 0

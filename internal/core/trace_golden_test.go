@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"tofumd/internal/md/sim"
+	"tofumd/internal/trace"
+	"tofumd/internal/vec"
+)
+
+// TestTracedRunMatchesUntraced is the golden test of the observability
+// layer: attaching a recorder must not perturb virtual time. The traced and
+// untraced runs of the same Config must agree bit-for-bit on every stage
+// total, and the emitted JSON must parse as Chrome trace events.
+func TestTracedRunMatchesUntraced(t *testing.T) {
+	spec := RunSpec{
+		Workload:  LJSmall(),
+		TileShape: vec.I3{X: 2, Y: 3, Z: 2},
+		Variant:   sim.Opt(),
+		Steps:     25, // past one NeighEvery=20 rebuild
+	}
+	plain, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	spec.Recorder = rec
+	traced, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []trace.Stage{trace.Pair, trace.Neigh, trace.Comm, trace.Modify, trace.Other} {
+		if a, b := plain.Breakdown.Get(st), traced.Breakdown.Get(st); a != b {
+			t.Errorf("stage %v differs: untraced %v, traced %v", st, a, b)
+		}
+	}
+	if plain.Elapsed != traced.Elapsed {
+		t.Errorf("elapsed differs: untraced %v, traced %v", plain.Elapsed, traced.Elapsed)
+	}
+
+	if len(rec.Messages()) == 0 {
+		t.Fatal("traced run recorded no fabric messages")
+	}
+	if len(rec.Spans()) == 0 {
+		t.Fatal("traced run recorded no stage spans")
+	}
+	if len(rec.Rounds()) == 0 {
+		t.Fatal("traced run recorded no transport rounds")
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("emitted trace has no events")
+	}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "" || ev.Name == "" {
+			t.Fatalf("malformed trace event: %+v", ev)
+		}
+	}
+	if s := rec.Summarize(); len(s.Ranks) == 0 || len(s.TNIs) == 0 {
+		t.Error("summary tables empty for a traced run")
+	}
+}

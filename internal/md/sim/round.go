@@ -6,6 +6,7 @@ import (
 
 	"tofumd/internal/md/comm"
 	"tofumd/internal/mpi"
+	"tofumd/internal/trace"
 	"tofumd/internal/utofu"
 )
 
@@ -63,6 +64,8 @@ func (s *Simulation) runRound(msgs []*rmsg) {
 			base = m.dst.Clock
 		}
 	}
+	// The fabric's round-relative times become absolute via this offset.
+	s.fab.RecBase = base
 	if s.Var.Transport == comm.TransportMPI {
 		s.runMPIRound(msgs, base)
 	} else {
@@ -174,5 +177,10 @@ func (s *Simulation) ensureInbox(owner *Rank, ib *inbox, need int) float64 {
 	}
 	ib.capBy = newCap
 	owner.Clock += cost
+	if s.rec.Enabled() {
+		s.rec.Instant(trace.InstantEvent{
+			Rank: owner.ID, Name: "register", Time: owner.Clock,
+		})
+	}
 	return cost
 }

@@ -135,6 +135,7 @@ type Simulation struct {
 	ranks   []*Rank
 	xRegion []*utofu.MemRegion
 	nve     *integrate.NVE
+	rec     *trace.Recorder
 
 	step    int
 	shells  int
@@ -219,6 +220,27 @@ func New(m *Machine, v Variant, cfg Config) (*Simulation, error) {
 	}
 	s.setupRun()
 	return s, nil
+}
+
+// SetRecorder attaches an event recorder to the simulation and its transport
+// layers. Call it after New so the setup rounds (whose clocks are rewound)
+// stay out of the trace; a nil recorder detaches tracing.
+func (s *Simulation) SetRecorder(rec *trace.Recorder) {
+	s.rec = rec
+	s.fab.Rec = rec
+	s.mpiComm.Rec = rec
+	s.mpiComm.Now = func() float64 {
+		var t float64
+		for _, r := range s.ranks {
+			if r.Clock > t {
+				t = r.Clock
+			}
+		}
+		return t
+	}
+	if rec == nil {
+		s.mpiComm.Now = nil
+	}
 }
 
 // Close releases the host thread pool.

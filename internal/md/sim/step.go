@@ -23,7 +23,7 @@ func (s *Simulation) Run(steps int) {
 // (Modify) and periodic thermo output (Other).
 func (s *Simulation) Step() {
 	s.step++
-	s.stage(trace.Modify, func() {
+	s.stage(trace.Modify, "integrate1", func() {
 		s.forRanks(func(id int) {
 			r := s.ranks[id]
 			s.nve.InitialIntegrate(r.Atoms)
@@ -34,28 +34,26 @@ func (s *Simulation) Step() {
 	rebuild := false
 	if s.step%s.Cfg.NeighEvery == 0 {
 		if s.Cfg.CheckYes {
-			s.stage(trace.Other, func() { rebuild = s.checkDisplacement() })
+			s.stage(trace.Other, "check", func() { rebuild = s.checkDisplacement() })
 		} else {
 			rebuild = true
 		}
 	}
 	if rebuild {
-		s.stage(trace.Comm, func() {
-			s.doExchange()
-			s.doBorder()
-		})
-		s.stage(trace.Neigh, s.buildNeighborLists)
+		s.stage(trace.Comm, "exchange", s.doExchange)
+		s.stage(trace.Comm, "border", s.doBorder)
+		s.stage(trace.Neigh, "neigh", s.buildNeighborLists)
 	} else {
-		s.stage(trace.Comm, s.doForward)
+		s.stage(trace.Comm, "forward", s.doForward)
 	}
 
-	s.stage(trace.Pair, s.computeForces)
+	s.stage(trace.Pair, "pair", s.computeForces)
 
 	if s.Cfg.NewtonOn {
-		s.stage(trace.Comm, s.doReverse)
+		s.stage(trace.Comm, "reverse", s.doReverse)
 	}
 
-	s.stage(trace.Modify, func() {
+	s.stage(trace.Modify, "integrate2", func() {
 		s.forRanks(func(id int) {
 			r := s.ranks[id]
 			s.nve.FinalIntegrate(r.Atoms)
@@ -64,11 +62,11 @@ func (s *Simulation) Step() {
 	})
 
 	if s.Cfg.RescaleEvery > 0 && s.step%s.Cfg.RescaleEvery == 0 {
-		s.stage(trace.Other, s.rescaleTemperature)
+		s.stage(trace.Other, "rescale", s.rescaleTemperature)
 	}
 
 	if s.Cfg.ThermoEvery > 0 && s.step%s.Cfg.ThermoEvery == 0 {
-		s.stage(trace.Other, func() { s.recordThermo(true) })
+		s.stage(trace.Other, "thermo", func() { s.recordThermo(true) })
 	}
 
 	// Per-step bookkeeping outside the named stages.
@@ -78,12 +76,20 @@ func (s *Simulation) Step() {
 	}
 }
 
-// stage runs fn and attributes every rank's clock advance to st.
-func (s *Simulation) stage(st trace.Stage, fn func()) {
+// stage runs fn and attributes every rank's clock advance to st. When a
+// recorder is attached, the advance is also emitted as one named span per
+// rank that moved.
+func (s *Simulation) stage(st trace.Stage, name string, fn func()) {
 	t0 := s.snapshotClocks()
 	fn()
 	for i, r := range s.ranks {
 		r.BD.Add(st, r.Clock-t0[i])
+		if s.rec.Enabled() && r.Clock > t0[i] {
+			s.rec.Span(trace.SpanEvent{
+				Rank: r.ID, Name: name, Stage: st.String(), Step: s.step,
+				Start: t0[i], End: r.Clock,
+			})
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"tofumd/internal/tofu"
+	"tofumd/internal/trace"
 )
 
 // Comm is an MPI communicator over all ranks of a fabric.
@@ -25,6 +26,11 @@ type Comm struct {
 	// section 3.5.1: the array length rides in the first element of the
 	// payload instead of a separate message. Off for the baseline.
 	CombineLength bool
+	// Rec, when non-nil, receives one RoundEvent per collective. Now, when
+	// set, supplies the absolute virtual time a collective starts at (the
+	// communicator itself has no clock; the driver's is authoritative).
+	Rec *trace.Recorder
+	Now func() float64
 }
 
 // NewComm returns a communicator over the fabric's ranks.
@@ -85,6 +91,7 @@ func (c *Comm) ExchangeRound(msgs []*Message) {
 		}
 	}
 	c.Fab.RunRound(transfers, tofu.IfaceMPI)
+	var last, bytes float64
 	for i, m := range msgs {
 		tr := transfers[i]
 		m.IssueDone = tr.IssueDone
@@ -94,6 +101,16 @@ func (c *Comm) ExchangeRound(msgs []*Message) {
 			arr = m.RecvReadyAt
 		}
 		m.RecvComplete = arr + (tr.RecvComplete - tr.Arrival)
+		if m.RecvComplete > last {
+			last = m.RecvComplete
+		}
+		bytes += float64(tr.Bytes)
+	}
+	if c.Fab.Rec.Enabled() {
+		c.Fab.Rec.Round(trace.RoundEvent{
+			Kind: "mpi-p2p", Count: len(msgs), Bytes: int(bytes),
+			Start: c.Fab.RecBase, End: c.Fab.RecBase + last,
+		})
 	}
 }
 
@@ -151,6 +168,16 @@ func (c *Comm) Allreduce(contrib [][]float64, op ReduceOp) ([]float64, float64, 
 		}
 	}
 	t := c.Fab.AllreduceTime(n, 8*width, tofu.IfaceMPI)
+	if c.Rec.Enabled() {
+		var now float64
+		if c.Now != nil {
+			now = c.Now()
+		}
+		c.Rec.Round(trace.RoundEvent{
+			Kind: "allreduce", Count: n, Bytes: 8 * width,
+			Start: now, End: now + t,
+		})
+	}
 	return out, t, nil
 }
 

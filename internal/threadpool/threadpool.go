@@ -139,9 +139,17 @@ func (p *Pool) ForEachChunked(n int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	done := newCountdown(chunks)
 	size := (n + chunks - 1) / chunks
-	for c := 0; c < chunks; c++ {
+	// With size rounded up, the last chunks of the grid can overshoot n
+	// (e.g. n=9, chunks=8 → size=2 → only 5 chunks hold real work). Count
+	// the chunks actually dispatched and never emit an empty range.
+	nchunks := (n + size - 1) / size
+	if nchunks == 1 {
+		fn(0, n)
+		return
+	}
+	done := newCountdown(nchunks)
+	for c := 0; c < nchunks; c++ {
 		lo := c * size
 		hi := lo + size
 		if hi > n {

@@ -1,6 +1,7 @@
 package threadpool
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -49,6 +50,37 @@ func TestForEachChunkedCoversRange(t *testing.T) {
 		if got := hits[i].Load(); got != 1 {
 			t.Fatalf("index %d covered %d times", i, got)
 		}
+	}
+}
+
+func TestForEachChunkedGrid(t *testing.T) {
+	// Every (n, workers) pair of a small grid: no chunk may be empty or out
+	// of range, and together the chunks must cover [0, n) exactly once.
+	// n=9, workers=8 is the case where the rounded-up chunk size used to
+	// overshoot and call fn(10, 9).
+	for workers := 1; workers <= 9; workers++ {
+		p := New(workers)
+		for n := 0; n <= 40; n++ {
+			var mu sync.Mutex
+			hits := make([]int, n)
+			p.ForEachChunked(n, func(lo, hi int) {
+				if lo < 0 || lo >= hi || hi > n {
+					t.Errorf("workers=%d n=%d: bad chunk [%d,%d)", workers, n, lo, hi)
+					return
+				}
+				mu.Lock()
+				for i := lo; i < hi; i++ {
+					hits[i]++
+				}
+				mu.Unlock()
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, h)
+				}
+			}
+		}
+		p.Close()
 	}
 }
 

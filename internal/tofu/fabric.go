@@ -6,6 +6,7 @@ import (
 
 	"tofumd/internal/des"
 	"tofumd/internal/topo"
+	"tofumd/internal/trace"
 )
 
 // Transfer is one message of a communication round. The caller fills the
@@ -61,6 +62,13 @@ type Transfer struct {
 type Fabric struct {
 	Params Params
 	Map    *topo.RankMap
+
+	// Rec, when non-nil, receives one MessageEvent per transfer. RecBase
+	// offsets the fabric's round-relative times into the caller's absolute
+	// clock; callers running rounds at absolute time t set RecBase = t
+	// before RunRound. A nil recorder costs one pointer check per message.
+	Rec     *trace.Recorder
+	RecBase float64
 
 	eng des.Engine
 	// tniFree[node*TNIsPerNode+tni] is the time the TNI engine frees up.
@@ -189,7 +197,7 @@ func (f *Fabric) RunRound(transfers []*Transfer, iface Interface) {
 		tr.IssueDone = done
 		f.threadFree[k] = done
 		// Hand the command to the TNI engine at issue completion.
-		f.eng.Schedule(done, func() { f.transmit(tr, iface, recvOv) })
+		f.eng.Schedule(done, func() { f.transmit(tr, iface, recvOv, start) })
 		// The thread can issue its next message immediately after.
 		f.eng.Schedule(done, func() { issueNext(k) })
 	}
@@ -202,8 +210,9 @@ func (f *Fabric) RunRound(transfers []*Transfer, iface Interface) {
 }
 
 // transmit serializes the command on the source TNI engine and computes the
-// network arrival time.
-func (f *Fabric) transmit(tr *Transfer, iface Interface, recvOv float64) {
+// network arrival time. issueStart is when the issuing thread started on the
+// command (for stall attribution in the trace).
+func (f *Fabric) transmit(tr *Transfer, iface Interface, recvOv, issueStart float64) {
 	p := &f.Params
 	srcNode, _ := f.Map.NodeOf(tr.Src)
 	dstNode, _ := f.Map.NodeOf(tr.Dst)
@@ -218,6 +227,15 @@ func (f *Fabric) transmit(tr *Transfer, iface Interface, recvOv float64) {
 	busy := engine
 	if wire > busy {
 		busy = wire
+	}
+	// The engine pays the hardware-side VCQ switch gap whenever the command
+	// comes from a different VCQ than the previous one it served: the
+	// descriptor-ring context must be refetched. This is what degrades
+	// spraying many VCQs over shared TNIs beyond the sender-side software
+	// cost already charged in issueNext.
+	vcqSwitch := f.tniLastVCQ[idx] >= 0 && f.tniLastVCQ[idx] != tr.VCQ
+	if vcqSwitch {
+		busy += p.TNIVCQSwitchGap
 	}
 	txDone := txStart + busy
 	f.tniFree[idx] = txDone
@@ -262,5 +280,21 @@ func (f *Fabric) transmit(tr *Transfer, iface Interface, recvOv float64) {
 		}
 		tr.RecvComplete = start + cost
 		f.recvCtxFree[ctx] = tr.RecvComplete
+		if f.Rec.Enabled() {
+			hops := 0
+			if srcNode != dstNode {
+				hops = f.Map.Hops(tr.Src, tr.Dst)
+			}
+			b := f.RecBase
+			f.Rec.Message(trace.MessageEvent{
+				Src: tr.Src, Dst: tr.Dst, SrcNode: srcNode,
+				TNI: tr.TNI, VCQ: tr.VCQ, Thread: tr.Thread, DstThread: tr.DstThread,
+				Bytes: tr.Bytes, Hops: hops, Iface: iface.String(),
+				TwoStep: tr.TwoStep, IsGet: tr.IsGet, VCQSwitch: vcqSwitch,
+				ReadyAt: b + tr.ReadyAt, IssueStart: b + issueStart,
+				IssueDone: b + tr.IssueDone, TxStart: b + txStart, TxDone: b + txDone,
+				Arrival: b + tr.Arrival, RecvComplete: b + tr.RecvComplete,
+			})
+		}
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tofumd/internal/topo"
+	"tofumd/internal/trace"
 	"tofumd/internal/vec"
 )
 
@@ -134,6 +135,73 @@ func TestVCQSwitchOverheadCharged(t *testing.T) {
 	if alt[5].IssueDone <= same[5].IssueDone {
 		t.Errorf("VCQ-switching issue time (%v) not slower than same-VCQ (%v)",
 			alt[5].IssueDone, same[5].IssueDone)
+	}
+}
+
+func TestTNIVCQSwitchGapCharged(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	dst := f.Map.NeighborRank(0, vec.I3{X: 2, Y: 0, Z: 0})
+	// Two threads drive TNI 0 concurrently so their commands interleave at
+	// the engine. Pinned: both threads share one VCQ (the engine never
+	// switches). Spray: each thread has its own VCQ, so the interleaved
+	// engine alternates VCQs and pays the switch gap on nearly every
+	// command. Thread-side costs are identical in both rounds — each thread
+	// sticks to a single VCQ — isolating the engine-side charge.
+	mk := func(vcqOf func(thread int) int) []*Transfer {
+		var out []*Transfer
+		for i := 0; i < 8; i++ {
+			for th := 0; th < 2; th++ {
+				out = append(out, &Transfer{
+					Src: 0, Dst: dst, TNI: 0, VCQ: vcqOf(th), Thread: th, Bytes: 64,
+				})
+			}
+		}
+		return out
+	}
+	pinned := mk(func(int) int { return 1 })
+	f.RunRound(pinned, IfaceUTofu)
+	spray := mk(func(th int) int { return 1 + th })
+	f.RunRound(spray, IfaceUTofu)
+	if maxArrival(spray) <= maxArrival(pinned) {
+		t.Errorf("two-VCQ spray round (%v) not slower than VCQ-pinned round (%v)",
+			maxArrival(spray), maxArrival(pinned))
+	}
+}
+
+func TestRecorderCapturesTransfers(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	rec := trace.NewRecorder()
+	f.Rec = rec
+	f.RecBase = 3e-6
+	dst := f.Map.NeighborRank(0, vec.I3{X: 2, Y: 0, Z: 0})
+	trs := []*Transfer{
+		{Src: 0, Dst: dst, TNI: 0, VCQ: 1, Thread: 0, Bytes: 64},
+		{Src: 0, Dst: dst, TNI: 0, VCQ: 2, Thread: 0, Bytes: 128},
+	}
+	f.RunRound(trs, IfaceUTofu)
+	msgs := rec.Messages()
+	if len(msgs) != 2 {
+		t.Fatalf("recorded %d messages, want 2", len(msgs))
+	}
+	sawSwitch := false
+	for _, m := range msgs {
+		if m.ReadyAt < f.RecBase || m.IssueStart < m.ReadyAt ||
+			m.IssueDone < m.IssueStart || m.TxDone < m.TxStart ||
+			m.Arrival < m.TxDone || m.RecvComplete < m.Arrival {
+			t.Errorf("timing chain out of order: %+v", m)
+		}
+		if m.Hops != f.Map.Hops(0, dst) {
+			t.Errorf("hops = %d, want %d", m.Hops, f.Map.Hops(0, dst))
+		}
+		if m.Iface != "utofu" {
+			t.Errorf("iface = %q", m.Iface)
+		}
+		if m.VCQSwitch {
+			sawSwitch = true
+		}
+	}
+	if !sawSwitch {
+		t.Error("no VCQSwitch recorded for the alternating-VCQ transfer")
 	}
 }
 

@@ -77,6 +77,13 @@ type Params struct {
 	// spraying all six TNIs pays it on almost every message, which is why
 	// the 6TNI-p2p single-thread variant is "abnormally poor" (section 4.2).
 	VCQSwitchOverhead float64
+	// TNIVCQSwitchGap is the hardware-side cost the TNI engine pays when the
+	// next command comes from a different VCQ than the one it last served:
+	// the engine refetches the descriptor-ring context. It is much smaller
+	// than the thread-side VCQSwitchOverhead (which models software-state
+	// locality loss) but, unlike it, is charged on the shared engine, so
+	// spraying many VCQs over few TNIs degrades the engine's throughput.
+	TNIVCQSwitchGap float64
 }
 
 // DefaultParams returns constants calibrated against the paper's reported
@@ -106,6 +113,7 @@ func DefaultParams() Params {
 
 		TNIEngineGap:      0.13e-6,
 		VCQSwitchOverhead: 0.40e-6,
+		TNIVCQSwitchGap:   0.02e-6,
 	}
 }
 

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsDisabledNoop(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Error("nil recorder reports enabled")
+	}
+	// None of these may panic.
+	r.Message(MessageEvent{})
+	r.Span(SpanEvent{})
+	r.Round(RoundEvent{})
+	r.Instant(InstantEvent{})
+	if r.Messages() != nil || r.Spans() != nil || r.Rounds() != nil || r.Instants() != nil {
+		t.Error("nil recorder returned events")
+	}
+	if s := r.Summarize(); len(s.Ranks) != 0 || len(s.TNIs) != 0 {
+		t.Error("nil recorder produced a non-empty summary")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatalf("nil WriteChrome: %v", err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("nil trace not valid JSON: %v", err)
+	}
+}
+
+func TestRecorderConcurrentAppend(t *testing.T) {
+	r := NewRecorder()
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := 0; i < 100; i++ {
+				r.Message(MessageEvent{Src: g, Bytes: i})
+				r.Span(SpanEvent{Rank: g})
+			}
+			done <- struct{}{}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if n := len(r.Messages()); n != 400 {
+		t.Errorf("recorded %d messages, want 400", n)
+	}
+	if n := len(r.Spans()); n != 400 {
+		t.Errorf("recorded %d spans, want 400", n)
+	}
+}
+
+func TestSummarizeAggregates(t *testing.T) {
+	r := NewRecorder()
+	// Rank 0, TNI (0,0): two messages, one stalled 1us, one with a VCQ
+	// switch and 2us of engine occupancy over a 4us span.
+	r.Message(MessageEvent{
+		Src: 0, SrcNode: 0, TNI: 0, Bytes: 100,
+		ReadyAt: 0, IssueStart: 1e-6, TxStart: 1e-6, TxDone: 2e-6,
+	})
+	r.Message(MessageEvent{
+		Src: 0, SrcNode: 0, TNI: 0, Bytes: 200, VCQSwitch: true,
+		ReadyAt: 3e-6, IssueStart: 3e-6, TxStart: 4e-6, TxDone: 5e-6,
+	})
+	s := r.Summarize()
+	if len(s.Ranks) != 1 || len(s.TNIs) != 1 {
+		t.Fatalf("summary sizes: %d ranks, %d TNIs", len(s.Ranks), len(s.TNIs))
+	}
+	rk := s.Ranks[0]
+	if rk.Msgs != 2 || rk.Bytes != 300 {
+		t.Errorf("rank summary = %+v", rk)
+	}
+	if rk.MaxStall != 1e-6 || rk.MeanStall != 0.5e-6 {
+		t.Errorf("stalls = mean %v max %v, want 0.5us/1us", rk.MeanStall, rk.MaxStall)
+	}
+	tn := s.TNIs[0]
+	if tn.Msgs != 2 || tn.Switches != 1 {
+		t.Errorf("TNI summary = %+v", tn)
+	}
+	if got, want := tn.BusyFrac, 2.0/4.0; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("busy frac = %v, want %v", got, want)
+	}
+	out := s.Format()
+	if !strings.Contains(out, "Per-rank") || !strings.Contains(out, "Per-TNI") {
+		t.Errorf("Format missing tables:\n%s", out)
+	}
+}
+
+func TestWriteChromeValidEvents(t *testing.T) {
+	r := NewRecorder()
+	r.Message(MessageEvent{
+		Src: 0, Dst: 1, SrcNode: 0, TNI: 2, VCQ: 3, Thread: 1, Bytes: 64,
+		Hops: 1, Iface: "utofu",
+		ReadyAt: 0, IssueStart: 0, IssueDone: 0.25e-6,
+		TxStart: 0.25e-6, TxDone: 0.38e-6, Arrival: 0.8e-6, RecvComplete: 0.88e-6,
+	})
+	r.Span(SpanEvent{Rank: 0, Name: "pair", Stage: "Pair", Step: 1, Start: 0, End: 5e-6})
+	r.Round(RoundEvent{Kind: "utofu-put", Count: 1, Bytes: 64, Start: 0, End: 1e-6})
+	r.Instant(InstantEvent{Rank: 0, Name: "register", Time: 2e-6})
+
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("invalid Chrome trace JSON: %v", err)
+	}
+	counts := map[string]int{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "" {
+			t.Errorf("event %q missing ph", ev.Name)
+		}
+		counts[ev.Ph]++
+	}
+	// One issue + one tx + one recv + one span + one round = five "X"
+	// slices, one instant, plus metadata.
+	if counts["X"] != 5 {
+		t.Errorf("got %d complete events, want 5", counts["X"])
+	}
+	if counts["i"] != 1 {
+		t.Errorf("got %d instant events, want 1", counts["i"])
+	}
+	if counts["M"] == 0 {
+		t.Error("no metadata events emitted")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"tofumd/internal/tofu"
+	"tofumd/internal/trace"
 )
 
 // System tracks VCQs and registered memory for every rank on one fabric.
@@ -217,7 +218,27 @@ func (s *System) ExecuteGetRound(gets []*Get) error {
 		g.IssueDone = transfers[i].IssueDone
 		g.Complete = transfers[i].RecvComplete
 	}
+	s.recordRound("utofu-get", transfers)
 	return nil
+}
+
+// recordRound emits one RoundEvent covering the batch just executed.
+func (s *System) recordRound(kind string, transfers []*tofu.Transfer) {
+	if !s.Fab.Rec.Enabled() {
+		return
+	}
+	var last float64
+	bytes := 0
+	for _, tr := range transfers {
+		if tr.RecvComplete > last {
+			last = tr.RecvComplete
+		}
+		bytes += tr.Bytes
+	}
+	s.Fab.Rec.Round(trace.RoundEvent{
+		Kind: kind, Count: len(transfers), Bytes: bytes,
+		Start: s.Fab.RecBase, End: s.Fab.RecBase + last,
+	})
 }
 
 // ExecuteRound runs a batch of puts as one fabric round: all timing effects
@@ -261,5 +282,6 @@ func (s *System) ExecuteRound(puts []*Put) error {
 		p.Arrival = transfers[i].Arrival
 		p.RecvComplete = transfers[i].RecvComplete
 	}
+	s.recordRound("utofu-put", transfers)
 	return nil
 }

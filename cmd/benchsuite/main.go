@@ -1,110 +1,155 @@
 // Command benchsuite regenerates the paper's tables and figures on the
 // simulated substrate and prints them in the paper's layout. By default it
 // runs scaled-down configurations that finish in minutes; -full selects
-// paper-sized parameters.
+// paper-sized parameters. -json additionally writes one machine-readable
+// BENCH_<experiment>.json per experiment for the benchcmp regression gate.
 //
 // Example:
 //
 //	benchsuite -experiment fig12
 //	benchsuite -experiment all -full
+//	benchsuite -experiment all -json out/ && benchcmp results/baseline out/
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"tofumd/internal/bench"
+	"tofumd/internal/metrics"
 	"tofumd/internal/trace"
 )
+
+// experimentOrder is the canonical run order; it doubles as the known-name
+// list that -experiment values are validated against.
+var experimentOrder = []string{
+	"table1", "fig6", "fig8", "fig11", "fig12", "fig13", "table3", "fig14", "fig15", "ablations",
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchsuite: ")
 	var (
 		experiment = flag.String("experiment", "all",
-			"which experiment: all, table1, fig6, fig8, fig11, fig12, fig13, table3, fig14, fig15, ablations")
+			"which experiment: all, "+strings.Join(experimentOrder, ", "))
 		full      = flag.Bool("full", false, "paper-scale parameters (slow)")
 		steps     = flag.Int("steps", 0, "override step count")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON of the fabric-level experiments to this file")
+		jsonDir   = flag.String("json", "", "write BENCH_<experiment>.json artifacts into this directory")
+		metFile   = flag.String("metrics", "", "dump the metrics registry to this file at exit (.json for JSON, text otherwise)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for long -full runs")
 	)
 	flag.Parse()
 	opt := bench.Options{Full: *full, Steps: *steps}
 	if *traceFile != "" {
 		opt.Rec = trace.NewRecorder()
 	}
+	if *metFile != "" {
+		opt.Met = metrics.New()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
+	known := map[string]bool{"all": true}
+	for _, e := range experimentOrder {
+		known[e] = true
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*experiment, ",") {
-		want[strings.TrimSpace(e)] = true
+		name := strings.TrimSpace(e)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			log.Fatalf("unknown experiment %q (known: all, %s)", name, strings.Join(experimentOrder, ", "))
+		}
+		want[name] = true
+	}
+	if len(want) == 0 {
+		log.Fatalf("no experiments requested")
 	}
 	all := want["all"]
-	run := func(name string, fn func() (string, error)) {
+	run := func(name string, fn func() (string, *bench.Artifact, error)) {
 		if !all && !want[name] {
 			return
 		}
 		start := time.Now()
-		out, err := fn()
+		out, art, err := fn()
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
 		fmt.Println(out)
 		fmt.Printf("[%s regenerated in %.1fs]\n\n", name, time.Since(start).Seconds())
+		if *jsonDir != "" && art != nil {
+			if err := art.WriteFile(*jsonDir); err != nil {
+				log.Fatalf("%s: writing artifact: %v", name, err)
+			}
+		}
 	}
 
-	run("table1", func() (string, error) {
+	run("table1", func() (string, *bench.Artifact, error) {
 		// The 65K/768-node geometry: cubic sub-box side 2.94, ghost cutoff
 		// 2.8 (Table 2).
-		return bench.Table1(2.94, 2.8).Format(), nil
+		r := bench.Table1(2.94, 2.8)
+		return r.Format(), r.Artifact(opt), nil
 	})
-	run("fig6", func() (string, error) {
+	run("fig6", func() (string, *bench.Artifact, error) {
 		r, err := bench.Fig6(opt)
-		return r.Format(), err
+		return r.Format(), r.Artifact(opt), err
 	})
-	run("fig8", func() (string, error) {
+	run("fig8", func() (string, *bench.Artifact, error) {
 		r, err := bench.Fig8(opt)
-		return r.Format(), err
+		return r.Format(), r.Artifact(opt), err
 	})
-	run("fig11", func() (string, error) {
+	run("fig11", func() (string, *bench.Artifact, error) {
 		r, err := bench.Fig11(opt)
-		return r.Format(), err
+		return r.Format(), r.Artifact(opt), err
 	})
-	run("fig12", func() (string, error) {
+	run("fig12", func() (string, *bench.Artifact, error) {
 		r, err := bench.Fig12(opt)
-		return r.Format(), err
+		return r.Format(), r.Artifact(opt), err
 	})
 	var fig13 *bench.Fig13Result
-	run("fig13", func() (string, error) {
+	run("fig13", func() (string, *bench.Artifact, error) {
 		r, err := bench.Fig13(opt)
 		if err == nil {
 			fig13 = &r
 		}
-		return r.Format(), err
+		return r.Format(), r.Artifact(opt), err
 	})
-	run("table3", func() (string, error) {
+	run("table3", func() (string, *bench.Artifact, error) {
 		if fig13 == nil {
 			r, err := bench.Fig13(opt)
 			if err != nil {
-				return "", err
+				return "", nil, err
 			}
 			fig13 = &r
 		}
-		return fig13.FormatTable3(), nil
+		return fig13.FormatTable3(), fig13.Table3Artifact(opt), nil
 	})
-	run("fig14", func() (string, error) {
+	run("fig14", func() (string, *bench.Artifact, error) {
 		r, err := bench.Fig14(opt)
-		return r.Format(), err
+		return r.Format(), r.Artifact(opt), err
 	})
-	run("fig15", func() (string, error) {
+	run("fig15", func() (string, *bench.Artifact, error) {
 		r, err := bench.Fig15(opt)
-		return r.Format(), err
+		return r.Format(), r.Artifact(opt), err
 	})
-	run("ablations", func() (string, error) {
+	run("ablations", func() (string, *bench.Artifact, error) {
 		r, err := bench.Ablations(opt)
-		return r.Format(), err
+		return r.Format(), r.Artifact(opt), err
 	})
 
 	if opt.Rec != nil {
@@ -120,5 +165,11 @@ func main() {
 		}
 		fmt.Printf("Trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n\n", *traceFile)
 		fmt.Print(opt.Rec.Summarize().Format())
+	}
+	if opt.Met != nil {
+		if err := opt.Met.WriteFile(*metFile); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Metrics written to %s\n", *metFile)
 	}
 }

@@ -11,12 +11,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
 	"tofumd/internal/core"
 	"tofumd/internal/md/dump"
 	"tofumd/internal/md/sim"
+	"tofumd/internal/metrics"
 	"tofumd/internal/script"
 	"tofumd/internal/trace"
 	"tofumd/internal/units"
@@ -38,6 +41,8 @@ func main() {
 		dumpFile  = flag.String("dump", "", "write an extended-XYZ trajectory to this file")
 		dumpEv    = flag.Int("dumpevery", 20, "dump interval in steps")
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+		metFile   = flag.String("metrics", "", "dump the metrics registry to this file at exit (.json for JSON, text otherwise)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -45,13 +50,26 @@ func main() {
 	if *traceFile != "" {
 		rec = trace.NewRecorder()
 	}
+	var met *metrics.Registry
+	if *metFile != "" {
+		met = metrics.New()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 	shape, err := parseShape(*nodes)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *inFile != "" {
-		runDeck(*inFile, shape, *variant, rec)
+		runDeck(*inFile, shape, *variant, rec, met)
 		writeTrace(*traceFile, rec)
+		finishMetrics(*metFile, met)
 		return
 	}
 	kind := core.LJ
@@ -80,6 +98,7 @@ func main() {
 		NewtonOff:   !*newton,
 		ThermoEvery: *thermoEv,
 		Recorder:    rec,
+		Metrics:     met,
 	}
 	if *dumpFile != "" {
 		f, err := os.Create(*dumpFile)
@@ -124,7 +143,33 @@ func main() {
 	}
 	fmt.Printf("Performance: %.6g %s (virtual wall clock %.6f s)\n", res.PerfPerDay, unit, res.Elapsed)
 	writeTrace(*traceFile, rec)
+	finishMetrics(*metFile, met)
 	os.Exit(0)
+}
+
+// finishMetrics prints the top-5 metric families as an exit summary and
+// dumps the full registry to path; a nil registry (no -metrics flag) is a
+// no-op.
+func finishMetrics(path string, met *metrics.Registry) {
+	if met == nil {
+		return
+	}
+	fmt.Println("\nTop metrics families:")
+	for _, fam := range met.Top(5, "sim_stage_imbalance", "sim_stage_seconds", "fabric_inject_stall", "fabric_tni", "mpi_") {
+		fmt.Printf("# %s (%s)\n", fam.Name, fam.Kind)
+		for _, s := range fam.Samples {
+			if fam.Kind == "histogram" {
+				fmt.Printf("  %-12s count=%-8d sum=%-12.6g p50=%-12.6g p99=%.6g\n",
+					s.Label, s.Count, s.Sum, s.P50, s.P99)
+			} else {
+				fmt.Printf("  %-12s %.6g\n", s.Label, s.Value)
+			}
+		}
+	}
+	if err := met.WriteFile(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Metrics written to %s\n", path)
 }
 
 // writeTrace emits the recorded events as Chrome trace JSON plus the
@@ -148,7 +193,7 @@ func writeTrace(path string, rec *trace.Recorder) {
 }
 
 // runDeck executes a parsed LAMMPS-style input file on the machine.
-func runDeck(path string, shape vec.I3, variantName string, rec *trace.Recorder) {
+func runDeck(path string, shape vec.I3, variantName string, rec *trace.Recorder, met *metrics.Registry) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -177,6 +222,9 @@ func runDeck(path string, shape vec.I3, variantName string, rec *trace.Recorder)
 	defer s.Close()
 	if rec != nil {
 		s.SetRecorder(rec)
+	}
+	if met != nil {
+		s.SetMetrics(met)
 	}
 	s.Run(steps)
 

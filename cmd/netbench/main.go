@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"tofumd/internal/bench"
+	"tofumd/internal/metrics"
 	"tofumd/internal/trace"
 )
 
@@ -19,10 +20,14 @@ func main() {
 	log.SetPrefix("netbench: ")
 	full := flag.Bool("full", false, "use the full 768-node tile")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the fabric rounds to this file")
+	metFile := flag.String("metrics", "", "dump the metrics registry to this file at exit (.json for JSON, text otherwise)")
 	flag.Parse()
 	opt := bench.Options{Full: *full}
 	if *traceFile != "" {
 		opt.Rec = trace.NewRecorder()
+	}
+	if *metFile != "" {
+		opt.Met = metrics.New()
 	}
 
 	f6, err := bench.Fig6(opt)
@@ -50,5 +55,12 @@ func main() {
 		}
 		fmt.Printf("Trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n\n", *traceFile)
 		fmt.Print(opt.Rec.Summarize().Format())
+	}
+
+	if opt.Met != nil {
+		if err := opt.Met.WriteFile(*metFile); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Metrics written to %s\n", *metFile)
 	}
 }

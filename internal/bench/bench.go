@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"tofumd/internal/metrics"
 	"tofumd/internal/trace"
 	"tofumd/internal/vec"
 )
@@ -24,6 +25,9 @@ type Options struct {
 	// Rec, when non-nil, collects trace events from the experiments that
 	// exercise the fabric (Fig. 6, Fig. 8, Fig. 12).
 	Rec *trace.Recorder
+	// Met, when non-nil, aggregates metrics from the experiments that
+	// exercise the fabric or full simulations.
+	Met *metrics.Registry
 }
 
 // tileFor returns the functional tile for experiments pinned at 768 nodes.

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkArtifact(exp string, series ...Series) *Artifact {
+	return &Artifact{SchemaVersion: ArtifactSchemaVersion, Experiment: exp, Series: series}
+}
+
+func TestCompareCleanAndPerturbed(t *testing.T) {
+	base := map[string]*Artifact{
+		"fig6": mkArtifact("fig6",
+			Series{Key: "opt/small_time", Value: 10e-6, Direction: DirLower},
+			Series{Key: "reduction", Value: 0.79, Direction: DirHigher},
+		),
+	}
+	// Identical candidate: clean.
+	cand := map[string]*Artifact{
+		"fig6": mkArtifact("fig6",
+			Series{Key: "opt/small_time", Value: 10e-6, Direction: DirLower},
+			Series{Key: "reduction", Value: 0.79, Direction: DirHigher},
+		),
+	}
+	res := Compare(base, cand, nil)
+	if len(res.Errors) != 0 || len(res.Regressions) != 0 {
+		t.Fatalf("identical sets: errors=%v regressions=%v", res.Errors, res.Regressions)
+	}
+
+	// Time up 50% with a 25% tolerance: regression.
+	cand["fig6"].Series[0].Value = 15e-6
+	res = Compare(base, cand, nil)
+	if len(res.Regressions) != 1 || res.Regressions[0].Key != "opt/small_time" {
+		t.Fatalf("perturbed lower-is-better series not flagged: %+v", res.Regressions)
+	}
+
+	// Time down 50%: an improvement, not a regression.
+	cand["fig6"].Series[0].Value = 5e-6
+	res = Compare(base, cand, nil)
+	if len(res.Regressions) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", res.Regressions)
+	}
+
+	// Higher-is-better series dropping beyond tolerance: regression.
+	cand["fig6"].Series[0].Value = 10e-6
+	cand["fig6"].Series[1].Value = 0.3
+	res = Compare(base, cand, nil)
+	if len(res.Regressions) != 1 || res.Regressions[0].Key != "reduction" {
+		t.Fatalf("dropped higher-is-better series not flagged: %+v", res.Regressions)
+	}
+}
+
+func TestCompareEqualDirectionAndZeroTolerance(t *testing.T) {
+	base := map[string]*Artifact{
+		"table1": mkArtifact("table1",
+			Series{Key: "total_msgs/p2p", Value: 13, Direction: DirEqual},
+		),
+	}
+	cand := map[string]*Artifact{
+		"table1": mkArtifact("table1",
+			Series{Key: "total_msgs/p2p", Value: 14, Direction: DirEqual},
+		),
+	}
+	// table1's default tolerance is 0: any move regresses, either direction.
+	res := Compare(base, cand, nil)
+	if len(res.Regressions) != 1 {
+		t.Fatalf("equal-direction move not flagged at zero tolerance: %+v", res.Deltas)
+	}
+	cand["table1"].Series[0].Value = 12
+	if res = Compare(base, cand, nil); len(res.Regressions) != 1 {
+		t.Fatalf("equal-direction downward move not flagged: %+v", res.Deltas)
+	}
+	cand["table1"].Series[0].Value = 13
+	if res = Compare(base, cand, nil); len(res.Regressions) != 0 {
+		t.Fatalf("exact match flagged: %+v", res.Regressions)
+	}
+}
+
+func TestCompareShapeMismatchesAreErrors(t *testing.T) {
+	base := map[string]*Artifact{
+		"fig6": mkArtifact("fig6", Series{Key: "a", Value: 1, Direction: DirLower}),
+		"fig8": mkArtifact("fig8", Series{Key: "b", Value: 1, Direction: DirHigher}),
+	}
+	cand := map[string]*Artifact{
+		"fig6": mkArtifact("fig6",
+			Series{Key: "a", Value: 1, Direction: DirHigher}, // direction flip
+			Series{Key: "extra", Value: 2, Direction: DirLower},
+		),
+		"fig15": mkArtifact("fig15", Series{Key: "c", Value: 1, Direction: DirLower}),
+	}
+	res := Compare(base, cand, nil)
+	// Expect: fig8 missing from candidate, direction flip on fig6/a, extra
+	// series fig6/extra, fig15 not in baseline.
+	if len(res.Errors) != 4 {
+		t.Fatalf("want 4 shape errors, got %d: %v", len(res.Errors), res.Errors)
+	}
+	if len(res.Regressions) != 0 {
+		t.Fatalf("shape mismatches must be errors, not regressions: %+v", res.Regressions)
+	}
+}
+
+func TestCompareInfoSeriesNeverGate(t *testing.T) {
+	base := map[string]*Artifact{
+		"ablations": mkArtifact("ablations", Series{Key: "x/comm_penalty", Value: 1.0}),
+	}
+	cand := map[string]*Artifact{
+		"ablations": mkArtifact("ablations", Series{Key: "x/comm_penalty", Value: 100.0}),
+	}
+	res := Compare(base, cand, nil)
+	if len(res.Regressions) != 0 || len(res.Errors) != 0 {
+		t.Fatalf("info-only series gated: %+v %v", res.Regressions, res.Errors)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	base := map[string]*Artifact{
+		"fig11": mkArtifact("fig11", Series{Key: "diff", Value: 0, Direction: DirLower}),
+	}
+	// Zero vs zero: equal.
+	cand := map[string]*Artifact{
+		"fig11": mkArtifact("fig11", Series{Key: "diff", Value: 0, Direction: DirLower}),
+	}
+	if res := Compare(base, cand, nil); len(res.Regressions) != 0 {
+		t.Fatalf("0 vs 0 flagged: %+v", res.Regressions)
+	}
+	// Zero baseline, real candidate: infinite relative growth, regresses.
+	cand["fig11"].Series[0].Value = 0.5
+	if res := Compare(base, cand, nil); len(res.Regressions) != 1 {
+		t.Fatalf("growth from zero not flagged")
+	}
+}
+
+func TestArtifactRoundTripThroughFiles(t *testing.T) {
+	dir := t.TempDir()
+	a := mkArtifact("fig6",
+		Series{Key: "opt/small_time", Unit: "s", Value: 10e-6, Direction: DirLower})
+	if err := a.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, FileName("fig6"))
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("artifact file not at canonical name: %v", err)
+	}
+	// Load as dir and as single file.
+	for _, p := range []string{dir, path} {
+		got, err := LoadArtifacts(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got["fig6"] == nil || got["fig6"].Series[0] != a.Series[0] {
+			t.Fatalf("round trip via %s lost data: %+v", p, got)
+		}
+	}
+	// A schema_version bump must be rejected.
+	data, _ := os.ReadFile(path)
+	bad := strings.Replace(string(data), `"schema_version": 1`, `"schema_version": 99`, 1)
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadArtifacts(path); err == nil || !strings.Contains(err.Error(), "schema_version") {
+		t.Fatalf("wrong schema_version accepted: %v", err)
+	}
+}

@@ -55,6 +55,7 @@ func Fig12(opt Options) (Fig12Result, error) {
 				Variant:   v,
 				Steps:     steps,
 				Recorder:  opt.Rec,
+				Metrics:   opt.Met,
 			})
 			if err != nil {
 				return out, fmt.Errorf("%s/%s: %w", sys.name, v.Name, err)

@@ -32,7 +32,7 @@ func Fig6(opt Options) (Fig6Result, error) {
 
 	var res Fig6Result
 	for _, v := range sim.StepByStepVariants() {
-		spec := core.ModelSpec{Kind: core.LJ, Variant: v, FullShape: full, TileShape: tile, Rec: opt.Rec}
+		spec := core.ModelSpec{Kind: core.LJ, Variant: v, FullShape: full, TileShape: tile, Rec: opt.Rec, Met: opt.Met}
 		spec.AtomsPerRank = perRankSmall
 		small, err := core.HaloTime(spec)
 		if err != nil {

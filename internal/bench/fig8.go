@@ -38,6 +38,7 @@ func Fig8(opt Options) (Fig8Result, error) {
 	}
 	fab := tofu.NewFabric(m.Map, m.Params)
 	fab.Rec = opt.Rec
+	fab.SetMetrics(opt.Met)
 	// The four ranks of node 0 and their +x off-node peers.
 	var senders, peers []int
 	for id := 0; id < m.Map.Ranks(); id++ {

@@ -12,6 +12,7 @@ import (
 	"tofumd/internal/md/lattice"
 	"tofumd/internal/md/potential"
 	"tofumd/internal/md/sim"
+	"tofumd/internal/metrics"
 	"tofumd/internal/topo"
 	"tofumd/internal/trace"
 	"tofumd/internal/units"
@@ -159,6 +160,9 @@ type RunSpec struct {
 	// spans and per-round collective events for the timed steps (setup stays
 	// untraced, matching how SetupTime is kept out of the breakdown).
 	Recorder *trace.Recorder
+	// Metrics, when non-nil, aggregates counters/histograms across all
+	// layers for the timed steps (setup stays uncounted, like tracing).
+	Metrics *metrics.Registry
 }
 
 // RunResult is the outcome of a run.
@@ -221,6 +225,9 @@ func Run(spec RunSpec) (*RunResult, error) {
 	defer s.Close()
 	if spec.Recorder != nil {
 		s.SetRecorder(spec.Recorder)
+	}
+	if spec.Metrics != nil {
+		s.SetMetrics(spec.Metrics)
 	}
 	if spec.Observer == nil {
 		s.Run(steps)

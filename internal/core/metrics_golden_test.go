@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"tofumd/internal/md/sim"
+	"tofumd/internal/metrics"
+	"tofumd/internal/trace"
+	"tofumd/internal/vec"
+)
+
+// TestMeteredRunMatchesUnmetered is the golden test of the metrics layer:
+// attaching a registry must not perturb virtual time. The metered and
+// unmetered runs of the same spec must agree bit-for-bit on every stage
+// total and on the elapsed clock, and the metered run must actually have
+// populated the expected families.
+func TestMeteredRunMatchesUnmetered(t *testing.T) {
+	spec := RunSpec{
+		Workload:  LJSmall(),
+		TileShape: vec.I3{X: 2, Y: 3, Z: 2},
+		Variant:   sim.Opt(),
+		Steps:     25, // past one NeighEvery=20 rebuild
+	}
+	plain, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	spec.Metrics = reg
+	metered, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []trace.Stage{trace.Pair, trace.Neigh, trace.Comm, trace.Modify, trace.Other} {
+		if a, b := plain.Breakdown.Get(st), metered.Breakdown.Get(st); a != b {
+			t.Errorf("stage %v differs: unmetered %v, metered %v", st, a, b)
+		}
+	}
+	if plain.Elapsed != metered.Elapsed {
+		t.Errorf("elapsed differs: unmetered %v, metered %v", plain.Elapsed, metered.Elapsed)
+	}
+	if plain.PerfPerDay != metered.PerfPerDay {
+		t.Errorf("performance differs: unmetered %v, metered %v", plain.PerfPerDay, metered.PerfPerDay)
+	}
+
+	snap := reg.Snapshot()
+	byName := map[string]metrics.FamilySnapshot{}
+	for _, f := range snap {
+		byName[f.Name] = f
+	}
+	for _, want := range []string{
+		"sim_stage_seconds", "sim_stage_imbalance",
+		"fabric_tni_msgs", "fabric_tni_bytes", "fabric_inject_stall_seconds",
+		"utofu_ops", "utofu_bytes", "pool_tasks",
+	} {
+		f, ok := byName[want]
+		if !ok {
+			t.Errorf("family %q missing after a metered run", want)
+			continue
+		}
+		if len(f.Samples) == 0 {
+			t.Errorf("family %q has no samples", want)
+		}
+	}
+	// The stage histograms must account for every rank on every invocation:
+	// every-step stages carry ranks x steps observations, and stages that run
+	// on a subset of steps (neigh on rebuilds, forward on non-rebuild steps)
+	// still observe all ranks.
+	if f, ok := byName["sim_stage_seconds"]; ok {
+		ranks := uint64(metered.Ranks)
+		everyStep := map[string]bool{
+			"pair": true, "reverse": true,
+			"integrate1": true, "integrate2": true,
+		}
+		for _, s := range f.Samples {
+			if everyStep[s.Label] && s.Count != ranks*25 {
+				t.Errorf("sim_stage_seconds{%s}: %d observations, want %d", s.Label, s.Count, ranks*25)
+			}
+			if s.Count == 0 || s.Count%ranks != 0 {
+				t.Errorf("sim_stage_seconds{%s}: %d observations, not a positive multiple of %d ranks", s.Label, s.Count, ranks)
+			}
+		}
+	}
+	// The imbalance gauge is max/mean over ranks, so it can never dip
+	// below 1 for a stage with nonzero mean time.
+	if f, ok := byName["sim_stage_imbalance"]; ok {
+		for _, s := range f.Samples {
+			if s.Value < 1 {
+				t.Errorf("sim_stage_imbalance{%s} = %v < 1", s.Label, s.Value)
+			}
+		}
+	}
+
+	// Both export formats must render, and the JSON must parse.
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Families []struct {
+			Name string `json:"name"`
+			Kind string `json:"kind"`
+		} `json:"families"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if len(out.Families) != len(snap) {
+		t.Errorf("JSON has %d families, snapshot has %d", len(out.Families), len(snap))
+	}
+	buf.Reset()
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("text export is empty")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"tofumd/internal/md/comm"
 	"tofumd/internal/md/domain"
 	"tofumd/internal/md/sim"
+	"tofumd/internal/metrics"
 	"tofumd/internal/tofu"
 	"tofumd/internal/topo"
 	"tofumd/internal/trace"
@@ -36,6 +37,9 @@ type ModelSpec struct {
 	// Rec, when non-nil, collects per-message fabric events of the modeled
 	// rounds (each round runs on the tile fabric with time starting at 0).
 	Rec *trace.Recorder
+	// Met, when non-nil, aggregates fabric counters/histograms of the
+	// modeled rounds.
+	Met *metrics.Registry
 }
 
 // kindParams bundles the geometry constants of a benchmark kind.
@@ -103,6 +107,7 @@ func Modeled(spec ModelSpec) (*RunResult, error) {
 	kp := paramsFor(spec.Kind)
 	fab := tofu.NewFabric(m.Map, m.Params)
 	fab.Rec = spec.Rec
+	fab.SetMetrics(spec.Met)
 	cost := m.Cost
 	th := spec.Variant.ComputeThreading
 	packTh := machine.Serial
@@ -206,6 +211,7 @@ func HaloTime(spec ModelSpec) (float64, error) {
 	kp := paramsFor(spec.Kind)
 	fab := tofu.NewFabric(m.Map, m.Params)
 	fab.Rec = spec.Rec
+	fab.SetMetrics(spec.Met)
 	cost := m.Cost
 	cost.PackPerByte = 0
 	cost.UnpackPerByte = 0

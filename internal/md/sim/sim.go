@@ -12,6 +12,7 @@ import (
 
 	"tofumd/internal/machine"
 	"tofumd/internal/md/atom"
+	"tofumd/internal/metrics"
 	"tofumd/internal/md/comm"
 	"tofumd/internal/md/domain"
 	"tofumd/internal/md/integrate"
@@ -136,6 +137,7 @@ type Simulation struct {
 	xRegion []*utofu.MemRegion
 	nve     *integrate.NVE
 	rec     *trace.Recorder
+	met     *simMetrics
 
 	step    int
 	shells  int
@@ -240,6 +242,66 @@ func (s *Simulation) SetRecorder(rec *trace.Recorder) {
 	}
 	if rec == nil {
 		s.mpiComm.Now = nil
+	}
+}
+
+// simMetrics caches the simulation's stage-level metric handles. Stage
+// histograms and imbalance gauges are created lazily per stage name (the
+// set is small and fixed by the step sequence).
+type simMetrics struct {
+	reg       *metrics.Registry
+	stageHist map[string]*metrics.Histogram
+	imbalance map[string]*metrics.Gauge
+}
+
+// SetMetrics attaches a metrics registry to the simulation and all its
+// layers (fabric, uTofu, MPI, thread pool). Like SetRecorder, call it after
+// New so setup rounds stay out of the aggregates; a nil registry detaches
+// collection everywhere. Metrics never alter virtual time: stage breakdowns
+// are bit-identical with metrics on or off.
+func (s *Simulation) SetMetrics(reg *metrics.Registry) {
+	s.fab.SetMetrics(reg)
+	s.uts.SetMetrics(reg)
+	s.mpiComm.SetMetrics(reg)
+	s.pool.SetMetrics(reg)
+	if !reg.Enabled() {
+		s.met = nil
+		return
+	}
+	s.met = &simMetrics{
+		reg:       reg,
+		stageHist: map[string]*metrics.Histogram{},
+		imbalance: map[string]*metrics.Gauge{},
+	}
+}
+
+// observeStage records every rank's virtual-time advance of one stage
+// invocation and refreshes the coarse stage's cumulative load-imbalance
+// gauge (max/mean over ranks of the per-rank stage total).
+func (m *simMetrics) observeStage(name string, stage trace.Stage, dts []float64, ranks []*Rank) {
+	h := m.stageHist[name]
+	if h == nil {
+		h = m.reg.Histogram("sim_stage_seconds", name)
+		m.stageHist[name] = h
+	}
+	for _, dt := range dts {
+		h.Observe(dt)
+	}
+	var max, sum float64
+	for _, r := range ranks {
+		t := r.BD.Get(stage)
+		if t > max {
+			max = t
+		}
+		sum += t
+	}
+	if mean := sum / float64(len(ranks)); mean > 0 {
+		g := m.imbalance[stage.String()]
+		if g == nil {
+			g = m.reg.Gauge("sim_stage_imbalance", stage.String())
+			m.imbalance[stage.String()] = g
+		}
+		g.Set(max / mean)
 	}
 }
 

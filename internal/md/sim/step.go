@@ -91,6 +91,13 @@ func (s *Simulation) stage(st trace.Stage, name string, fn func()) {
 			})
 		}
 	}
+	if s.met != nil {
+		// Reuse t0 as the per-rank advance of this invocation.
+		for i, r := range s.ranks {
+			t0[i] = r.Clock - t0[i]
+		}
+		s.met.observeStage(name, st, t0, s.ranks)
+	}
 }
 
 // checkDisplacement runs the half-skin scan and the global LOR allreduce of

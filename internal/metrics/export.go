@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// SampleSnapshot is the exported state of one labeled metric. Counters fill
+// only Value; gauges only Value; histograms fill Count/Sum/Min/Max and the
+// estimated quantiles, with Value = Sum (so "total time" reads uniformly).
+type SampleSnapshot struct {
+	Label string  `json:"label"`
+	Value float64 `json:"value"`
+
+	Count uint64  `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P95   float64 `json:"p95,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// FamilySnapshot is the exported state of one metric family, samples sorted
+// by label.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Kind    string           `json:"kind"`
+	Samples []SampleSnapshot `json:"samples"`
+}
+
+// Snapshot captures the whole registry, families sorted by name, samples by
+// label, so exports are deterministic. A nil registry snapshots empty.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Kind: f.kind.String()}
+		switch f.kind {
+		case KindCounter:
+			for _, label := range sortedKeys(f.counters) {
+				fs.Samples = append(fs.Samples, SampleSnapshot{
+					Label: label, Value: float64(f.counters[label].Value()),
+				})
+			}
+		case KindGauge:
+			for _, label := range sortedKeys(f.gauges) {
+				fs.Samples = append(fs.Samples, SampleSnapshot{
+					Label: label, Value: f.gauges[label].Value(),
+				})
+			}
+		case KindHistogram:
+			for _, label := range sortedKeys(f.hists) {
+				count, sum, min, max, p50, p95, p99 := f.hists[label].snapshot()
+				fs.Samples = append(fs.Samples, SampleSnapshot{
+					Label: label, Value: sum,
+					Count: count, Sum: sum, Min: min, Max: max,
+					P50: p50, P95: p95, P99: p99,
+				})
+			}
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// WriteText renders the registry as aligned human-readable text.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, f := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "# %s (%s)\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			var err error
+			if f.Kind == KindHistogram.String() {
+				_, err = fmt.Fprintf(w, "%-40s count=%d sum=%.6g min=%.6g max=%.6g p50=%.6g p95=%.6g p99=%.6g\n",
+					f.Name+"{"+s.Label+"}", s.Count, s.Sum, s.Min, s.Max, s.P50, s.P95, s.P99)
+			} else {
+				_, err = fmt.Fprintf(w, "%-40s %.6g\n", f.Name+"{"+s.Label+"}", s.Value)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	if snap == nil {
+		snap = []FamilySnapshot{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Families []FamilySnapshot `json:"families"`
+	}{snap})
+}
+
+// WriteFile dumps the registry to path: JSON when the name ends in ".json",
+// text otherwise. A nil registry writes an empty document.
+func (r *Registry) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		err = r.WriteJSON(f)
+	} else {
+		err = r.WriteText(f)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Top returns up to n family snapshots for an exit summary. Families whose
+// name starts with one of the prefer prefixes come first (in prefer order),
+// then the rest by name; families with no samples are skipped.
+func (r *Registry) Top(n int, prefer ...string) []FamilySnapshot {
+	snap := r.Snapshot()
+	rank := func(name string) int {
+		for i, p := range prefer {
+			if strings.HasPrefix(name, p) {
+				return i
+			}
+		}
+		return len(prefer)
+	}
+	sort.SliceStable(snap, func(i, j int) bool {
+		ri, rj := rank(snap[i].Name), rank(snap[j].Name)
+		if ri != rj {
+			return ri < rj
+		}
+		return snap[i].Name < snap[j].Name
+	})
+	out := snap[:0]
+	for _, f := range snap {
+		if len(f.Samples) > 0 {
+			out = append(out, f)
+		}
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+// Package metrics provides a small, allocation-light metrics registry in the
+// counter/histogram style of HPC profilers (TAU's per-event counters, mpiP's
+// per-rank summaries): Counters, Gauges and fixed-bucket Histograms grouped
+// into labeled families, with deterministic text and JSON export.
+//
+// Like trace.Recorder, a nil *Registry is a valid, disabled registry: every
+// Registry method nil-checks its receiver and returns nil handles, and every
+// handle method nil-checks its receiver and no-ops. Instrumented hot paths
+// therefore cost a single pointer check when metrics are off, and the
+// simulation's virtual-time output is bit-identical with metrics on or off —
+// metrics observe time, they never advance it.
+//
+// Hot layers cache their handles once (see tofu.Fabric.SetMetrics) so the
+// per-event cost with metrics on is an atomic add or one short
+// mutex-protected bucket increment; family lookup happens only at setup.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind discriminates the metric types of a family.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing integer.
+	KindCounter Kind = iota
+	// KindGauge is a last-value-wins float.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution.
+	KindHistogram
+)
+
+// String names the kind as exported in text/JSON.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Registry holds metric families. The zero value is not usable; call New.
+// A nil *Registry is a valid disabled registry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family groups all label variants of one metric name under one kind.
+type family struct {
+	name    string
+	kind    Kind
+	buckets []float64 // histogram families only
+
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns an enabled registry.
+func New() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Enabled reports whether metrics are being collected.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// getFamily returns (creating if needed) the family with the given name and
+// kind. Registering the same name under two kinds is a programming error.
+func (r *Registry) getFamily(name string, kind Kind, buckets []float64) *family {
+	f := r.families[name]
+	if f == nil {
+		f = &family{
+			name:     name,
+			kind:     kind,
+			buckets:  buckets,
+			counters: map[string]*Counter{},
+			gauges:   map[string]*Gauge{},
+			hists:    map[string]*Histogram{},
+		}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("metrics: family %q registered as %v, requested as %v", name, f.kind, kind))
+	}
+	return f
+}
+
+// Counter returns the counter of family name with the given label, creating
+// it on first use. A nil registry returns a nil (disabled) counter.
+func (r *Registry) Counter(name, label string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, KindCounter, nil)
+	c := f.counters[label]
+	if c == nil {
+		c = &Counter{}
+		f.counters[label] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge of family name with the given label, creating it
+// on first use. A nil registry returns a nil (disabled) gauge.
+func (r *Registry) Gauge(name, label string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, KindGauge, nil)
+	g := f.gauges[label]
+	if g == nil {
+		g = &Gauge{}
+		f.gauges[label] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram of family name with the given label using
+// the default time buckets (log-spaced 10ns..1000s), creating it on first
+// use. A nil registry returns a nil (disabled) histogram.
+func (r *Registry) Histogram(name, label string) *Histogram {
+	return r.HistogramWith(name, label, nil)
+}
+
+// HistogramWith is Histogram with explicit bucket upper bounds (ascending).
+// The family's first creation fixes the buckets; later calls reuse them.
+// A nil buckets slice selects DefTimeBuckets.
+func (r *Registry) HistogramWith(name, label string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefTimeBuckets()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.getFamily(name, KindHistogram, buckets)
+	h := f.hists[label]
+	if h == nil {
+		h = newHistogram(f.buckets)
+		f.hists[label] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing integer metric. All methods are safe
+// for concurrent use; a nil *Counter is a valid disabled counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float metric. All methods are safe for
+// concurrent use; a nil *Gauge is a valid disabled gauge.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetMax stores v only if it exceeds the current value.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// sortedKeys returns map keys in lexical order for deterministic export.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tofumd/internal/metrics"
 	"tofumd/internal/tofu"
 	"tofumd/internal/trace"
 )
@@ -31,6 +32,32 @@ type Comm struct {
 	// communicator itself has no clock; the driver's is authoritative).
 	Rec *trace.Recorder
 	Now func() float64
+
+	// met caches metric handles (see SetMetrics); nil when metrics are off.
+	met *commMetrics
+}
+
+// commMetrics caches the MPI layer's metric handles.
+type commMetrics struct {
+	p2pRounds, p2pMsgs, p2pBytes  *metrics.Counter
+	allreduces, allreduceBytes    *metrics.Counter
+	allreduceSeconds              *metrics.Histogram
+}
+
+// SetMetrics enables (or, with a nil registry, disables) metric collection.
+func (c *Comm) SetMetrics(reg *metrics.Registry) {
+	if !reg.Enabled() {
+		c.met = nil
+		return
+	}
+	c.met = &commMetrics{
+		p2pRounds:        reg.Counter("mpi_p2p", "rounds"),
+		p2pMsgs:          reg.Counter("mpi_p2p", "msgs"),
+		p2pBytes:         reg.Counter("mpi_p2p", "bytes"),
+		allreduces:       reg.Counter("mpi_allreduce", "calls"),
+		allreduceBytes:   reg.Counter("mpi_allreduce", "bytes"),
+		allreduceSeconds: reg.Histogram("mpi_allreduce_seconds", "all"),
+	}
 }
 
 // NewComm returns a communicator over the fabric's ranks.
@@ -106,6 +133,11 @@ func (c *Comm) ExchangeRound(msgs []*Message) {
 		}
 		bytes += float64(tr.Bytes)
 	}
+	if c.met != nil {
+		c.met.p2pRounds.Inc()
+		c.met.p2pMsgs.Add(int64(len(msgs)))
+		c.met.p2pBytes.Add(int64(bytes))
+	}
 	if c.Fab.Rec.Enabled() {
 		c.Fab.Rec.Round(trace.RoundEvent{
 			Kind: "mpi-p2p", Count: len(msgs), Bytes: int(bytes),
@@ -168,6 +200,11 @@ func (c *Comm) Allreduce(contrib [][]float64, op ReduceOp) ([]float64, float64, 
 		}
 	}
 	t := c.Fab.AllreduceTime(n, 8*width, tofu.IfaceMPI)
+	if c.met != nil {
+		c.met.allreduces.Inc()
+		c.met.allreduceBytes.Add(int64(8 * width))
+		c.met.allreduceSeconds.Observe(t)
+	}
 	if c.Rec.Enabled() {
 		var now float64
 		if c.Now != nil {

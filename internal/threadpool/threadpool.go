@@ -17,6 +17,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"tofumd/internal/metrics"
 )
 
 // Modeled per-parallel-region overheads (seconds of virtual time), as
@@ -38,6 +41,42 @@ type Pool struct {
 	tasks   chan task
 	wg      sync.WaitGroup
 	closed  atomic.Bool
+
+	// met caches metric handles (see SetMetrics); nil when metrics are off.
+	// Pool metrics measure host wall-clock dispatch latency — they observe
+	// the real pool's behaviour against the 1.1us model and never touch the
+	// simulation's virtual time.
+	met *poolMetrics
+}
+
+// poolMetrics caches the pool's metric handles.
+type poolMetrics struct {
+	regions, tasks  *metrics.Counter
+	dispatchSeconds *metrics.Histogram
+}
+
+// SetMetrics enables (or, with a nil registry, disables) metric collection.
+// When on, every ForEach/ForEachChunked region observes its wall-clock
+// dispatch+join latency (the quantity the paper's 5.8us-vs-1.1us
+// microbenchmark measures) and counts tasks executed.
+func (p *Pool) SetMetrics(reg *metrics.Registry) {
+	if !reg.Enabled() {
+		p.met = nil
+		return
+	}
+	p.met = &poolMetrics{
+		regions:         reg.Counter("pool_regions", "dispatched"),
+		tasks:           reg.Counter("pool_tasks", "executed"),
+		dispatchSeconds: reg.Histogram("pool_dispatch_seconds", "wall"),
+	}
+}
+
+// observeRegion records one parallel region of n tasks that took d of host
+// wall-clock time.
+func (p *Pool) observeRegion(n int, start time.Time) {
+	p.met.regions.Inc()
+	p.met.tasks.Add(int64(n))
+	p.met.dispatchSeconds.Observe(time.Since(start).Seconds())
 }
 
 type task struct {
@@ -113,6 +152,11 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	var start time.Time
+	if p.met != nil {
+		start = time.Now()
+		defer p.observeRegion(n, start)
+	}
 	if n == 1 {
 		fn(0)
 		return
@@ -130,6 +174,11 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 func (p *Pool) ForEachChunked(n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
+	}
+	var start time.Time
+	if p.met != nil {
+		start = time.Now()
+		defer p.observeRegion(n, start)
 	}
 	chunks := p.workers
 	if chunks > n {

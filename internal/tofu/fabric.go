@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"tofumd/internal/des"
+	"tofumd/internal/metrics"
 	"tofumd/internal/topo"
 	"tofumd/internal/trace"
 )
@@ -70,6 +71,9 @@ type Fabric struct {
 	Rec     *trace.Recorder
 	RecBase float64
 
+	// met caches metric handles (see SetMetrics); nil when metrics are off.
+	met *fabricMetrics
+
 	eng des.Engine
 	// tniFree[node*TNIsPerNode+tni] is the time the TNI engine frees up.
 	tniFree []float64
@@ -86,6 +90,39 @@ type Fabric struct {
 
 type threadKey struct {
 	rank, thread int
+}
+
+// fabricMetrics caches the fabric's metric handles so the per-message cost
+// is an atomic add, not a registry lookup. Per-TNI families are indexed by
+// TNI number and aggregate across nodes; distributions are labeled by the
+// software interface ("utofu"/"mpi").
+type fabricMetrics struct {
+	msgs, bytes, switches []*metrics.Counter   // per TNI index
+	stall                 [2]*metrics.Histogram // per Interface
+	hops                  [2]*metrics.Histogram // per Interface
+}
+
+// SetMetrics enables (or, with a nil registry, disables) metric collection.
+// Metrics only observe the computed virtual times: timing outputs are
+// bit-identical with metrics on or off.
+func (f *Fabric) SetMetrics(reg *metrics.Registry) {
+	if !reg.Enabled() {
+		f.met = nil
+		return
+	}
+	m := &fabricMetrics{}
+	for tni := 0; tni < f.Params.TNIsPerNode; tni++ {
+		label := fmt.Sprintf("tni%d", tni)
+		m.msgs = append(m.msgs, reg.Counter("fabric_tni_msgs", label))
+		m.bytes = append(m.bytes, reg.Counter("fabric_tni_bytes", label))
+		m.switches = append(m.switches, reg.Counter("fabric_tni_vcq_switches", label))
+	}
+	hopBuckets := metrics.LinearBuckets(0, 1, 33)
+	for _, iface := range []Interface{IfaceUTofu, IfaceMPI} {
+		m.stall[iface] = reg.Histogram("fabric_inject_stall_seconds", iface.String())
+		m.hops[iface] = reg.HistogramWith("fabric_msg_hops", iface.String(), hopBuckets)
+	}
+	f.met = m
 }
 
 // NewFabric builds a fabric over the rank map with the given parameters.
@@ -185,6 +222,9 @@ func (f *Fabric) RunRound(transfers []*Transfer, iface Interface) {
 			})
 			return
 		}
+		if f.met != nil {
+			f.met.stall[iface].Observe(start - tr.ReadyAt)
+		}
 		cost := gap + sendOv
 		if tr.TwoStep {
 			cost += gap // separate length message
@@ -240,6 +280,19 @@ func (f *Fabric) transmit(tr *Transfer, iface Interface, recvOv, issueStart floa
 	txDone := txStart + busy
 	f.tniFree[idx] = txDone
 	f.tniLastVCQ[idx] = tr.VCQ
+
+	if f.met != nil {
+		f.met.msgs[tr.TNI].Inc()
+		f.met.bytes[tr.TNI].Add(int64(tr.Bytes))
+		if vcqSwitch {
+			f.met.switches[tr.TNI].Inc()
+		}
+		hops := 0
+		if srcNode != dstNode {
+			hops = f.Map.Hops(tr.Src, tr.Dst)
+		}
+		f.met.hops[iface].Observe(float64(hops))
+	}
 
 	if srcNode == dstNode {
 		// Intra-node: through the on-chip ring bus, no torus hops. The TNI

@@ -92,6 +92,67 @@ func TestSummarizeAggregates(t *testing.T) {
 	}
 }
 
+func TestSummarizeZeroDurationEvents(t *testing.T) {
+	r := NewRecorder()
+	// A degenerate message: packed, issued and transmitted at the same
+	// instant. Every duration in the chain is zero; the summary must stay
+	// finite (no NaN/Inf busy fractions from a zero TNI span).
+	r.Message(MessageEvent{
+		Src: 2, SrcNode: 1, TNI: 3, Bytes: 8,
+		ReadyAt: 5e-6, IssueStart: 5e-6, IssueDone: 5e-6,
+		TxStart: 5e-6, TxDone: 5e-6, Arrival: 5e-6, RecvComplete: 5e-6,
+	})
+	s := r.Summarize()
+	if len(s.Ranks) != 1 || len(s.TNIs) != 1 {
+		t.Fatalf("summary sizes: %d ranks, %d TNIs", len(s.Ranks), len(s.TNIs))
+	}
+	rk := s.Ranks[0]
+	if rk.MeanStall != 0 || rk.MaxStall != 0 {
+		t.Errorf("zero-duration message produced stalls: %+v", rk)
+	}
+	tn := s.TNIs[0]
+	if tn.Busy != 0 {
+		t.Errorf("zero-duration message produced busy time: %+v", tn)
+	}
+	if tn.BusyFrac != 0 { // also catches NaN from a 0/0 division
+		t.Errorf("zero TNI span must leave BusyFrac 0, got %v", tn.BusyFrac)
+	}
+	// A clock glitch where IssueStart precedes ReadyAt must clamp to zero
+	// stall, not go negative.
+	r.Message(MessageEvent{
+		Src: 2, SrcNode: 1, TNI: 3, Bytes: 8,
+		ReadyAt: 6e-6, IssueStart: 5e-6, TxStart: 6e-6, TxDone: 6e-6,
+	})
+	if rk := r.Summarize().Ranks[0]; rk.MeanStall < 0 || rk.MaxStall < 0 {
+		t.Errorf("negative stall leaked into summary: %+v", rk)
+	}
+}
+
+func TestSummarizeRanksUnseenInSpans(t *testing.T) {
+	r := NewRecorder()
+	// Spans mention ranks 0 and 1 only; the lone message comes from rank 7,
+	// which never appears in any span. The message tables key off message
+	// events alone, so rank 7 must show up and the span-only ranks must not.
+	r.Span(SpanEvent{Rank: 0, Name: "pair", Stage: "Pair", Start: 0, End: 1e-6})
+	r.Span(SpanEvent{Rank: 1, Name: "pair", Stage: "Pair", Start: 0, End: 1e-6})
+	r.Message(MessageEvent{
+		Src: 7, SrcNode: 3, TNI: 1, Bytes: 64,
+		ReadyAt: 0, IssueStart: 0, TxStart: 0, TxDone: 1e-6,
+	})
+	s := r.Summarize()
+	if len(s.Ranks) != 1 || s.Ranks[0].Rank != 7 {
+		t.Fatalf("want exactly rank 7 in the injection table, got %+v", s.Ranks)
+	}
+	if len(s.TNIs) != 1 || s.TNIs[0].Node != 3 || s.TNIs[0].TNI != 1 {
+		t.Fatalf("want exactly TNI (3,1), got %+v", s.TNIs)
+	}
+	// The formatted output must render without panicking even though the
+	// span ranks have no injection rows.
+	if out := s.Format(); !strings.Contains(out, "7") {
+		t.Errorf("rank 7 missing from formatted summary:\n%s", out)
+	}
+}
+
 func TestWriteChromeValidEvents(t *testing.T) {
 	r := NewRecorder()
 	r.Message(MessageEvent{

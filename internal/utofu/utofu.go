@@ -22,6 +22,7 @@ package utofu
 import (
 	"fmt"
 
+	"tofumd/internal/metrics"
 	"tofumd/internal/tofu"
 	"tofumd/internal/trace"
 )
@@ -38,6 +39,33 @@ type System struct {
 	regions    map[uint64]*MemRegion
 	nextSTADD  uint64
 	nextVCQTag int
+
+	// met caches metric handles (see SetMetrics); nil when metrics are off.
+	met *utofuMetrics
+}
+
+// utofuMetrics caches the uTofu layer's metric handles.
+type utofuMetrics struct {
+	puts, gets           *metrics.Counter
+	putBytes, getBytes   *metrics.Counter
+	piggybacks           *metrics.Counter
+	registrations        *metrics.Counter
+}
+
+// SetMetrics enables (or, with a nil registry, disables) metric collection.
+func (s *System) SetMetrics(reg *metrics.Registry) {
+	if !reg.Enabled() {
+		s.met = nil
+		return
+	}
+	s.met = &utofuMetrics{
+		puts:          reg.Counter("utofu_ops", "put"),
+		gets:          reg.Counter("utofu_ops", "get"),
+		putBytes:      reg.Counter("utofu_bytes", "put"),
+		getBytes:      reg.Counter("utofu_bytes", "get"),
+		piggybacks:    reg.Counter("utofu_ops", "piggyback"),
+		registrations: reg.Counter("utofu_ops", "register"),
+	}
 }
 
 // VCQ is a virtual control queue bound to one CQ of one TNI on the rank's
@@ -121,6 +149,9 @@ func (s *System) FreeVCQ(v *VCQ) {
 // calls this once per buffer during setup; a naive implementation pays it on
 // every buffer growth.
 func (s *System) Register(rank int, buf []byte) (*MemRegion, float64) {
+	if s.met != nil {
+		s.met.registrations.Inc()
+	}
 	s.nextSTADD++
 	r := &MemRegion{Rank: rank, STADD: s.nextSTADD, Buf: buf}
 	s.regions[r.STADD] = r
@@ -217,6 +248,10 @@ func (s *System) ExecuteGetRound(gets []*Get) error {
 		copy(g.Dst, src.Buf[g.SrcOff:])
 		g.IssueDone = transfers[i].IssueDone
 		g.Complete = transfers[i].RecvComplete
+		if s.met != nil {
+			s.met.gets.Inc()
+			s.met.getBytes.Add(int64(len(g.Dst)))
+		}
 	}
 	s.recordRound("utofu-get", transfers)
 	return nil
@@ -281,6 +316,13 @@ func (s *System) ExecuteRound(puts []*Put) error {
 		p.IssueDone = transfers[i].IssueDone
 		p.Arrival = transfers[i].Arrival
 		p.RecvComplete = transfers[i].RecvComplete
+		if s.met != nil {
+			s.met.puts.Inc()
+			s.met.putBytes.Add(int64(transfers[i].Bytes))
+			if p.HasPiggyback {
+				s.met.piggybacks.Inc()
+			}
+		}
 	}
 	s.recordRound("utofu-put", transfers)
 	return nil

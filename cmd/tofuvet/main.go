@@ -1,0 +1,145 @@
+// Command tofuvet is the repo's custom static-analysis suite: five
+// analyzers that mechanically enforce the determinism, nil-safety and
+// spin-lock invariants the reproduction rests on (see DESIGN.md for the
+// analyzer-to-invariant map).
+//
+// It runs two ways:
+//
+//	tofuvet ./...                      # standalone, loads packages itself
+//	go vet -vettool=$(which tofuvet) ./...   # as a go vet tool
+//
+// In vettool mode it speaks the cmd/go unitchecker protocol: go vet hands
+// it a JSON config file per package (compiled import data included), it
+// typechecks the package's files and prints diagnostics, exiting nonzero
+// when any survive. Diagnostics can be suppressed with
+// `//tofuvet:allow <check> <reason>` comments; see internal/analysis.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"tofumd/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	// The cmd/go vet driver probes the tool before use: -V=full for a
+	// cache-keying version string, -flags for the supported flag set.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			fmt.Printf("tofuvet version devel buildID=%s\n", selfID())
+			return
+		case a == "-flags" || a == "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) > 0 && strings.HasSuffix(args[len(args)-1], ".cfg") {
+		runUnitchecker(args[len(args)-1])
+		return
+	}
+	runStandalone(args)
+}
+
+// selfID hashes the executable so go vet's action cache invalidates when
+// the tool is rebuilt.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+// runStandalone loads the named packages from source and analyzes them.
+func runStandalone(patterns []string) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	modRoot, modPath, err := findModule()
+	if err != nil {
+		fatalf("tofuvet: %v", err)
+	}
+	paths, err := expandPatterns(modRoot, patterns)
+	if err != nil {
+		fatalf("tofuvet: %v", err)
+	}
+	loader := analysis.NewLoader(map[string]string{modPath: modRoot})
+	exit := 0
+	for _, path := range paths {
+		findings, err := loader.LoadAndRun(path, analysis.All())
+		if err != nil {
+			fatalf("tofuvet: %v", err)
+		}
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// findModule walks up from the working directory to the enclosing go.mod
+// and returns its directory and module path.
+func findModule() (dir, modPath string, err error) {
+	dir, err = os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module directive in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns resolves package patterns to import paths via go list.
+func expandPatterns(modRoot string, patterns []string) ([]string, error) {
+	cmd := exec.Command("go", append([]string{"list"}, patterns...)...)
+	cmd.Dir = modRoot
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w", strings.Join(patterns, " "), err)
+	}
+	var paths []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line != "" {
+			paths = append(paths, line)
+		}
+	}
+	return paths, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

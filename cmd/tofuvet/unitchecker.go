@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"tofumd/internal/analysis"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go writes for each package
+// when driving a -vettool (the unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker analyzes one package as directed by a go vet config file.
+func runUnitchecker(cfgPath string) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("tofuvet: reading vet config: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("tofuvet: parsing vet config %s: %v", cfgPath, err)
+	}
+	// The tofuvet analyzers carry no cross-package facts, but cmd/go
+	// requires the facts file to exist for every vetted package.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatalf("tofuvet: writing facts output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return // dependency pass: facts only, and we have none
+	}
+	// Only module packages carry tofuvet invariants; stdlib and other
+	// dependencies exit clean without the cost of typechecking them.
+	if !strings.HasPrefix(cfg.ImportPath, "tofumd") {
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return
+			}
+			fatalf("tofuvet: %v", err)
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		Importer: mappedImporter{imp: imp, importMap: cfg.ImportMap},
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatalf("tofuvet: typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	findings, err := analysis.Run(fset, files, pkg, info, analysis.All())
+	if err != nil {
+		fatalf("tofuvet: %v", err)
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		os.Exit(1)
+	}
+}
+
+// mappedImporter applies the vet config's import map (which redirects
+// import paths to test-variant packages) before delegating to the
+// export-data importer.
+type mappedImporter struct {
+	imp       types.Importer
+	importMap map[string]string
+}
+
+func (m mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return m.imp.Import(path)
+}

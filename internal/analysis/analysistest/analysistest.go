@@ -1,0 +1,149 @@
+// Package analysistest is a minimal stand-in for
+// golang.org/x/tools/go/analysis/analysistest: it loads fixture packages
+// from a testdata/src tree, runs one analyzer, and checks the diagnostics
+// against `// want "regexp"` comments in the fixtures. Fixtures are
+// ordinary Go packages; their import paths mirror the real module
+// ("tofumd/internal/...") so scope-matched analyzers see them as the
+// packages they police.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tofumd/internal/analysis"
+)
+
+// expectation is one `// want` pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package from testdata/src/<path> and reports any
+// mismatch between the analyzer's diagnostics and the fixtures' `// want`
+// comments as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("analysistest: reading %s: %v", src, err)
+	}
+	roots := map[string]string{}
+	for _, e := range entries {
+		if e.IsDir() {
+			roots[e.Name()] = filepath.Join(src, e.Name())
+		}
+	}
+	loader := analysis.NewLoader(roots)
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("analysistest: loading %s: %v", path, err)
+			continue
+		}
+		findings, err := analysis.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("analysistest: running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		wants, err := parseWants(pkg)
+		if err != nil {
+			t.Errorf("analysistest: %v", err)
+			continue
+		}
+		checkDiagnostics(t, a.Name, path, findings, wants)
+	}
+}
+
+// parseWants extracts the `// want "re" ["re" ...]` expectations from a
+// package's comments.
+func parseWants(pkg *analysis.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				patterns, err := parsePatterns(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want comment: %v", posn, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", posn, p, err)
+					}
+					wants = append(wants, &expectation{
+						file: posn.Filename, line: posn.Line, re: re, raw: p,
+					})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parsePatterns splits a want payload into its quoted regexp strings.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			return nil, fmt.Errorf("expected quoted pattern at %q", s)
+		}
+		prefix, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, err
+		}
+		unq, err := strconv.Unquote(prefix)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[len(prefix):])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}
+
+// checkDiagnostics cross-matches findings and expectations by file:line.
+func checkDiagnostics(t *testing.T, analyzer, pkgPath string, findings []analysis.Finding, wants []*expectation) {
+	t.Helper()
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected %s diagnostic in %s: %s", f.Pos, analyzer, pkgPath, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected %s diagnostic matching %q, got none", w.file, w.line, analyzer, w.raw)
+		}
+	}
+}

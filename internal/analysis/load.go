@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one typechecked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader typechecks packages from source with no external dependencies:
+// module packages are resolved through a root map (module path -> module
+// directory, or an analysistest testdata/src tree), and standard-library
+// imports go through the stdlib's own source importer. This sidesteps the
+// need for golang.org/x/tools/go/packages, which is unavailable in this
+// build environment.
+type Loader struct {
+	Fset *token.FileSet
+	// Roots maps an import-path prefix to the directory holding its
+	// source; "tofumd" -> the module root for real runs, or a fixture
+	// root for analyzer tests.
+	Roots map[string]string
+
+	std  types.ImporterFrom
+	pkgs map[string]*Package
+	busy map[string]bool
+}
+
+// NewLoader returns a loader resolving the given import-path roots.
+func NewLoader(roots map[string]string) *Loader {
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:  fset,
+		Roots: roots,
+		pkgs:  map[string]*Package{},
+		busy:  map[string]bool{},
+	}
+	l.std, _ = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l
+}
+
+// resolveDir maps an import path to a source directory via the longest
+// matching root prefix.
+func (l *Loader) resolveDir(path string) (string, bool) {
+	best, bestDir := "", ""
+	for root, dir := range l.Roots {
+		if (path == root || strings.HasPrefix(path, root+"/")) && len(root) > len(best) {
+			best, bestDir = root, dir
+		}
+	}
+	if best == "" {
+		return "", false
+	}
+	return filepath.Join(bestDir, filepath.FromSlash(strings.TrimPrefix(path, best))), true
+}
+
+// Load parses and typechecks the package at the given import path,
+// memoizing the result. Test files are excluded: the analyzers check
+// production code only.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	dir, ok := l.resolveDir(path)
+	if !ok {
+		return nil, fmt.Errorf("cannot resolve import %q under loader roots", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	files, err := parseDir(l.Fset, dir)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no buildable Go files in %s", path, dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: loaderImporter{l},
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err)
+		},
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("%s: typecheck: %v", path, typeErrs[0])
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// parseDir parses every non-test .go file of one directory, sorted by
+// name for reproducible positions.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// loaderImporter adapts the loader to types.Importer: module packages load
+// from source under the roots, everything else is treated as standard
+// library and goes through the stdlib source importer.
+type loaderImporter struct{ l *Loader }
+
+func (li loaderImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := li.l.resolveDir(path); ok {
+		p, err := li.l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if li.l.std == nil {
+		return nil, fmt.Errorf("no source importer for %q", path)
+	}
+	return li.l.std.ImportFrom(path, "", 0)
+}
+
+// LoadAndRun loads one package and runs the analyzers over it.
+func (l *Loader) LoadAndRun(path string, analyzers []*Analyzer) ([]Finding, error) {
+	p, err := l.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return Run(p.Fset, p.Files, p.Types, p.Info, analyzers)
+}

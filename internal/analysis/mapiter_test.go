@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tofumd/internal/analysis"
+	"tofumd/internal/analysis/analysistest"
+)
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MapIter, "tofumd/internal/bench")
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// nilsafeTargets names the types whose documented contract is "a nil
+// receiver is a valid, disabled instance": the metrics registry and its
+// family handle types, and the trace recorder. Instrumented hot paths rely
+// on that contract costing exactly one pointer check, so every exported
+// method must carry its own guard — transitively inheriting nil-safety
+// from a callee rots silently when the callee changes.
+var nilsafeTargets = map[string][]string{
+	"tofumd/internal/metrics": {"Registry", "Counter", "Gauge", "Histogram"},
+	"tofumd/internal/trace":   {"Recorder"},
+}
+
+// NilSafe requires every exported pointer-receiver method on the nil-safe
+// types to begin with a direct nil-receiver guard: the first textual use
+// of the receiver must be a comparison against nil. Methods that never use
+// their receiver are trivially safe and exempt.
+var NilSafe = &Analyzer{
+	Name:        "nilsafe",
+	Doc:         "require a leading nil-receiver guard on exported methods of nil-safe types",
+	AllowChecks: []string{"nilsafe"},
+	Run:         runNilSafe,
+}
+
+func runNilSafe(pass *Pass) (any, error) {
+	typeNames := nilsafeTargets[pass.Pkg.Path()]
+	if len(typeNames) == 0 {
+		return nil, nil
+	}
+	targets := map[string]bool{}
+	for _, n := range typeNames {
+		targets[n] = true
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recvIdent, typeName, isPtr := receiverOf(fd)
+			if !isPtr || !targets[typeName] || recvIdent == nil || recvIdent.Name == "_" {
+				continue
+			}
+			recvObj := pass.TypesInfo.Defs[recvIdent]
+			if recvObj == nil {
+				continue
+			}
+			if !beginsWithNilGuard(pass, fd.Body, recvObj) {
+				pass.Reportf(fd.Name.Pos(), "exported method (*%s).%s must begin with a nil-receiver guard: a nil *%s is a valid disabled %s and every method is part of that contract", typeName, fd.Name.Name, typeName, typeName)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// receiverOf extracts the receiver identifier, base type name, and whether
+// the receiver is a pointer.
+func receiverOf(fd *ast.FuncDecl) (ident *ast.Ident, typeName string, isPtr bool) {
+	if len(fd.Recv.List) != 1 {
+		return nil, "", false
+	}
+	field := fd.Recv.List[0]
+	if len(field.Names) == 1 {
+		ident = field.Names[0]
+	}
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		isPtr = true
+		t = star.X
+	}
+	switch base := t.(type) {
+	case *ast.Ident:
+		typeName = base.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		if id, ok := base.X.(*ast.Ident); ok {
+			typeName = id.Name
+		}
+	}
+	return ident, typeName, isPtr
+}
+
+// beginsWithNilGuard reports whether the earliest use of the receiver in
+// the body is an operand of a ==/!= comparison with nil (the guard), or
+// whether the receiver is never used at all.
+func beginsWithNilGuard(pass *Pass, body *ast.BlockStmt, recvObj types.Object) bool {
+	firstUse := token.NoPos
+	guardUses := map[token.Pos]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if pass.TypesInfo.Uses[n] == recvObj {
+				if firstUse == token.NoPos || n.Pos() < firstUse {
+					firstUse = n.Pos()
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			x, xIsRecv := recvComparedToNil(pass, n.X, n.Y, recvObj)
+			if xIsRecv {
+				guardUses[x] = true
+			}
+			y, yIsRecv := recvComparedToNil(pass, n.Y, n.X, recvObj)
+			if yIsRecv {
+				guardUses[y] = true
+			}
+		}
+		return true
+	})
+	if firstUse == token.NoPos {
+		return true // receiver never used; nothing can dereference nil
+	}
+	return guardUses[firstUse]
+}
+
+// recvComparedToNil reports whether expr is the receiver identifier and
+// other is the predeclared nil, returning the identifier position.
+func recvComparedToNil(pass *Pass, expr, other ast.Expr, recvObj types.Object) (token.Pos, bool) {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[id] != recvObj {
+		return token.NoPos, false
+	}
+	otherID, ok := ast.Unparen(other).(*ast.Ident)
+	if !ok || otherID.Name != "nil" {
+		return token.NoPos, false
+	}
+	if _, isNil := pass.TypesInfo.Uses[otherID].(*types.Nil); !isNil {
+		return token.NoPos, false
+	}
+	return id.Pos(), true
+}

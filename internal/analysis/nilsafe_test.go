@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tofumd/internal/analysis"
+	"tofumd/internal/analysis/analysistest"
+)
+
+func TestNilSafe(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NilSafe,
+		"tofumd/internal/metrics", "tofumd/internal/trace")
+}

@@ -1,0 +1,59 @@
+// Package bench is a mapiter-analyzer fixture standing in for the
+// benchmark-artifact exporter.
+package bench
+
+import "sort"
+
+// Export uses the canonical sorted-keys shape: the key-collection loop is
+// allowed, the slice iteration afterwards is not a map range at all.
+func Export(vals map[string]float64) []float64 {
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, vals[k])
+	}
+	return out
+}
+
+// Dump appends values straight out of the map: output order is randomized.
+func Dump(vals map[string]float64) []float64 {
+	var out []float64
+	for _, v := range vals { // want `map iteration in exporter package`
+		out = append(out, v)
+	}
+	return out
+}
+
+// Pairs collects keys and values together, which is not the sorted-keys
+// prelude even though it mentions the key.
+func Pairs(vals map[string]float64) []string {
+	var out []string
+	for k, v := range vals { // want `map iteration in exporter package`
+		_ = v
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sum is order-independent, so the directive is justified.
+func Sum(vals map[string]float64) float64 {
+	var s float64
+	//tofuvet:allow mapiter fixture: addition is order-independent
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// Slices are ordered; ranging over them is always fine.
+func Total(vals []float64) float64 {
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}

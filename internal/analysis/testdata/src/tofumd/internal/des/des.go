@@ -1,0 +1,43 @@
+// Package des is a determinism-analyzer fixture standing in for the
+// virtual-time kernel.
+package des
+
+import (
+	"math/rand" // want `import of math/rand in simulation package`
+	"time"
+)
+
+// Seed keeps the forbidden import in use.
+func Seed() int64 { return rand.Int63() }
+
+func Stamp() time.Time {
+	return time.Now() // want `wall-clock time\.Now in simulation package`
+}
+
+func Elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want `wall-clock time\.Since in simulation package`
+}
+
+func Remaining(deadline time.Time) float64 {
+	return time.Until(deadline).Seconds() // want `wall-clock time\.Until in simulation package`
+}
+
+// Observe is a sanctioned host-observability site: the function-level
+// directive exempts the whole body.
+//
+//tofuvet:allow wallclock fixture: observes the host, not the simulation
+func Observe() time.Time {
+	return time.Now()
+}
+
+func ObserveInline() time.Time {
+	return time.Now() //tofuvet:allow wallclock fixture: line directive
+}
+
+func ObserveLineAbove() time.Time {
+	//tofuvet:allow wallclock fixture: directive on the line above
+	return time.Now()
+}
+
+// Duration arithmetic without a clock read is fine.
+func Scale(d time.Duration) time.Duration { return 2 * d }

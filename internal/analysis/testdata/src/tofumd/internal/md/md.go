@@ -1,0 +1,35 @@
+// Package md is a unitarg-analyzer fixture calling unit-typed APIs from
+// another package.
+package md
+
+import (
+	"time"
+
+	"tofumd/internal/units"
+)
+
+// Model exercises the three ways to pass a unit-typed argument.
+func Model() float64 {
+	total := units.Wire(units.Bytes(8)) // explicit conversion names the unit
+	total += units.Wire(units.KiB)      // named constant names the unit
+	total += units.Wire(8)              // want `bare numeric literal for parameter of unit type units\.Bytes`
+	total += units.Wire(-64)            // want `bare numeric literal for parameter of unit type units\.Bytes`
+	return total
+}
+
+// Sleepy shows the same rule applies to time.Duration.
+func Sleepy() {
+	time.Sleep(10)                    // want `bare numeric literal for parameter of unit type time\.Duration`
+	time.Sleep(10 * time.Millisecond) // the unit is visible in the expression
+}
+
+// Sized passes an already-typed variable, which is fine.
+func Sized(n int) float64 {
+	b := units.Bytes(n)
+	return units.Wire(b)
+}
+
+// Allowed carries a reviewed exemption.
+func Allowed() float64 {
+	return units.Wire(8) //tofuvet:allow unitarg fixture: dimensionless in this model
+}

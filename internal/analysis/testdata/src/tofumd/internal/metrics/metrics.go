@@ -1,0 +1,67 @@
+// Package metrics is a nilsafe-analyzer fixture standing in for the
+// metrics registry: a nil *Registry or *Counter is a valid disabled
+// instance, so every exported method must carry its own guard.
+package metrics
+
+// Registry is a nil-safe metrics sink.
+type Registry struct {
+	n int
+}
+
+// Good begins with the guard.
+func (r *Registry) Good() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// GoodFlipped guards with the operands reversed.
+func (r *Registry) GoodFlipped() int {
+	if nil != r {
+		return r.n
+	}
+	return 0
+}
+
+// Bad touches the receiver before any guard.
+func (r *Registry) Bad() int { // want `exported method \(\*Registry\)\.Bad must begin with a nil-receiver guard`
+	return r.n
+}
+
+// BadLateGuard has a guard, but only after the receiver was dereferenced.
+func (r *Registry) BadLateGuard() int { // want `exported method \(\*Registry\)\.BadLateGuard must begin with a nil-receiver guard`
+	n := r.n
+	if r == nil {
+		return 0
+	}
+	return n
+}
+
+// NoUse never touches the receiver; nothing can dereference nil.
+func (r *Registry) NoUse() int { return 42 }
+
+// internal methods are not part of the exported nil-safety contract.
+func (r *Registry) internal() int { return r.n }
+
+// Counter is a nil-safe counter handle.
+type Counter struct{ v int64 }
+
+// Add delegates without its own guard; transitive safety is not enough.
+func (c *Counter) Add(n int64) { // want `exported method \(\*Counter\)\.Add must begin with a nil-receiver guard`
+	c.v += n
+}
+
+// Value carries the guard.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Other is not a nil-safe target type; its methods need no guard.
+type Other struct{ v int }
+
+// Get is exported and unguarded, which is fine on a non-target type.
+func (o *Other) Get() int { return o.v }

@@ -1,0 +1,85 @@
+// Package threadpool is a spinlock-analyzer fixture standing in for the
+// spin-wait worker pool (paper section 3.3).
+package threadpool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WaitClean is the sanctioned shape: a bounded atomic spin with a polite
+// yield, and the blocking channel fallback only after the loop.
+func WaitClean(remaining *atomic.Int64, ch <-chan struct{}) {
+	for spin := 0; spin < 1024; spin++ {
+		if remaining.Load() == 0 {
+			return
+		}
+		if spin%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+	<-ch
+}
+
+// WaitRecv blocks on a channel inside the spin region.
+func WaitRecv(remaining *atomic.Int64, ch <-chan struct{}) {
+	for remaining.Load() != 0 {
+		<-ch // want `channel receive inside spin-wait region`
+	}
+}
+
+// WaitSend blocks on a channel send inside the spin region.
+func WaitSend(remaining *atomic.Int64, ch chan<- struct{}) {
+	for remaining.Load() != 0 {
+		ch <- struct{}{} // want `channel send inside spin-wait region`
+	}
+}
+
+// WaitSleep parks the worker instead of spinning.
+func WaitSleep(remaining *atomic.Int64) {
+	for remaining.Load() != 0 {
+		time.Sleep(time.Microsecond) // want `time\.Sleep inside spin-wait region`
+	}
+}
+
+// WaitLock hides a futex wait inside the spin.
+func WaitLock(remaining *atomic.Int64, mu *sync.Mutex) {
+	for remaining.Load() != 0 {
+		mu.Lock()   // want `sync\.Mutex\.Lock call inside spin-wait region`
+		mu.Unlock() // want `sync\.Mutex\.Unlock call inside spin-wait region`
+	}
+}
+
+// WaitPrint does I/O inside the spin.
+func WaitPrint(remaining *atomic.Int64) {
+	for remaining.Load() != 0 {
+		fmt.Println("still waiting") // want `fmt\.Println call inside spin-wait region`
+	}
+}
+
+// WaitSelect multiplexes channels inside the spin.
+func WaitSelect(remaining *atomic.Int64, ch <-chan struct{}) {
+	for remaining.Load() != 0 {
+		select { // want `select inside spin-wait region`
+		case <-ch: // want `channel receive inside spin-wait region`
+		default:
+		}
+	}
+}
+
+// WaitAllowed carries a reviewed exemption.
+func WaitAllowed(remaining *atomic.Int64) {
+	for remaining.Load() != 0 {
+		time.Sleep(time.Nanosecond) //tofuvet:allow spinlock fixture: measured backoff experiment
+	}
+}
+
+// NotASpin loops without polling an atomic; ordinary blocking is fine.
+func NotASpin(ch <-chan struct{}) {
+	for i := 0; i < 3; i++ {
+		<-ch
+	}
+}

@@ -1,0 +1,26 @@
+// Package trace is a nilsafe-analyzer fixture standing in for the event
+// recorder: a nil *Recorder is a valid disabled recorder.
+package trace
+
+// Recorder is a nil-safe event sink.
+type Recorder struct{ events []string }
+
+// Record carries the guard.
+func (r *Recorder) Record(ev string) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Len reads the receiver unguarded.
+func (r *Recorder) Len() int { // want `exported method \(\*Recorder\)\.Len must begin with a nil-receiver guard`
+	return len(r.events)
+}
+
+// Reset is exempted with a reviewed justification.
+//
+//tofuvet:allow nilsafe fixture: only reachable from a non-nil owner
+func (r *Recorder) Reset() {
+	r.events = nil
+}

@@ -1,0 +1,16 @@
+// Package units is a unitarg-analyzer fixture defining a unit-carrying
+// numeric type, mirroring the real units.Bytes.
+package units
+
+// Bytes is an explicit byte count.
+type Bytes int
+
+// KiB is 1024 bytes.
+const KiB Bytes = 1 << 10
+
+// Wire converts a size to a wire time; the parameter type is what the
+// analyzer keys on at call sites in other packages.
+func Wire(b Bytes) float64 { return float64(b) }
+
+// local calls inside the defining package may pass raw sizes.
+func local() float64 { return Wire(8) }

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tofumd/internal/analysis"
+	"tofumd/internal/analysis/analysistest"
+)
+
+func TestUnitArg(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.UnitArg,
+		"tofumd/internal/units", "tofumd/internal/md")
+}

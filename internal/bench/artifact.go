@@ -85,16 +85,38 @@ func ReadArtifact(path string) (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
+	return parseArtifact(data, path)
+}
+
+// parseArtifact decodes and validates artifact bytes; src labels errors.
+// Malformed input of any shape must produce an error, never a panic or a
+// half-valid artifact — the fuzz target FuzzLoadArtifact holds it to that.
+func parseArtifact(data []byte, src string) (*Artifact, error) {
 	var a Artifact
 	if err := json.Unmarshal(data, &a); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", src, err)
 	}
 	if a.SchemaVersion != ArtifactSchemaVersion {
 		return nil, fmt.Errorf("%s: schema_version %d, this tool reads %d",
-			path, a.SchemaVersion, ArtifactSchemaVersion)
+			src, a.SchemaVersion, ArtifactSchemaVersion)
 	}
 	if a.Experiment == "" {
-		return nil, fmt.Errorf("%s: missing experiment name", path)
+		return nil, fmt.Errorf("%s: missing experiment name", src)
+	}
+	seen := make(map[string]bool, len(a.Series))
+	for i, s := range a.Series {
+		if s.Key == "" {
+			return nil, fmt.Errorf("%s: series %d: missing key", src, i)
+		}
+		if seen[s.Key] {
+			return nil, fmt.Errorf("%s: duplicate series key %q", src, s.Key)
+		}
+		seen[s.Key] = true
+		switch s.Direction {
+		case "", DirLower, DirHigher, DirEqual:
+		default:
+			return nil, fmt.Errorf("%s: series %q: unknown direction %q", src, s.Key, s.Direction)
+		}
 	}
 	return &a, nil
 }

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzLoadArtifact drives the BENCH_*.json parser with arbitrary bytes.
+// The contract under test: parseArtifact never panics, and anything it
+// accepts satisfies the artifact invariants the regression gate relies on
+// (current schema version, named experiment, unique series keys, known
+// directions).
+func FuzzLoadArtifact(f *testing.F) {
+	valid := &Artifact{
+		SchemaVersion: ArtifactSchemaVersion,
+		Experiment:    "fig6",
+		Params:        map[string]any{"full": false, "steps": 100},
+		Series: []Series{
+			{Key: "opt/small_time", Unit: "s", Value: 10e-6, Direction: DirLower},
+			{Key: "reduction", Unit: "frac", Value: 0.79, Direction: DirHigher},
+			{Key: "total_msgs", Unit: "msgs", Value: 13, Direction: DirEqual},
+			{Key: "note", Value: 1}, // info-only series, no direction
+		},
+	}
+	seed, err := json.Marshal(valid)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"schema_version":2,"experiment":"x","series":[]}`))
+	f.Add([]byte(`{"schema_version":1,"series":[]}`))
+	f.Add([]byte(`{"schema_version":1,"experiment":"x","series":[{"key":"a","value":1},{"key":"a","value":2}]}`))
+	f.Add([]byte(`{"schema_version":1,"experiment":"x","series":[{"key":"a","value":1,"direction":"sideways"}]}`))
+	f.Add([]byte(`{"schema_version":1,"experiment":"x","series":[{"value":3}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := parseArtifact(data, "fuzz")
+		if err != nil {
+			if a != nil {
+				t.Fatalf("parseArtifact returned both an artifact and error %v", err)
+			}
+			return
+		}
+		if a.SchemaVersion != ArtifactSchemaVersion {
+			t.Fatalf("accepted schema_version %d", a.SchemaVersion)
+		}
+		if a.Experiment == "" {
+			t.Fatal("accepted artifact without experiment name")
+		}
+		seen := map[string]bool{}
+		for _, s := range a.Series {
+			if s.Key == "" {
+				t.Fatal("accepted series without key")
+			}
+			if seen[s.Key] {
+				t.Fatalf("accepted duplicate series key %q", s.Key)
+			}
+			seen[s.Key] = true
+			switch s.Direction {
+			case "", DirLower, DirHigher, DirEqual:
+			default:
+				t.Fatalf("accepted unknown direction %q", s.Direction)
+			}
+		}
+	})
+}

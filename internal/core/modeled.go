@@ -12,6 +12,7 @@ import (
 	"tofumd/internal/tofu"
 	"tofumd/internal/topo"
 	"tofumd/internal/trace"
+	"tofumd/internal/units"
 	"tofumd/internal/vec"
 )
 
@@ -159,7 +160,9 @@ func Modeled(spec ModelSpec) (*RunResult, error) {
 		cost.BorderDecideTime(int(n), spec.Variant.BorderBins)
 	neighPer := cost.NeighTime(int(n), candidates, th)
 
-	checkCost := cost.ScanTime(int(n)) + fab.AllreduceTime(fullRanks, 8, tofu.IfaceMPI)
+	// The "check yes" allreduce carries a single 8-byte word (section 4.1).
+	const allreduceWordBytes units.Bytes = 8
+	checkCost := cost.ScanTime(int(n)) + fab.AllreduceTime(fullRanks, allreduceWordBytes, tofu.IfaceMPI)
 
 	steps := spec.Steps
 	rebuilds := steps / kp.rebuildEvery
@@ -382,8 +385,8 @@ func modelRounds(fab *tofu.Fabric, m *sim.Machine, v sim.Variant, links []modelL
 			}
 		}
 		perRankBytes := int(bytesPerRank / float64(m.Map.Ranks()))
-		pack := cost.PackTime(perRankBytes, packTh)
-		unpack := cost.UnpackTime(perRankBytes, packTh)
+		pack := cost.PackTime(units.Bytes(perRankBytes), packTh)
+		unpack := cost.UnpackTime(units.Bytes(perRankBytes), packTh)
 		if v.Preregistered && !reverse && perAtomBytes == 24 {
 			unpack = 0 // direct RDMA write into the position array
 		}

@@ -6,6 +6,8 @@
 // ratios of the paper's Table 3 are preserved.
 package machine
 
+import "tofumd/internal/units"
+
 // Threading selects how a parallel region is charged.
 type Threading int
 
@@ -170,12 +172,12 @@ func (c *CostModel) IntegrateTime(n int, th Threading) float64 {
 }
 
 // PackTime charges gathering bytes into a send buffer.
-func (c *CostModel) PackTime(bytes int, th Threading) float64 {
+func (c *CostModel) PackTime(bytes units.Bytes, th Threading) float64 {
 	return c.Region(float64(bytes)*c.PackPerByte, th)
 }
 
 // UnpackTime charges scattering bytes out of a receive buffer.
-func (c *CostModel) UnpackTime(bytes int, th Threading) float64 {
+func (c *CostModel) UnpackTime(bytes units.Bytes, th Threading) float64 {
 	return c.Region(float64(bytes)*c.UnpackPerByte, th)
 }
 

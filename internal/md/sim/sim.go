@@ -12,12 +12,12 @@ import (
 
 	"tofumd/internal/machine"
 	"tofumd/internal/md/atom"
-	"tofumd/internal/metrics"
 	"tofumd/internal/md/comm"
 	"tofumd/internal/md/domain"
 	"tofumd/internal/md/integrate"
 	"tofumd/internal/md/lattice"
 	"tofumd/internal/md/potential"
+	"tofumd/internal/metrics"
 	"tofumd/internal/mpi"
 	"tofumd/internal/threadpool"
 	"tofumd/internal/tofu"

@@ -5,6 +5,7 @@ import (
 	"tofumd/internal/md/comm"
 	"tofumd/internal/md/neighbor"
 	"tofumd/internal/md/potential"
+	"tofumd/internal/units"
 	"tofumd/internal/vec"
 )
 
@@ -190,7 +191,7 @@ func (s *Simulation) borderRound(k roundKey) {
 			l.sendBuf = encodeBorder(l.sendBuf, r.Atoms.ID, r.Atoms.Type, r.Atoms.X, l.sendList, l.shift)
 			bytes += len(l.sendBuf)
 		}
-		r.Clock += s.M.Cost.PackTime(bytes, packTh)
+		r.Clock += s.M.Cost.PackTime(units.Bytes(bytes), packTh)
 	})
 	b := s.newBatch()
 	for _, r := range s.ranks {
@@ -221,7 +222,7 @@ func (s *Simulation) borderRound(k roundKey) {
 			}
 			bytes += len(m.data)
 		}
-		r.Clock += s.M.Cost.UnpackTime(bytes, packTh)
+		r.Clock += s.M.Cost.UnpackTime(units.Bytes(bytes), packTh)
 	})
 }
 
@@ -279,7 +280,7 @@ func (s *Simulation) doForward() {
 				l.sendBuf = encodePositions(l.sendBuf, r.Atoms.X, l.sendList, l.shift)
 				bytes += len(l.sendBuf)
 			}
-			r.Clock += s.M.Cost.PackTime(bytes, packTh)
+			r.Clock += s.M.Cost.PackTime(units.Bytes(bytes), packTh)
 		})
 		b := s.newBatch()
 		for _, r := range s.ranks {
@@ -315,7 +316,7 @@ func (s *Simulation) doForward() {
 				}
 			}
 			if bytes > 0 {
-				r.Clock += s.M.Cost.UnpackTime(bytes, packTh)
+				r.Clock += s.M.Cost.UnpackTime(units.Bytes(bytes), packTh)
 			}
 		})
 	}
@@ -342,7 +343,7 @@ func (s *Simulation) doReverse() {
 				l.revBuf = encodeVectors(l.revBuf, r.Atoms.F, l.recvStart, l.recvCount)
 				bytes += len(l.revBuf)
 			}
-			r.Clock += s.M.Cost.PackTime(bytes, packTh)
+			r.Clock += s.M.Cost.PackTime(units.Bytes(bytes), packTh)
 		})
 		b := s.newBatch()
 		for _, r := range s.ranks {
@@ -370,7 +371,7 @@ func (s *Simulation) doReverse() {
 				m.link.seq++
 				bytes += len(m.data)
 			}
-			r.Clock += s.M.Cost.UnpackTime(bytes, packTh)
+			r.Clock += s.M.Cost.UnpackTime(units.Bytes(bytes), packTh)
 		})
 	}
 }
@@ -393,7 +394,7 @@ func (s *Simulation) reverseScalar(arr func(*Rank) []float64) {
 				l.revBuf = encodeScalarRange(l.revBuf, arr(r), l.recvStart, l.recvCount)
 				bytes += len(l.revBuf)
 			}
-			r.Clock += s.M.Cost.PackTime(bytes, packTh)
+			r.Clock += s.M.Cost.PackTime(units.Bytes(bytes), packTh)
 		})
 		b := s.newBatch()
 		for _, r := range s.ranks {
@@ -421,7 +422,7 @@ func (s *Simulation) reverseScalar(arr func(*Rank) []float64) {
 				m.link.seq++
 				bytes += len(m.data)
 			}
-			r.Clock += s.M.Cost.UnpackTime(bytes, packTh)
+			r.Clock += s.M.Cost.UnpackTime(units.Bytes(bytes), packTh)
 		})
 	}
 }
@@ -438,7 +439,7 @@ func (s *Simulation) forwardScalar(arr func(*Rank) []float64) {
 				l.sendBuf = encodeScalars(l.sendBuf, arr(r), l.sendList)
 				bytes += len(l.sendBuf)
 			}
-			r.Clock += s.M.Cost.PackTime(bytes, packTh)
+			r.Clock += s.M.Cost.PackTime(units.Bytes(bytes), packTh)
 		})
 		b := s.newBatch()
 		for _, r := range s.ranks {
@@ -464,7 +465,7 @@ func (s *Simulation) forwardScalar(arr func(*Rank) []float64) {
 				l.seq++
 				bytes += len(m.data)
 			}
-			r.Clock += s.M.Cost.UnpackTime(bytes, packTh)
+			r.Clock += s.M.Cost.UnpackTime(units.Bytes(bytes), packTh)
 		})
 	}
 }
@@ -513,7 +514,7 @@ func (s *Simulation) doExchange() {
 			m := &rmsg{
 				src: r, dst: s.ranks[d],
 				data: encodeExchange(nil, recs), known: false,
-				readyAt: r.Clock + s.M.Cost.PackTime(len(recs)*exchBytes, machine.Serial),
+				readyAt: r.Clock + s.M.Cost.PackTime(units.Bytes(len(recs)*exchBytes), machine.Serial),
 			}
 			b.add(m)
 			payloads[m] = recs
@@ -531,7 +532,7 @@ func (s *Simulation) doExchange() {
 		for _, rec := range recs {
 			m.dst.Atoms.AddLocal(rec.id, rec.typ, rec.pos, rec.vel)
 		}
-		m.dst.Clock += s.M.Cost.UnpackTime(len(recs)*exchBytes, machine.Serial)
+		m.dst.Clock += s.M.Cost.UnpackTime(units.Bytes(len(recs)*exchBytes), machine.Serial)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"tofumd/internal/mpi"
 	"tofumd/internal/tofu"
 	"tofumd/internal/trace"
+	"tofumd/internal/units"
 )
 
 // Run advances the simulation by the given number of MD steps.
@@ -130,7 +131,7 @@ func (s *Simulation) chargeAllreduce(bytes int) {
 	if s.Cfg.ScaleRanks > n {
 		n = s.Cfg.ScaleRanks
 	}
-	t := s.fab.AllreduceTime(n, bytes, tofu.IfaceMPI)
+	t := s.fab.AllreduceTime(n, units.Bytes(bytes), tofu.IfaceMPI)
 	var entry float64
 	for _, r := range s.ranks {
 		if r.Clock > entry {

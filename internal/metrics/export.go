@@ -41,11 +41,10 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 	}
 	r.mu.Lock()
 	fams := make([]*family, 0, len(r.families))
-	for _, f := range r.families {
-		fams = append(fams, f)
+	for _, name := range sortedKeys(r.families) {
+		fams = append(fams, r.families[name])
 	}
 	r.mu.Unlock()
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 
 	out := make([]FamilySnapshot, 0, len(fams))
 	for _, f := range fams {
@@ -78,8 +77,12 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 	return out
 }
 
-// WriteText renders the registry as aligned human-readable text.
+// WriteText renders the registry as aligned human-readable text. A nil
+// registry writes nothing.
 func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
 	for _, f := range r.Snapshot() {
 		if _, err := fmt.Fprintf(w, "# %s (%s)\n", f.Name, f.Kind); err != nil {
 			return err
@@ -100,11 +103,12 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return nil
 }
 
-// WriteJSON renders the snapshot as indented JSON.
+// WriteJSON renders the snapshot as indented JSON. A nil registry writes
+// the empty {"families": []} document.
 func (r *Registry) WriteJSON(w io.Writer) error {
-	snap := r.Snapshot()
-	if snap == nil {
-		snap = []FamilySnapshot{}
+	snap := []FamilySnapshot{}
+	if r != nil && r.Snapshot() != nil {
+		snap = r.Snapshot()
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -116,6 +120,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // WriteFile dumps the registry to path: JSON when the name ends in ".json",
 // text otherwise. A nil registry writes an empty document.
 func (r *Registry) WriteFile(path string) error {
+	if r == nil {
+		r = New() // an empty registry writes the same empty document
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -136,6 +143,9 @@ func (r *Registry) WriteFile(path string) error {
 // name starts with one of the prefer prefixes come first (in prefer order),
 // then the rest by name; families with no samples are skipped.
 func (r *Registry) Top(n int, prefer ...string) []FamilySnapshot {
+	if r == nil {
+		return nil
+	}
 	snap := r.Snapshot()
 	rank := func(name string) int {
 		for i, p := range prefer {

@@ -133,6 +133,9 @@ func (r *Registry) Gauge(name, label string) *Gauge {
 // the default time buckets (log-spaced 10ns..1000s), creating it on first
 // use. A nil registry returns a nil (disabled) histogram.
 func (r *Registry) Histogram(name, label string) *Histogram {
+	if r == nil {
+		return nil
+	}
 	return r.HistogramWith(name, label, nil)
 }
 
@@ -172,7 +175,12 @@ func (c *Counter) Add(n int64) {
 }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.Add(1)
+}
 
 // Value returns the current count (0 for a nil counter).
 func (c *Counter) Value() int64 {

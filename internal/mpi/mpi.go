@@ -18,6 +18,7 @@ import (
 	"tofumd/internal/metrics"
 	"tofumd/internal/tofu"
 	"tofumd/internal/trace"
+	"tofumd/internal/units"
 )
 
 // Comm is an MPI communicator over all ranks of a fabric.
@@ -39,9 +40,9 @@ type Comm struct {
 
 // commMetrics caches the MPI layer's metric handles.
 type commMetrics struct {
-	p2pRounds, p2pMsgs, p2pBytes  *metrics.Counter
-	allreduces, allreduceBytes    *metrics.Counter
-	allreduceSeconds              *metrics.Histogram
+	p2pRounds, p2pMsgs, p2pBytes *metrics.Counter
+	allreduces, allreduceBytes   *metrics.Counter
+	allreduceSeconds             *metrics.Histogram
 }
 
 // SetMetrics enables (or, with a nil registry, disables) metric collection.
@@ -199,7 +200,7 @@ func (c *Comm) Allreduce(contrib [][]float64, op ReduceOp) ([]float64, float64, 
 			}
 		}
 	}
-	t := c.Fab.AllreduceTime(n, 8*width, tofu.IfaceMPI)
+	t := c.Fab.AllreduceTime(n, units.Bytes(8*width), tofu.IfaceMPI)
 	if c.met != nil {
 		c.met.allreduces.Inc()
 		c.met.allreduceBytes.Add(int64(8 * width))
@@ -221,7 +222,7 @@ func (c *Comm) Allreduce(contrib [][]float64, op ReduceOp) ([]float64, float64, 
 // AllreduceTimeAtScale returns the modeled allreduce time charged for a
 // machine of nranks ranks (used when a representative tile stands in for
 // the full allocation).
-func (c *Comm) AllreduceTimeAtScale(nranks, bytes int) float64 {
+func (c *Comm) AllreduceTimeAtScale(nranks int, bytes units.Bytes) float64 {
 	return c.Fab.AllreduceTime(nranks, bytes, tofu.IfaceMPI)
 }
 

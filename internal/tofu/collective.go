@@ -1,6 +1,10 @@
 package tofu
 
-import "math"
+import (
+	"math"
+
+	"tofumd/internal/units"
+)
 
 // AllreduceTime models the virtual time of an allreduce over all ranks of
 // the fabric using a recursive-doubling algorithm, the shape Fujitsu MPI
@@ -11,7 +15,7 @@ import "math"
 // nranks may exceed the fabric's own rank count: modeled large-scale runs
 // simulate a representative torus tile but charge the allreduce for the full
 // machine's rank count.
-func (f *Fabric) AllreduceTime(nranks, bytes int, iface Interface) float64 {
+func (f *Fabric) AllreduceTime(nranks int, bytes units.Bytes, iface Interface) float64 {
 	if nranks <= 1 {
 		return 0
 	}
@@ -49,11 +53,11 @@ func (f *Fabric) AllreduceTime(nranks, bytes int, iface Interface) float64 {
 
 // BarrierTime models a barrier as a zero-byte allreduce.
 func (f *Fabric) BarrierTime(nranks int, iface Interface) float64 {
-	return f.AllreduceTime(nranks, 0, iface)
+	return f.AllreduceTime(nranks, units.Bytes(0), iface)
 }
 
 // BcastTime models a binomial-tree broadcast of bytes to nranks ranks.
-func (f *Fabric) BcastTime(nranks, bytes int, iface Interface) float64 {
+func (f *Fabric) BcastTime(nranks int, bytes units.Bytes, iface Interface) float64 {
 	if nranks <= 1 {
 		return 0
 	}

@@ -8,6 +8,7 @@ import (
 	"tofumd/internal/metrics"
 	"tofumd/internal/topo"
 	"tofumd/internal/trace"
+	"tofumd/internal/units"
 )
 
 // Transfer is one message of a communication round. The caller fills the
@@ -97,7 +98,7 @@ type threadKey struct {
 // TNI number and aggregate across nodes; distributions are labeled by the
 // software interface ("utofu"/"mpi").
 type fabricMetrics struct {
-	msgs, bytes, switches []*metrics.Counter   // per TNI index
+	msgs, bytes, switches []*metrics.Counter    // per TNI index
 	stall                 [2]*metrics.Histogram // per Interface
 	hops                  [2]*metrics.Histogram // per Interface
 }
@@ -144,7 +145,7 @@ func NewFabric(m *topo.RankMap, p Params) *Fabric {
 }
 
 // WireTime returns the bandwidth serialization time of a message.
-func (f *Fabric) WireTime(bytes int) float64 {
+func (f *Fabric) WireTime(bytes units.Bytes) float64 {
 	return float64(bytes) / f.Params.LinkBandwidth
 }
 
@@ -157,7 +158,7 @@ func (f *Fabric) Latency(hops int) float64 {
 // PutLatency returns the full one-sided put latency for a small message over
 // the given hop count: software issue + wire + network. For 1 hop and 8
 // bytes this is the 0.49us figure of the TofuD paper.
-func (f *Fabric) PutLatency(hops, bytes int) float64 {
+func (f *Fabric) PutLatency(hops int, bytes units.Bytes) float64 {
 	return f.Params.UTofuPutOverhead + f.WireTime(bytes) + f.Latency(hops)
 }
 
@@ -263,7 +264,7 @@ func (f *Fabric) transmit(tr *Transfer, iface Interface, recvOv, issueStart floa
 		txStart = f.tniFree[idx]
 	}
 	engine := p.TNIEngineGap
-	wire := f.WireTime(tr.Bytes)
+	wire := f.WireTime(units.Bytes(tr.Bytes))
 	busy := engine
 	if wire > busy {
 		busy = wire
@@ -302,7 +303,7 @@ func (f *Fabric) transmit(tr *Transfer, iface Interface, recvOv, issueStart floa
 	} else {
 		hops := f.Map.Hops(tr.Src, tr.Dst)
 		lat := f.Latency(hops)
-		if iface == IfaceMPI && tr.Bytes > p.MPIEagerLimit {
+		if iface == IfaceMPI && units.Bytes(tr.Bytes) > p.MPIEagerLimit {
 			// Rendezvous: RTS/CTS round trip before the payload moves.
 			lat += 2 * f.Latency(hops)
 		}

@@ -211,7 +211,7 @@ func TestTNIEngineContention(t *testing.T) {
 	// serializes on the wire, different TNIs do not.
 	dst0 := f.Map.NeighborRank(0, vec.I3{X: 2, Y: 0, Z: 0})
 	dst1 := f.Map.NeighborRank(1, vec.I3{X: 2, Y: 0, Z: 0})
-	big := 680000 // 100us of wire time
+	const big = 680000 // 100us of wire time
 	shared := []*Transfer{
 		{Src: 0, Dst: dst0, TNI: 0, VCQ: 1, Thread: 0, Bytes: big},
 		{Src: 1, Dst: dst1, TNI: 0, VCQ: 2, Thread: 0, Bytes: big},
@@ -281,7 +281,7 @@ func TestRendezvousForLargeMPIMessages(t *testing.T) {
 	dst := f.Map.NeighborRank(0, vec.I3{X: 2, Y: 0, Z: 0})
 	small := []*Transfer{{Src: 0, Dst: dst, TNI: 0, VCQ: 1, Bytes: 1024}}
 	f.RunRound(small, IfaceMPI)
-	big := []*Transfer{{Src: 0, Dst: dst, TNI: 0, VCQ: 1, Bytes: f.Params.MPIEagerLimit + 1}}
+	big := []*Transfer{{Src: 0, Dst: dst, TNI: 0, VCQ: 1, Bytes: int(f.Params.MPIEagerLimit) + 1}}
 	f.RunRound(big, IfaceMPI)
 	// Beyond pure bandwidth, the big message pays an extra round trip.
 	deltaWire := f.WireTime(f.Params.MPIEagerLimit+1) - f.WireTime(1024)

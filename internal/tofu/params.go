@@ -17,6 +17,8 @@
 //     two-message length+payload protocol the MPI path needs (section 3.5.1).
 package tofu
 
+import "tofumd/internal/units"
+
 // Params holds the calibrated hardware and software timing constants. All
 // times are in seconds, bandwidth in bytes/second.
 type Params struct {
@@ -53,7 +55,7 @@ type Params struct {
 	MPIRecvOverhead float64
 	// MPIEagerLimit is the message size above which MPI switches to a
 	// rendezvous protocol with an extra round trip.
-	MPIEagerLimit int
+	MPIEagerLimit units.Bytes
 
 	// RegistrationCost is the kernel-trap cost of registering (STADD) one
 	// memory region for RDMA.

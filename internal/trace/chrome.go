@@ -53,6 +53,10 @@ const usPerSec = 1e6
 // WriteChrome writes every recorded event as Chrome trace-event JSON. A nil
 // recorder writes an empty but valid trace.
 func (r *Recorder) WriteChrome(w io.Writer) error {
+	if r == nil {
+		enc := json.NewEncoder(w)
+		return enc.Encode(chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"})
+	}
 	f := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
 	add := func(ev chromeEvent) { f.TraceEvents = append(f.TraceEvents, ev) }
 	meta := func(pid, tid int, key, label string) {

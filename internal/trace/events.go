@@ -251,25 +251,35 @@ func (r *Recorder) Summarize() *Summary {
 			ts.last = m.TxDone
 		}
 	}
-	for _, rs := range byRank {
+	ranks := make([]int, 0, len(byRank))
+	for rank := range byRank {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	for _, rank := range ranks {
+		rs := byRank[rank]
 		if rs.Msgs > 0 {
 			rs.MeanStall /= float64(rs.Msgs)
 		}
 		s.Ranks = append(s.Ranks, *rs)
 	}
-	sort.Slice(s.Ranks, func(i, j int) bool { return s.Ranks[i].Rank < s.Ranks[j].Rank })
-	for _, ts := range byTNI {
+	tniKeys := make([]tniKey, 0, len(byTNI))
+	for k := range byTNI {
+		tniKeys = append(tniKeys, k)
+	}
+	sort.Slice(tniKeys, func(i, j int) bool {
+		if tniKeys[i].node != tniKeys[j].node {
+			return tniKeys[i].node < tniKeys[j].node
+		}
+		return tniKeys[i].tni < tniKeys[j].tni
+	})
+	for _, k := range tniKeys {
+		ts := byTNI[k]
 		if span := ts.last - ts.first; span > 0 {
 			ts.BusyFrac = ts.Busy / span
 		}
 		s.TNIs = append(s.TNIs, ts.TNISummary)
 	}
-	sort.Slice(s.TNIs, func(i, j int) bool {
-		if s.TNIs[i].Node != s.TNIs[j].Node {
-			return s.TNIs[i].Node < s.TNIs[j].Node
-		}
-		return s.TNIs[i].TNI < s.TNIs[j].TNI
-	})
 	return s
 }
 

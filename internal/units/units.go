@@ -7,6 +7,30 @@ package units
 
 import "fmt"
 
+// Bytes is an explicit message/buffer size in bytes. The fabric and cost
+// model take Bytes instead of bare ints so call sites name the unit —
+// tofuvet's unitarg analyzer rejects `WireTime(8)` in favour of
+// `WireTime(units.Bytes(8))` or a named constant.
+type Bytes int
+
+// Common binary size multiples.
+const (
+	KiB Bytes = 1 << 10
+	MiB Bytes = 1 << 20
+)
+
+// String renders the size with a binary suffix when it divides evenly.
+func (b Bytes) String() string {
+	switch {
+	case b != 0 && b%MiB == 0:
+		return fmt.Sprintf("%dMiB", b/MiB)
+	case b != 0 && b%KiB == 0:
+		return fmt.Sprintf("%dKiB", b/KiB)
+	default:
+		return fmt.Sprintf("%dB", int(b))
+	}
+}
+
 // Style enumerates supported LAMMPS-like unit styles.
 type Style int
 

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"tofumd/internal/bench"
+	"tofumd/internal/faultinject"
 	"tofumd/internal/metrics"
 	"tofumd/internal/trace"
 )
@@ -29,7 +30,7 @@ import (
 // experimentOrder is the canonical run order; it doubles as the known-name
 // list that -experiment values are validated against.
 var experimentOrder = []string{
-	"table1", "fig6", "fig8", "fig11", "fig12", "fig13", "table3", "fig14", "fig15", "ablations",
+	"table1", "fig6", "fig8", "fig11", "fig12", "fig13", "table3", "fig14", "fig15", "ablations", "faults",
 }
 
 func main() {
@@ -44,9 +45,14 @@ func main() {
 		jsonDir   = flag.String("json", "", "write BENCH_<experiment>.json artifacts into this directory")
 		metFile   = flag.String("metrics", "", "dump the metrics registry to this file at exit (.json for JSON, text otherwise)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for long -full runs")
+		faultsStr = flag.String("faults", "", `fault injection spec for the raw-fabric experiments, e.g. "drop=0.01,seed=7"`)
 	)
 	flag.Parse()
-	opt := bench.Options{Full: *full, Steps: *steps}
+	faults, err := faultinject.ParseSpec(*faultsStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := bench.Options{Full: *full, Steps: *steps, Faults: faults}
 	if *traceFile != "" {
 		opt.Rec = trace.NewRecorder()
 	}
@@ -149,6 +155,10 @@ func main() {
 	})
 	run("ablations", func() (string, *bench.Artifact, error) {
 		r, err := bench.Ablations(opt)
+		return r.Format(), r.Artifact(opt), err
+	})
+	run("faults", func() (string, *bench.Artifact, error) {
+		r, err := bench.Faults(opt)
 		return r.Format(), r.Artifact(opt), err
 	})
 

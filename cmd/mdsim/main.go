@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"tofumd/internal/core"
+	"tofumd/internal/faultinject"
 	"tofumd/internal/md/dump"
 	"tofumd/internal/md/sim"
 	"tofumd/internal/metrics"
@@ -43,8 +44,14 @@ func main() {
 		traceFile = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 		metFile   = flag.String("metrics", "", "dump the metrics registry to this file at exit (.json for JSON, text otherwise)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		faultsStr = flag.String("faults", "", `fault injection spec, e.g. "drop=0.01,seed=7" (see package faultinject)`)
 	)
 	flag.Parse()
+
+	faults, err := faultinject.ParseSpec(*faultsStr)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var rec *trace.Recorder
 	if *traceFile != "" {
@@ -67,7 +74,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if *inFile != "" {
-		runDeck(*inFile, shape, *variant, rec, met)
+		runDeck(*inFile, shape, *variant, faults, rec, met)
 		writeTrace(*traceFile, rec)
 		finishMetrics(*metFile, met)
 		return
@@ -99,6 +106,7 @@ func main() {
 		ThermoEvery: *thermoEv,
 		Recorder:    rec,
 		Metrics:     met,
+		Faults:      faults,
 	}
 	if *dumpFile != "" {
 		f, err := os.Create(*dumpFile)
@@ -193,7 +201,7 @@ func writeTrace(path string, rec *trace.Recorder) {
 }
 
 // runDeck executes a parsed LAMMPS-style input file on the machine.
-func runDeck(path string, shape vec.I3, variantName string, rec *trace.Recorder, met *metrics.Registry) {
+func runDeck(path string, shape vec.I3, variantName string, faults faultinject.Spec, rec *trace.Recorder, met *metrics.Registry) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -225,6 +233,9 @@ func runDeck(path string, shape vec.I3, variantName string, rec *trace.Recorder,
 	}
 	if met != nil {
 		s.SetMetrics(met)
+	}
+	if faults.Enabled() {
+		s.SetFaults(faultinject.New(faults))
 	}
 	s.Run(steps)
 

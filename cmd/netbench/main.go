@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"tofumd/internal/bench"
+	"tofumd/internal/faultinject"
 	"tofumd/internal/metrics"
 	"tofumd/internal/trace"
 )
@@ -21,8 +22,13 @@ func main() {
 	full := flag.Bool("full", false, "use the full 768-node tile")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the fabric rounds to this file")
 	metFile := flag.String("metrics", "", "dump the metrics registry to this file at exit (.json for JSON, text otherwise)")
+	faultsStr := flag.String("faults", "", `fault injection spec for the fabric rounds, e.g. "drop=0.01,seed=7"`)
 	flag.Parse()
-	opt := bench.Options{Full: *full}
+	faults, err := faultinject.ParseSpec(*faultsStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := bench.Options{Full: *full, Faults: faults}
 	if *traceFile != "" {
 		opt.Rec = trace.NewRecorder()
 	}

@@ -11,6 +11,7 @@ import (
 // can leak host timing into simulation results.
 var determinismScope = []string{
 	"tofumd/internal/des",
+	"tofumd/internal/faultinject",
 	"tofumd/internal/tofu",
 	"tofumd/internal/utofu",
 	"tofumd/internal/mpi",

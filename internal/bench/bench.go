@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"tofumd/internal/faultinject"
 	"tofumd/internal/metrics"
 	"tofumd/internal/trace"
 	"tofumd/internal/vec"
@@ -28,6 +29,10 @@ type Options struct {
 	// Met, when non-nil, aggregates metrics from the experiments that
 	// exercise the fabric or full simulations.
 	Met *metrics.Registry
+	// Faults, when enabled, injects deterministic transport faults into the
+	// raw-fabric microbenchmarks (Fig. 8). The "faults" chaos experiment
+	// sweeps its own rates and ignores this field.
+	Faults faultinject.Spec
 }
 
 // tileFor returns the functional tile for experiments pinned at 768 nodes.

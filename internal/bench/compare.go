@@ -23,6 +23,7 @@ var DefaultTolerances = map[string]float64{
 	"fig14":     0.25,
 	"fig15":     0.25,
 	"ablations": 0.35,
+	"faults":    0.50,
 }
 
 // compareAbsFloor is the magnitude below which two values are considered

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"tofumd/internal/faultinject"
 	"tofumd/internal/md/sim"
 	"tofumd/internal/tofu"
 	"tofumd/internal/vec"
@@ -39,6 +40,7 @@ func Fig8(opt Options) (Fig8Result, error) {
 	fab := tofu.NewFabric(m.Map, m.Params)
 	fab.Rec = opt.Rec
 	fab.SetMetrics(opt.Met)
+	fab.Faults = faultinject.New(opt.Faults) // nil (disabled) unless requested
 	// The four ranks of node 0 and their +x off-node peers.
 	var senders, peers []int
 	for id := 0; id < m.Map.Ranks(); id++ {

@@ -214,3 +214,35 @@ func TestFig15(t *testing.T) {
 
 func benchCommStage() trace.Stage  { return trace.Comm }
 func benchOtherStage() trace.Stage { return trace.Other }
+
+func TestFaults(t *testing.T) {
+	res, err := Faults(Options{Steps: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Format())
+	if len(res.Rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(res.Rows))
+	}
+	var prevElapsed float64
+	for _, r := range res.Rows {
+		lbl := faultLabel(r.Spec)
+		if !r.PhysicsIdentical {
+			t.Errorf("%s: physics diverged from the fault-free run", lbl)
+		}
+		if !r.ReplayIdentical {
+			t.Errorf("%s: replay was not bit-identical", lbl)
+		}
+		if r.Spec.Drop > 0 && r.Elapsed <= prevElapsed {
+			t.Errorf("%s: elapsed %.6g not above the previous rate's %.6g", lbl, r.Elapsed, prevElapsed)
+		}
+		prevElapsed = r.Elapsed
+	}
+	forced := res.Rows[len(res.Rows)-1]
+	if forced.FallbackMsgs == 0 {
+		t.Error("forced-fallback row recorded no fallback messages")
+	}
+	if highest := res.Rows[3]; highest.Retransmits == 0 {
+		t.Error("drop=1e-2 row recorded no retransmissions")
+	}
+}

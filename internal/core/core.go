@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"tofumd/internal/faultinject"
 	"tofumd/internal/md/lattice"
 	"tofumd/internal/md/potential"
 	"tofumd/internal/md/sim"
@@ -163,6 +164,9 @@ type RunSpec struct {
 	// Metrics, when non-nil, aggregates counters/histograms across all
 	// layers for the timed steps (setup stays uncounted, like tracing).
 	Metrics *metrics.Registry
+	// Faults, when enabled, injects deterministic transport faults into the
+	// timed steps (setup rounds stay fault-free, like tracing and metrics).
+	Faults faultinject.Spec
 }
 
 // RunResult is the outcome of a run.
@@ -228,6 +232,9 @@ func Run(spec RunSpec) (*RunResult, error) {
 	}
 	if spec.Metrics != nil {
 		s.SetMetrics(spec.Metrics)
+	}
+	if spec.Faults.Enabled() {
+		s.SetFaults(faultinject.New(spec.Faults))
 	}
 	if spec.Observer == nil {
 		s.Run(steps)

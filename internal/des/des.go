@@ -5,7 +5,10 @@
 // regardless of how the caller enumerated the messages.
 package des
 
-import "container/heap"
+import (
+	"container/heap"
+	"fmt"
+)
 
 // Event is a scheduled callback.
 type event struct {
@@ -29,6 +32,10 @@ func (h *eventHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
 	it := old[n-1]
+	// Zero the vacated slot so the popped closure (and everything it
+	// captures) is not retained by the backing array until the slot is
+	// overwritten by a later Push.
+	old[n-1] = event{}
 	*h = old[:n-1]
 	return it
 }
@@ -56,6 +63,19 @@ func (e *Engine) Schedule(t float64, fn func()) {
 	heap.Push(&e.pq, event{time: t, seq: e.seq, fn: fn})
 }
 
+// ScheduleAt registers fn to run at virtual time t, rejecting times in the
+// past. Unlike Schedule it does not clamp: code computing deadlines (e.g.
+// retransmit timeouts) should treat a negative delay as an arithmetic bug,
+// not as "run now".
+func (e *Engine) ScheduleAt(t float64, fn func()) error {
+	if t < e.now {
+		return fmt.Errorf("des: ScheduleAt(%g) is before now (%g)", t, e.now)
+	}
+	e.seq++
+	heap.Push(&e.pq, event{time: t, seq: e.seq, fn: fn})
+	return nil
+}
+
 // Step executes the earliest pending event, advancing the clock. It returns
 // false when no events remain.
 func (e *Engine) Step() bool {
@@ -79,9 +99,12 @@ func (e *Engine) Run() float64 {
 func (e *Engine) Pending() int { return len(e.pq) }
 
 // Reset clears the queue and rewinds the clock to 0 so the engine can be
-// reused for the next round without reallocating.
+// reused for the next round without reallocating. The retained backing
+// array is zeroed so abandoned events do not keep their closures alive
+// across rounds.
 func (e *Engine) Reset() {
 	e.now = 0
 	e.seq = 0
+	clear(e.pq)
 	e.pq = e.pq[:0]
 }

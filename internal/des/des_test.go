@@ -1,6 +1,7 @@
 package des
 
 import (
+	"runtime"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -101,6 +102,92 @@ func TestReset(t *testing.T) {
 	e.Run()
 	if !ran {
 		t.Error("engine unusable after Reset")
+	}
+}
+
+func TestScheduleAtRejectsPast(t *testing.T) {
+	var e Engine
+	var errAt error
+	e.Schedule(10, func() {
+		errAt = e.ScheduleAt(5, func() { t.Error("past event ran") })
+	})
+	e.Run()
+	if errAt == nil {
+		t.Fatal("ScheduleAt(5) at now=10 returned nil error")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("rejected event was queued anyway: pending=%d", e.Pending())
+	}
+}
+
+func TestScheduleAtAccepts(t *testing.T) {
+	var e Engine
+	ran := false
+	if err := e.ScheduleAt(3, func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ScheduleAt(0, func() {}); err != nil {
+		t.Errorf("ScheduleAt(now) rejected: %v", err)
+	}
+	e.Run()
+	if !ran {
+		t.Error("accepted event never ran")
+	}
+	if e.Now() != 3 {
+		t.Errorf("final time = %v, want 3", e.Now())
+	}
+}
+
+// collected reports whether the garbage collector reclaims *p within a few
+// GC cycles. The finalizer write is synchronized by runtime.GC: each cycle
+// runs pending finalizers before the next check.
+func collected(p *[1 << 20]byte) func() bool {
+	done := make(chan struct{})
+	runtime.SetFinalizer(p, func(*[1 << 20]byte) { close(done) })
+	return func() bool {
+		for i := 0; i < 10; i++ {
+			runtime.GC()
+			select {
+			case <-done:
+				return true
+			default:
+			}
+		}
+		return false
+	}
+}
+
+// Regression: Pop used to shrink the heap slice without zeroing the vacated
+// slot, so every executed event's closure stayed reachable from the backing
+// array until overwritten — for the fabric that meant whole payload slices
+// surviving a round.
+func TestPopReleasesEventClosure(t *testing.T) {
+	var e Engine
+	var wait func() bool
+	func() {
+		payload := new([1 << 20]byte)
+		wait = collected(payload)
+		e.Schedule(1, func() { _ = payload[0] })
+	}()
+	e.Run()
+	if !wait() {
+		t.Errorf("popped event closure still reachable after Run (pending=%d)", e.Pending())
+	}
+}
+
+// Regression: Reset used to keep the backing array contents (e.pq[:0]), so
+// events abandoned mid-round were retained across rounds.
+func TestResetReleasesAbandonedEvents(t *testing.T) {
+	var e Engine
+	var wait func() bool
+	func() {
+		payload := new([1 << 20]byte)
+		wait = collected(payload)
+		e.Schedule(1, func() { _ = payload[0] })
+	}()
+	e.Reset()
+	if !wait() {
+		t.Errorf("abandoned event closure still reachable after Reset (pending=%d)", e.Pending())
 	}
 }
 

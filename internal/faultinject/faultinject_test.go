@@ -1,0 +1,214 @@
+package faultinject
+
+import (
+	"testing"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"drop=0.01,seed=7",
+		"drop=0.0001,nack=0.5,seed=42",
+		"stall=0.001@2e-06,seed=0",
+		"degrade=0.05@4x0.0001,seed=9",
+		"drop=0.01,nack=0.02,stall=0.001@2e-06,degrade=0.05@4x0.0001,seed=3",
+	}
+	for _, text := range cases {
+		s, err := ParseSpec(text)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", text, err)
+		}
+		s2, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(String(%q)=%q): %v", text, s.String(), err)
+		}
+		if s != s2 {
+			t.Errorf("round trip of %q: %+v != %+v", text, s, s2)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"drop",             // no value
+		"drop=x",           // not a number
+		"drop=1.5",         // probability > cap
+		"drop=-0.1",        // negative
+		"nack=0.999999",    // above cap
+		"stall=0.1",        // missing @T
+		"stall=0.1@-1",     // negative duration
+		"degrade=0.1@2",    // missing xW
+		"degrade=0.1@0.5x1e-4", // factor < 1
+		"degrade=0.1@2x-1", // negative window
+		"seed=abc",
+		"bogus=1",
+	}
+	for _, text := range bad {
+		if _, err := ParseSpec(text); err == nil {
+			t.Errorf("ParseSpec(%q): want error, got nil", text)
+		}
+	}
+}
+
+func TestSpecEnabled(t *testing.T) {
+	if (Spec{}).Enabled() {
+		t.Error("zero spec reports enabled")
+	}
+	if (Spec{Seed: 7}).Enabled() {
+		t.Error("seed-only spec reports enabled")
+	}
+	if !(Spec{Drop: 0.01}).Enabled() {
+		t.Error("drop spec reports disabled")
+	}
+	if New(Spec{Seed: 7}) != nil {
+		t.Error("New of a disabled spec should return nil")
+	}
+}
+
+func TestNilModelIsDisabled(t *testing.T) {
+	var m *Model
+	if m.Enabled() {
+		t.Error("nil model reports enabled")
+	}
+	m.BeginRound() // must not panic
+	out := m.Judge(0, 1, true, 0)
+	if out.Drop || out.Nack || out.Stall != 0 || out.WireFactor != 1 {
+		t.Errorf("nil model judged a fault: %+v", out)
+	}
+	if m.Spec() != (Spec{}) {
+		t.Errorf("nil model spec: %+v", m.Spec())
+	}
+}
+
+// Two models with the same spec must produce identical outcome sequences,
+// regardless of how many rounds or links are interleaved.
+func TestDeterministicReplay(t *testing.T) {
+	spec := Spec{Seed: 7, Drop: 0.2, Nack: 0.1, StallProb: 0.05, StallTime: 2e-6,
+		DegradeProb: 0.3, DegradeFactor: 4, DegradeWindow: 1e-4}
+	run := func() []Outcome {
+		m := New(spec)
+		var outs []Outcome
+		for round := 0; round < 5; round++ {
+			m.BeginRound()
+			for src := 0; src < 4; src++ {
+				for dst := 0; dst < 4; dst++ {
+					if src == dst {
+						continue
+					}
+					for i := 0; i < 3; i++ {
+						outs = append(outs, m.Judge(src, dst, i%2 == 0, float64(i)*5e-5))
+					}
+				}
+			}
+		}
+		return outs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("length mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// A link's stream must not depend on the order other links are first
+// touched within the round.
+func TestLinkStreamsIndependent(t *testing.T) {
+	spec := Spec{Seed: 11, Drop: 0.3}
+	judge := func(order [][2]int) map[[2]int]Outcome {
+		m := New(spec)
+		m.BeginRound()
+		outs := make(map[[2]int]Outcome)
+		for _, l := range order {
+			outs[l] = m.Judge(l[0], l[1], true, 0)
+		}
+		return outs
+	}
+	fwd := judge([][2]int{{0, 1}, {1, 2}, {2, 3}})
+	rev := judge([][2]int{{2, 3}, {1, 2}, {0, 1}})
+	for l, out := range fwd {
+		if rev[l] != out {
+			t.Errorf("link %v outcome depends on touch order: %+v vs %+v", l, out, rev[l])
+		}
+	}
+}
+
+// Rounds must draw from distinct streams: a given link's verdict sequence
+// should differ across rounds (with overwhelming probability at these
+// rates), and repeating the round index must reproduce it.
+func TestRoundsDrawDistinctStreams(t *testing.T) {
+	spec := Spec{Seed: 3, Drop: 0.5}
+	m := New(spec)
+	var perRound [][]bool
+	for round := 0; round < 4; round++ {
+		m.BeginRound()
+		var drops []bool
+		for i := 0; i < 64; i++ {
+			drops = append(drops, m.Judge(0, 1, true, 0).Drop)
+		}
+		perRound = append(perRound, drops)
+	}
+	same := 0
+	for r := 1; r < len(perRound); r++ {
+		equal := true
+		for i := range perRound[r] {
+			if perRound[r][i] != perRound[0][i] {
+				equal = false
+				break
+			}
+		}
+		if equal {
+			same++
+		}
+	}
+	if same == len(perRound)-1 {
+		t.Error("every round produced an identical drop sequence; rounds are not keyed into the stream")
+	}
+}
+
+func TestNackOnlyOneSided(t *testing.T) {
+	m := New(Spec{Seed: 5, Nack: 0.9})
+	m.BeginRound()
+	for i := 0; i < 256; i++ {
+		if out := m.Judge(0, 1, false, 0); out.Nack {
+			t.Fatal("two-sided (MPI) transmission drew an MRQ NACK")
+		}
+	}
+	m.BeginRound()
+	nacks := 0
+	for i := 0; i < 256; i++ {
+		if m.Judge(0, 1, true, 0).Nack {
+			nacks++
+		}
+	}
+	if nacks == 0 {
+		t.Error("one-sided transmissions never NACKed at rate 0.9")
+	}
+}
+
+func TestDegradeWindow(t *testing.T) {
+	spec := Spec{Seed: 1, DegradeProb: 0.99, DegradeFactor: 4, DegradeWindow: 1e-4}
+	m := New(spec)
+	m.BeginRound()
+	// Find a degraded link (probability ~0.99 each).
+	var src, dst int
+	found := false
+	for dst = 1; dst < 32 && !found; dst++ {
+		if m.Judge(src, dst, true, 0).WireFactor == 4 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no degraded link found at probability 0.99")
+	}
+	if got := m.Judge(src, dst, true, 2e-4).WireFactor; got != 1 {
+		t.Errorf("outside the window: WireFactor = %g, want 1", got)
+	}
+	if got := m.Judge(src, dst, true, 5e-5).WireFactor; got != 4 {
+		t.Errorf("inside the window: WireFactor = %g, want 4", got)
+	}
+}

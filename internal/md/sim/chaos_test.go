@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+
+	"tofumd/internal/faultinject"
+	"tofumd/internal/metrics"
+	"tofumd/internal/trace"
+	"tofumd/internal/vec"
+)
+
+// atomState is one atom's physics-relevant state for bit-exact comparison.
+type atomState struct {
+	id   int64
+	x, v vec.V3
+}
+
+// fingerprint gathers every local atom of every rank, sorted by global ID.
+func fingerprint(s *Simulation) []atomState {
+	var out []atomState
+	for _, r := range s.Ranks() {
+		for i := 0; i < r.Atoms.NLocal; i++ {
+			out = append(out, atomState{r.Atoms.ID[i], r.Atoms.X[i], r.Atoms.V[i]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// chaosRun executes an LJ melt under the given fault spec and returns the
+// final atom states, the total energy per atom, and the metrics registry.
+func chaosRun(t *testing.T, steps int, spec faultinject.Spec, rec *trace.Recorder) ([]atomState, float64, *metrics.Registry) {
+	t.Helper()
+	cfg := ljConfig()
+	cfg.Cells = vec.I3{X: 8, Y: 8, Z: 8}
+	s := newSim(t, Opt(), cfg)
+	reg := metrics.New()
+	s.SetMetrics(reg)
+	if rec != nil {
+		s.SetRecorder(rec)
+	}
+	// Set after New so setup rounds stay fault-free, as mdsim does.
+	s.SetFaults(faultinject.New(spec))
+	s.Run(steps)
+	return fingerprint(s), s.TotalEnergyPerAtom(), reg
+}
+
+func assertSamePhysics(t *testing.T, label string, base, got []atomState, baseE, gotE float64) {
+	t.Helper()
+	if gotE != baseE {
+		t.Errorf("%s: energy/atom %v != fault-free %v", label, gotE, baseE)
+	}
+	if len(got) != len(base) {
+		t.Fatalf("%s: %d atoms != fault-free %d", label, len(got), len(base))
+	}
+	for i := range base {
+		if got[i] != base[i] {
+			t.Fatalf("%s: atom %d diverged: %+v != %+v", label, base[i].id, got[i], base[i])
+		}
+	}
+}
+
+// TestChaosPhysicsBitIdentical is the headline fault-injection guarantee:
+// drops only move virtual time and routing, never payload contents, so a
+// melt under any drop rate ends in the bit-exact same state as a fault-free
+// one. The round-robin receive buffers make retransmission idempotent
+// (section 3.4), which is what this test pins down.
+func TestChaosPhysicsBitIdentical(t *testing.T) {
+	const steps = 200
+	base, baseE, _ := chaosRun(t, steps, faultinject.Spec{}, nil)
+	for _, rate := range []float64{0, 1e-4, 1e-2} {
+		got, gotE, reg := chaosRun(t, steps, faultinject.Spec{Seed: 7, Drop: rate}, nil)
+		label := faultinject.Spec{Seed: 7, Drop: rate}.String()
+		assertSamePhysics(t, label, base, got, baseE, gotE)
+		retr := reg.Counter("utofu_retransmits", "put").Value()
+		if rate >= 1e-2 && retr == 0 {
+			t.Errorf("%s: no retransmissions recorded over %d steps", label, steps)
+		}
+		if rate == 0 && retr != 0 {
+			t.Errorf("%s: %d retransmissions without faults", label, retr)
+		}
+	}
+}
+
+// TestChaosDeterministicReplay runs the same faulty melt twice: metrics and
+// virtual time must be bit-identical, the property the (seed, round, link)
+// stream keying exists for.
+func TestChaosDeterministicReplay(t *testing.T) {
+	spec := faultinject.Spec{Seed: 7, Drop: 1e-2}
+	run := func() ([]atomState, float64, int64, int64) {
+		cfg := ljConfig()
+		cfg.Cells = vec.I3{X: 8, Y: 8, Z: 8}
+		s := newSim(t, Opt(), cfg)
+		reg := metrics.New()
+		s.SetMetrics(reg)
+		s.SetFaults(faultinject.New(spec))
+		s.Run(100)
+		return fingerprint(s), s.ElapsedMax(),
+			reg.Counter("utofu_retransmits", "put").Value(),
+			reg.Counter("fabric_faults", "drops").Value()
+	}
+	fp1, el1, retr1, drop1 := run()
+	fp2, el2, retr2, drop2 := run()
+	if el1 != el2 {
+		t.Errorf("elapsed differs across replays: %v != %v", el1, el2)
+	}
+	if retr1 != retr2 || drop1 != drop2 {
+		t.Errorf("fault counters differ: retr %d/%d drops %d/%d", retr1, retr2, drop1, drop2)
+	}
+	if retr1 == 0 || drop1 == 0 {
+		t.Errorf("expected faults at drop=1e-2: retr=%d drops=%d", retr1, drop1)
+	}
+	for i := range fp1 {
+		if fp1[i] != fp2[i] {
+			t.Fatalf("replay diverged at atom %d", fp1[i].id)
+		}
+	}
+}
+
+// TestChaosForcedFallback starves the uTofu path with a NACK rate the
+// retransmit budget cannot beat. MPI is immune to NACKs (two-sided
+// transport has no MRQ), so the per-neighbor 3-stage fallback must engage,
+// be visible as a metrics counter and a named trace span, and still produce
+// the fault-free physics.
+func TestChaosForcedFallback(t *testing.T) {
+	const steps = 60
+	base, baseE, _ := chaosRun(t, steps, faultinject.Spec{}, nil)
+	rec := trace.NewRecorder()
+	got, gotE, reg := chaosRun(t, steps, faultinject.Spec{Seed: 3, Nack: 0.9}, rec)
+	assertSamePhysics(t, "nack=0.9", base, got, baseE, gotE)
+	if n := reg.Counter("sim_p2p_fallback", "msgs").Value(); n == 0 {
+		t.Error("fallback message counter is zero under a starved uTofu path")
+	}
+	if reg.Counter("sim_p2p_fallback", "rounds").Value() == 0 {
+		t.Error("fallback round counter is zero")
+	}
+	spans := 0
+	for _, sp := range rec.Spans() {
+		if sp.Name == "p2p-fallback" {
+			spans++
+			if sp.Stage != trace.Comm.String() {
+				t.Errorf("fallback span charged to stage %q, want %q", sp.Stage, trace.Comm.String())
+			}
+		}
+	}
+	if spans == 0 {
+		t.Error("no p2p-fallback span recorded")
+	}
+}

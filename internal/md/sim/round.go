@@ -47,6 +47,12 @@ const (
 	inboxXArray
 )
 
+// fallbackK is the graceful-degradation threshold: after this many
+// consecutive uTofu delivery failures to the same neighbor, traffic to
+// that neighbor is routed over the 3-stage-capable MPI path until a
+// plan rebuild (border) re-arms the link.
+const fallbackK = 3
+
 // runRound executes the messages through the variant's transport and
 // advances the participating ranks' clocks to their completion times.
 // Payload delivery is functional: after the call, receivers read the data
@@ -69,7 +75,7 @@ func (s *Simulation) runRound(msgs []*rmsg) {
 	if s.Var.Transport == comm.TransportMPI {
 		s.runMPIRound(msgs, base)
 	} else {
-		s.runUTofuRound(msgs, base)
+		s.runUTofuRoundReliable(msgs, base)
 	}
 	// Advance clocks: receivers to their completions, senders to their
 	// injection completions.
@@ -103,7 +109,51 @@ func (s *Simulation) runMPIRound(msgs []*rmsg, base float64) {
 	}
 }
 
-func (s *Simulation) runUTofuRound(msgs []*rmsg, base float64) {
+// runUTofuRoundReliable delivers a uTofu round even under fault injection:
+// messages to neighbors past the fallback threshold skip uTofu entirely,
+// and puts whose retransmit budget is exhausted are re-sent over the MPI
+// path (section 3.4's graceful degradation). Without faults this reduces
+// to a plain runUTofuRound.
+func (s *Simulation) runUTofuRoundReliable(msgs []*rmsg, base float64) {
+	direct := msgs
+	var fallback []*rmsg
+	if s.fb.DegradedCount() > 0 {
+		direct = direct[:0:0]
+		for _, m := range msgs {
+			if s.fb.Degraded(m.src.ID, m.dst.ID) {
+				fallback = append(fallback, m)
+			} else {
+				direct = append(direct, m)
+			}
+		}
+	}
+	fallback = append(fallback, s.runUTofuRound(direct, base)...)
+	if len(fallback) == 0 {
+		return
+	}
+	if s.met != nil {
+		s.met.fallbackMsgs.Add(int64(len(fallback)))
+		s.met.fallbackRounds.Inc()
+	}
+	s.runMPIRound(fallback, base)
+	if s.rec.Enabled() {
+		for _, m := range fallback {
+			s.rec.Span(trace.SpanEvent{
+				Rank: m.src.ID, Name: "p2p-fallback", Stage: trace.Comm.String(),
+				Step: s.step, Start: m.readyAt, End: m.complete,
+			})
+		}
+	}
+}
+
+// runUTofuRound issues the messages as uTofu puts and returns the ones
+// that failed permanently (retransmit budget exhausted); their readyAt is
+// advanced to the failure-detection time so a fallback resend starts from
+// when the sender learned of the loss.
+func (s *Simulation) runUTofuRound(msgs []*rmsg, base float64) []*rmsg {
+	if len(msgs) == 0 {
+		return nil
+	}
 	puts := make([]*utofu.Put, len(msgs))
 	for i, m := range msgs {
 		region, off := s.putTarget(m)
@@ -124,10 +174,19 @@ func (s *Simulation) runUTofuRound(msgs []*rmsg, base float64) {
 	if err := s.uts.ExecuteRound(puts); err != nil {
 		panic("sim: utofu round failed: " + err.Error())
 	}
+	var failed []*rmsg
 	for i, m := range msgs {
+		if puts[i].Failed {
+			s.fb.RecordFailure(m.src.ID, m.dst.ID)
+			m.readyAt = base + puts[i].FailedAt
+			failed = append(failed, m)
+			continue
+		}
+		s.fb.RecordSuccess(m.src.ID, m.dst.ID)
 		m.complete = base + puts[i].RecvComplete
 		m.issueDone = base + puts[i].IssueDone
 	}
+	return failed
 }
 
 // putTarget resolves the destination region and offset of a uTofu message.

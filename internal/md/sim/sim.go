@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tofumd/internal/faultinject"
 	"tofumd/internal/machine"
 	"tofumd/internal/md/atom"
 	"tofumd/internal/md/comm"
@@ -139,6 +140,12 @@ type Simulation struct {
 	rec     *trace.Recorder
 	met     *simMetrics
 
+	// faults is the fault model attached via SetFaults (nil = fault-free).
+	faults *faultinject.Model
+	// fb tracks per-neighbor retransmission health for the p2p→3-stage
+	// graceful-degradation fallback.
+	fb *comm.Fallback
+
 	step    int
 	shells  int
 	ghCut   float64 // ghost cutoff = force cutoff + skin
@@ -199,6 +206,7 @@ func New(m *Machine, v Variant, cfg Config) (*Simulation, error) {
 	s.uts = utofu.NewSystem(s.fab)
 	s.mpiComm = mpi.NewComm(s.fab)
 	s.mpiComm.CombineLength = v.CombineLength
+	s.fb = comm.NewFallback(fallbackK)
 	s.shells = dec.ShellsFor(s.ghCut)
 	s.nve = &integrate.NVE{Dt: dt, Mass: cfg.Potential.Mass(), Mvv2e: u.Mvv2e}
 
@@ -245,6 +253,15 @@ func (s *Simulation) SetRecorder(rec *trace.Recorder) {
 	}
 }
 
+// SetFaults attaches a fault model to the simulation's fabric. Call it
+// after New so the setup rounds (registration, initial border exchange)
+// stay fault-free, mirroring how SetRecorder/SetMetrics keep setup out of
+// their outputs; a nil model detaches injection.
+func (s *Simulation) SetFaults(m *faultinject.Model) {
+	s.faults = m
+	s.fab.Faults = m
+}
+
 // simMetrics caches the simulation's stage-level metric handles. Stage
 // histograms and imbalance gauges are created lazily per stage name (the
 // set is small and fixed by the step sequence).
@@ -252,6 +269,8 @@ type simMetrics struct {
 	reg       *metrics.Registry
 	stageHist map[string]*metrics.Histogram
 	imbalance map[string]*metrics.Gauge
+	// Graceful-degradation fallback counters (fault injection only).
+	fallbackMsgs, fallbackRounds *metrics.Counter
 }
 
 // SetMetrics attaches a metrics registry to the simulation and all its
@@ -269,9 +288,11 @@ func (s *Simulation) SetMetrics(reg *metrics.Registry) {
 		return
 	}
 	s.met = &simMetrics{
-		reg:       reg,
-		stageHist: map[string]*metrics.Histogram{},
-		imbalance: map[string]*metrics.Gauge{},
+		reg:            reg,
+		stageHist:      map[string]*metrics.Histogram{},
+		imbalance:      map[string]*metrics.Gauge{},
+		fallbackMsgs:   reg.Counter("sim_p2p_fallback", "msgs"),
+		fallbackRounds: reg.Counter("sim_p2p_fallback", "rounds"),
 	}
 }
 

@@ -76,6 +76,7 @@ func (b *batch) add(m *rmsg) {
 // record the recv_ptr offsets. Under the pre-registered scheme the offsets
 // are piggybacked back to the senders (section 3.4).
 func (s *Simulation) doBorder() {
+	s.fb.Reset() // a fresh plan re-arms degraded neighbor links
 	s.forRanks(func(id int) {
 		r := s.ranks[id]
 		r.Atoms.ClearGhosts()

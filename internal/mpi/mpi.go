@@ -41,6 +41,7 @@ type Comm struct {
 // commMetrics caches the MPI layer's metric handles.
 type commMetrics struct {
 	p2pRounds, p2pMsgs, p2pBytes *metrics.Counter
+	retransmits                  *metrics.Counter
 	allreduces, allreduceBytes   *metrics.Counter
 	allreduceSeconds             *metrics.Histogram
 }
@@ -55,6 +56,7 @@ func (c *Comm) SetMetrics(reg *metrics.Registry) {
 		p2pRounds:        reg.Counter("mpi_p2p", "rounds"),
 		p2pMsgs:          reg.Counter("mpi_p2p", "msgs"),
 		p2pBytes:         reg.Counter("mpi_p2p", "bytes"),
+		retransmits:      reg.Counter("mpi_p2p", "retransmits"),
 		allreduces:       reg.Counter("mpi_allreduce", "calls"),
 		allreduceBytes:   reg.Counter("mpi_allreduce", "bytes"),
 		allreduceSeconds: reg.Histogram("mpi_allreduce_seconds", "all"),
@@ -84,6 +86,10 @@ type Message struct {
 	// RecvReadyAt is the receiver virtual time its Irecv is posted.
 	RecvReadyAt float64
 
+	// Attempts counts transmissions performed (1 for a clean exchange; more
+	// when fault injection forced retries).
+	Attempts int
+
 	// IssueDone is when the sender's CPU is free (MPI_Isend return).
 	IssueDone float64
 	// RecvComplete is when the receiver owns the data (MPI_Wait return),
@@ -96,10 +102,19 @@ type Message struct {
 // round. Every rank issues its messages from a single thread (MPI progress
 // is single-threaded here, as in the baseline code) in slice order. Payloads
 // are delivered by reference; receivers see the sender's bytes.
+//
+// MPI is a reliable transport: under fault injection, a dropped message —
+// eager payload or rendezvous RTS/CTS, which the model folds into the same
+// transfer — is detected by the sender's protocol timeout and the exchange
+// (including the rendezvous handshake) is re-driven with capped backoff
+// until it lands. Unlike the uTofu layer there is no failure escape hatch:
+// a round that cannot complete within MPIRetryLimit waves means the
+// configured fault rate is unsatisfiable, which is a configuration error.
 func (c *Comm) ExchangeRound(msgs []*Message) {
 	if len(msgs) == 0 {
 		return
 	}
+	p := &c.Fab.Params
 	transfers := make([]*tofu.Transfer, len(msgs))
 	for i, m := range msgs {
 		twoStep := !m.KnownLength && !c.CombineLength
@@ -107,6 +122,7 @@ func (c *Comm) ExchangeRound(msgs []*Message) {
 		if c.CombineLength && !m.KnownLength {
 			bytes += 8 // length header rides in the payload
 		}
+		m.Attempts = 0
 		transfers[i] = &tofu.Transfer{
 			Src:     m.Src,
 			Dst:     m.Dst,
@@ -118,21 +134,61 @@ func (c *Comm) ExchangeRound(msgs []*Message) {
 			TwoStep: twoStep,
 		}
 	}
-	c.Fab.RunRound(transfers, tofu.IfaceMPI)
+	pending := make([]int, len(msgs))
+	for i := range pending {
+		pending[i] = i
+	}
 	var last, bytes float64
-	for i, m := range msgs {
-		tr := transfers[i]
-		m.IssueDone = tr.IssueDone
-		// Two-sided completion also waits for the posted receive.
-		arr := tr.Arrival
-		if m.RecvReadyAt > arr {
-			arr = m.RecvReadyAt
+	limit := p.MPIRetryLimit
+	if limit <= 0 {
+		limit = 64
+	}
+	for wave := 0; len(pending) > 0; wave++ {
+		if wave >= limit {
+			panic(fmt.Sprintf("mpi: exchange round did not complete within %d retry waves; "+
+				"the injected fault rate starves the reliable transport", limit))
 		}
-		m.RecvComplete = arr + (tr.RecvComplete - tr.Arrival)
-		if m.RecvComplete > last {
-			last = m.RecvComplete
+		batch := make([]*tofu.Transfer, len(pending))
+		for j, i := range pending {
+			batch[j] = transfers[i]
 		}
-		bytes += float64(tr.Bytes)
+		c.Fab.RunRound(batch, tofu.IfaceMPI)
+		var retry []int
+		for _, i := range pending {
+			tr, m := transfers[i], msgs[i]
+			m.Attempts++
+			if tr.Failed() {
+				// Sender re-drives the protocol after the completion timeout.
+				detect := tr.IssueDone + c.Fab.WireTime(units.Bytes(tr.Bytes)) + p.CompletionTimeout
+				backoff := p.RetransmitBackoff * float64(uint64(1)<<uint(tr.Attempt))
+				if p.RetransmitBackoffCap > 0 && backoff > p.RetransmitBackoffCap {
+					backoff = p.RetransmitBackoffCap
+				}
+				nt := *tr
+				nt.Attempt++
+				nt.ReadyAt = detect + backoff
+				nt.IssueDone, nt.Arrival, nt.RecvComplete = 0, 0, 0
+				nt.Dropped, nt.Nacked = false, false
+				transfers[i] = &nt
+				retry = append(retry, i)
+				if c.met != nil {
+					c.met.retransmits.Inc()
+				}
+				continue
+			}
+			m.IssueDone = tr.IssueDone
+			// Two-sided completion also waits for the posted receive.
+			arr := tr.Arrival
+			if m.RecvReadyAt > arr {
+				arr = m.RecvReadyAt
+			}
+			m.RecvComplete = arr + (tr.RecvComplete - tr.Arrival)
+			if m.RecvComplete > last {
+				last = m.RecvComplete
+			}
+			bytes += float64(tr.Bytes)
+		}
+		pending = retry
 	}
 	if c.met != nil {
 		c.met.p2pRounds.Inc()

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"testing"
 
+	"tofumd/internal/faultinject"
+	"tofumd/internal/metrics"
 	"tofumd/internal/tofu"
 	"tofumd/internal/topo"
 	"tofumd/internal/vec"
@@ -39,6 +41,60 @@ func TestExchangeRoundDeliversData(t *testing.T) {
 	if m.RecvComplete <= 0 || m.IssueDone <= 0 {
 		t.Errorf("timing not filled: issue=%v recv=%v", m.IssueDone, m.RecvComplete)
 	}
+}
+
+// MPI stays a reliable transport under fault injection: every message of a
+// lossy round must eventually complete, with attempts and the retransmit
+// counter recording the retries. Rendezvous-sized messages exercise the
+// re-driven RTS/CTS handshake.
+func TestExchangeRoundRetriesDrops(t *testing.T) {
+	c := testComm(t)
+	c.Fab.Faults = faultinject.New(faultinject.Spec{Seed: 7, Drop: 0.3})
+	reg := metrics.New()
+	c.SetMetrics(reg)
+	var msgs []*Message
+	for i := 0; i < 16; i++ {
+		size := 64
+		if i%2 == 1 {
+			size = 16 << 10 // above MPIEagerLimit: rendezvous protocol
+		}
+		msgs = append(msgs, &Message{Src: i % 4, Dst: 8 + i%8, Tag: i,
+			Data: make([]byte, size), KnownLength: true})
+	}
+	c.ExchangeRound(msgs)
+	retried := false
+	for i, m := range msgs {
+		if m.RecvComplete <= 0 || m.IssueDone <= 0 {
+			t.Errorf("msg %d not completed: issue=%v recv=%v", i, m.IssueDone, m.RecvComplete)
+		}
+		if m.Attempts > 1 {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Error("no message was retried at drop rate 0.3 over 16 messages")
+	}
+	if reg.Counter("mpi_p2p", "retransmits").Value() == 0 {
+		t.Error("retransmit counter is zero")
+	}
+}
+
+// A fault rate the retry budget cannot beat must fail loudly, not hang or
+// silently drop: drop=0.99 with MPIRetryLimit=2 panics.
+func TestExchangeRoundRetryLimitPanics(t *testing.T) {
+	c := testComm(t)
+	c.Fab.Params.MPIRetryLimit = 2
+	c.Fab.Faults = faultinject.New(faultinject.Spec{Seed: 1, Drop: 0.99})
+	defer func() {
+		if recover() == nil {
+			t.Error("starved exchange round did not panic")
+		}
+	}()
+	var msgs []*Message
+	for i := 0; i < 32; i++ {
+		msgs = append(msgs, &Message{Src: 0, Dst: 9, Tag: i, Data: make([]byte, 64), KnownLength: true})
+	}
+	c.ExchangeRound(msgs)
 }
 
 func TestRecvWaitsForPostedReceive(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"tofumd/internal/des"
+	"tofumd/internal/faultinject"
 	"tofumd/internal/metrics"
 	"tofumd/internal/topo"
 	"tofumd/internal/trace"
@@ -44,6 +45,9 @@ type Transfer struct {
 	// IsGet marks a one-sided read: the descriptor travels to the remote
 	// TNI first and the payload returns, doubling the latency term.
 	IsGet bool
+	// Attempt counts prior transmissions of the same logical message (0 for
+	// the first try); carried into the trace so retransmissions are visible.
+	Attempt int
 	// Payload is the functional data delivered to the receiver.
 	Payload []byte
 
@@ -56,7 +60,18 @@ type Transfer struct {
 	// two-sided transports the receiver must also be ready; the transport
 	// layer maxes this with its own clock.
 	RecvComplete float64
+	// Dropped reports the payload was lost in the torus (fault injection):
+	// no delivery, Arrival and RecvComplete stay 0.
+	Dropped bool
+	// Nacked reports the receiving TNI rejected the delivery with an
+	// MRQ-overflow NACK: Arrival is when the rejected delivery reached the
+	// receiver, RecvComplete stays 0.
+	Nacked bool
 }
+
+// Failed reports whether the transfer delivered nothing usable and must be
+// retransmitted by the layer above.
+func (tr *Transfer) Failed() bool { return tr.Dropped || tr.Nacked }
 
 // Fabric simulates one TofuD allocation: the torus, its nodes' TNIs and the
 // timing of message rounds. A Fabric is not safe for concurrent rounds; the
@@ -71,6 +86,11 @@ type Fabric struct {
 	// before RunRound. A nil recorder costs one pointer check per message.
 	Rec     *trace.Recorder
 	RecBase float64
+
+	// Faults, when non-nil, injects deterministic faults (drops, NACKs,
+	// stalls, link degradation) into the transfer path. A nil model is the
+	// fault-free fabric.
+	Faults *faultinject.Model
 
 	// met caches metric handles (see SetMetrics); nil when metrics are off.
 	met *fabricMetrics
@@ -101,6 +121,8 @@ type fabricMetrics struct {
 	msgs, bytes, switches []*metrics.Counter    // per TNI index
 	stall                 [2]*metrics.Histogram // per Interface
 	hops                  [2]*metrics.Histogram // per Interface
+	// Injected-fault counters (fault injection only; zero otherwise).
+	drops, nacks, faultStalls *metrics.Counter
 }
 
 // SetMetrics enables (or, with a nil registry, disables) metric collection.
@@ -123,6 +145,9 @@ func (f *Fabric) SetMetrics(reg *metrics.Registry) {
 		m.stall[iface] = reg.Histogram("fabric_inject_stall_seconds", iface.String())
 		m.hops[iface] = reg.HistogramWith("fabric_msg_hops", iface.String(), hopBuckets)
 	}
+	m.drops = reg.Counter("fabric_faults", "drops")
+	m.nacks = reg.Counter("fabric_faults", "nacks")
+	m.faultStalls = reg.Counter("fabric_faults", "stalls")
 	f.met = m
 }
 
@@ -180,6 +205,9 @@ func (f *Fabric) RunRound(transfers []*Transfer, iface Interface) {
 	clear(f.threadFree)
 	clear(f.recvCtxFree)
 	clear(f.lastVCQByThread)
+	// Each RunRound is one fault round: retransmission waves re-run the
+	// round and therefore draw from fresh (seed, round, link) streams.
+	f.Faults.BeginRound()
 
 	// Build per-thread FIFO queues preserving the caller's order, which is
 	// the order the comm plan issues messages.
@@ -189,6 +217,7 @@ func (f *Fabric) RunRound(transfers []*Transfer, iface Interface) {
 		if tr.TNI < 0 || tr.TNI >= p.TNIsPerNode {
 			panic(fmt.Sprintf("tofu: transfer TNI %d out of range", tr.TNI))
 		}
+		tr.Dropped, tr.Nacked = false, false
 		k := threadKey{tr.Src, tr.Thread}
 		if _, ok := queues[k]; !ok {
 			keys = append(keys, k)
@@ -217,7 +246,7 @@ func (f *Fabric) RunRound(transfers []*Transfer, iface Interface) {
 		start := f.eng.Now()
 		if tr.ReadyAt > start {
 			// The thread idles until the message is packed.
-			f.eng.Schedule(tr.ReadyAt, func() {
+			f.schedule(tr.ReadyAt, func() {
 				queues[k] = append([]*Transfer{tr}, queues[k]...)
 				issueNext(k)
 			})
@@ -238,16 +267,25 @@ func (f *Fabric) RunRound(transfers []*Transfer, iface Interface) {
 		tr.IssueDone = done
 		f.threadFree[k] = done
 		// Hand the command to the TNI engine at issue completion.
-		f.eng.Schedule(done, func() { f.transmit(tr, iface, recvOv, start) })
+		f.schedule(done, func() { f.transmit(tr, iface, recvOv, start) })
 		// The thread can issue its next message immediately after.
-		f.eng.Schedule(done, func() { issueNext(k) })
+		f.schedule(done, func() { issueNext(k) })
 	}
 
 	for _, k := range keys {
 		k := k
-		f.eng.Schedule(0, func() { issueNext(k) })
+		f.schedule(0, func() { issueNext(k) })
 	}
 	f.eng.Run()
+}
+
+// schedule wraps des.Engine.ScheduleAt: every time the fabric computes is
+// monotone by construction (costs are non-negative), so a past time is an
+// arithmetic bug that must not be masked by Schedule's clamping.
+func (f *Fabric) schedule(t float64, fn func()) {
+	if err := f.eng.ScheduleAt(t, fn); err != nil {
+		panic("tofu: " + err.Error())
+	}
 }
 
 // transmit serializes the command on the source TNI engine and computes the
@@ -263,8 +301,18 @@ func (f *Fabric) transmit(tr *Transfer, iface Interface, recvOv, issueStart floa
 	if f.tniFree[idx] > txStart {
 		txStart = f.tniFree[idx]
 	}
+	// Fault verdict for this transmission: drawn per (seed, round, link),
+	// judged at the time the TNI engine would start serving the command.
+	fo := f.Faults.Judge(tr.Src, tr.Dst, iface == IfaceUTofu, txStart)
+	if fo.Stall > 0 {
+		// Transient TNI stall: the engine pauses before the command.
+		txStart += fo.Stall
+		if f.met != nil {
+			f.met.faultStalls.Inc()
+		}
+	}
 	engine := p.TNIEngineGap
-	wire := f.WireTime(units.Bytes(tr.Bytes))
+	wire := f.WireTime(units.Bytes(tr.Bytes)) * fo.WireFactor
 	busy := engine
 	if wire > busy {
 		busy = wire
@@ -313,6 +361,45 @@ func (f *Fabric) transmit(tr *Transfer, iface Interface, recvOv, issueStart floa
 		}
 		tr.Arrival = txDone + lat
 	}
+	if fo.Failed() {
+		// The TNI engine was charged (the command did transmit); the payload
+		// never completes at the receiver. A drop is lost in the torus; a
+		// NACK reaches the receiver and is rejected by the MRQ.
+		tr.Dropped, tr.Nacked = fo.Drop, fo.Nack
+		if fo.Drop {
+			tr.Arrival = 0
+		}
+		tr.RecvComplete = 0
+		if f.met != nil {
+			if fo.Drop {
+				f.met.drops.Inc()
+			} else {
+				f.met.nacks.Inc()
+			}
+		}
+		if f.Rec.Enabled() {
+			hops := 0
+			if srcNode != dstNode {
+				hops = f.Map.Hops(tr.Src, tr.Dst)
+			}
+			b := f.RecBase
+			arrival := 0.0
+			if tr.Nacked {
+				arrival = b + tr.Arrival
+			}
+			f.Rec.Message(trace.MessageEvent{
+				Src: tr.Src, Dst: tr.Dst, SrcNode: srcNode,
+				TNI: tr.TNI, VCQ: tr.VCQ, Thread: tr.Thread, DstThread: tr.DstThread,
+				Bytes: tr.Bytes, Hops: hops, Iface: iface.String(),
+				TwoStep: tr.TwoStep, IsGet: tr.IsGet, VCQSwitch: vcqSwitch,
+				Attempt: tr.Attempt, Dropped: tr.Dropped, Nacked: tr.Nacked,
+				ReadyAt: b + tr.ReadyAt, IssueStart: b + issueStart,
+				IssueDone: b + tr.IssueDone, TxStart: b + txStart, TxDone: b + txDone,
+				Arrival: arrival, RecvComplete: 0,
+			})
+		}
+		return
+	}
 	cost := recvOv
 	if !p.CacheInjection {
 		cost += p.CacheMissPenalty
@@ -323,7 +410,7 @@ func (f *Fabric) transmit(tr *Transfer, iface Interface, recvOv, issueStart floa
 	// The receiver's polling context handles completions one at a time.
 	// For a get, the payload returns to the issuer, whose own context
 	// harvests the TCQ completion.
-	f.eng.Schedule(tr.Arrival, func() {
+	f.schedule(tr.Arrival, func() {
 		ctx := threadKey{tr.Dst, tr.DstThread}
 		if tr.IsGet {
 			ctx = threadKey{tr.Src, tr.Thread}
@@ -345,6 +432,7 @@ func (f *Fabric) transmit(tr *Transfer, iface Interface, recvOv, issueStart floa
 				TNI: tr.TNI, VCQ: tr.VCQ, Thread: tr.Thread, DstThread: tr.DstThread,
 				Bytes: tr.Bytes, Hops: hops, Iface: iface.String(),
 				TwoStep: tr.TwoStep, IsGet: tr.IsGet, VCQSwitch: vcqSwitch,
+				Attempt: tr.Attempt,
 				ReadyAt: b + tr.ReadyAt, IssueStart: b + issueStart,
 				IssueDone: b + tr.IssueDone, TxStart: b + txStart, TxDone: b + txDone,
 				Arrival: b + tr.Arrival, RecvComplete: b + tr.RecvComplete,

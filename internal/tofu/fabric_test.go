@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 
+	"tofumd/internal/faultinject"
+	"tofumd/internal/metrics"
 	"tofumd/internal/topo"
 	"tofumd/internal/trace"
 	"tofumd/internal/vec"
@@ -395,6 +397,136 @@ func TestGetTransferDoublesLatency(t *testing.T) {
 	gotDelta := get[0].Arrival - put[0].Arrival
 	if math.Abs(gotDelta-wantDelta) > 1e-9 {
 		t.Errorf("get extra latency = %v, want %v", gotDelta, wantDelta)
+	}
+}
+
+// With a fault model attached, dropped transfers must be marked, never
+// complete, and be counted; the round must stay deterministic.
+func TestRunRoundFaultDrops(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	f.Faults = faultinject.New(faultinject.Spec{Seed: 7, Drop: 0.4})
+	reg := metrics.New()
+	f.SetMetrics(reg)
+	rec := trace.NewRecorder()
+	f.Rec = rec
+	mk := func() []*Transfer {
+		var trs []*Transfer
+		dst := f.Map.NeighborRank(0, vec.I3{X: 2, Y: 0, Z: 0})
+		for i := 0; i < 32; i++ {
+			trs = append(trs, &Transfer{Src: 0, Dst: dst, TNI: 0, VCQ: 1, Thread: 0, Bytes: 64})
+		}
+		return trs
+	}
+	trs := mk()
+	f.RunRound(trs, IfaceUTofu)
+	dropped := 0
+	for i, tr := range trs {
+		if tr.Dropped {
+			dropped++
+			if tr.RecvComplete != 0 || tr.Arrival != 0 {
+				t.Errorf("dropped transfer %d has completion times: arr=%v recv=%v",
+					i, tr.Arrival, tr.RecvComplete)
+			}
+		} else if tr.RecvComplete <= 0 {
+			t.Errorf("delivered transfer %d has no completion", i)
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("no transfer dropped at rate 0.4 over 32 transfers")
+	}
+	if got := reg.Counter("fabric_faults", "drops").Value(); got != int64(dropped) {
+		t.Errorf("drop counter = %d, want %d", got, dropped)
+	}
+	// Dropped messages still appear in the trace, flagged.
+	flagged := 0
+	for _, m := range rec.Messages() {
+		if m.Dropped {
+			flagged++
+		}
+	}
+	if flagged != dropped {
+		t.Errorf("trace has %d dropped messages, want %d", flagged, dropped)
+	}
+
+	// Determinism: a fresh fabric with the same spec drops the same set.
+	f2 := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	f2.Faults = faultinject.New(faultinject.Spec{Seed: 7, Drop: 0.4})
+	trs2 := mk()
+	f2.RunRound(trs2, IfaceUTofu)
+	for i := range trs {
+		if trs[i].Dropped != trs2[i].Dropped || trs[i].RecvComplete != trs2[i].RecvComplete {
+			t.Fatalf("replay diverged at transfer %d", i)
+		}
+	}
+}
+
+// NACKs must only hit the one-sided interface; MPI rounds see them as
+// clean deliveries.
+func TestRunRoundNackSparesMPI(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	f.Faults = faultinject.New(faultinject.Spec{Seed: 5, Nack: 0.9})
+	dst := f.Map.NeighborRank(0, vec.I3{X: 2, Y: 0, Z: 0})
+	var trs []*Transfer
+	for i := 0; i < 16; i++ {
+		trs = append(trs, &Transfer{Src: 0, Dst: dst, TNI: 0, VCQ: 1, Thread: 0, Bytes: 64})
+	}
+	f.RunRound(trs, IfaceMPI)
+	for i, tr := range trs {
+		if tr.Nacked {
+			t.Errorf("MPI transfer %d NACKed", i)
+		}
+		if tr.RecvComplete <= 0 {
+			t.Errorf("MPI transfer %d did not complete", i)
+		}
+	}
+	f.RunRound(trs, IfaceUTofu)
+	nacked := 0
+	for _, tr := range trs {
+		if tr.Nacked {
+			nacked++
+		}
+	}
+	if nacked == 0 {
+		t.Error("no uTofu transfer NACKed at rate 0.9")
+	}
+}
+
+// A transient stall delays the TNI; a degradation window stretches wire
+// time. Both must only ever push completions later, never lose them.
+func TestRunRoundStallAndDegradeDelayOnly(t *testing.T) {
+	base := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	mk := func() []*Transfer {
+		dst := base.Map.NeighborRank(0, vec.I3{X: 2, Y: 0, Z: 0})
+		var trs []*Transfer
+		for i := 0; i < 16; i++ {
+			trs = append(trs, &Transfer{Src: 0, Dst: dst, TNI: 0, VCQ: 1, Thread: 0, Bytes: 4096})
+		}
+		return trs
+	}
+	clean := mk()
+	base.RunRound(clean, IfaceUTofu)
+
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+	f.Faults = faultinject.New(faultinject.Spec{Seed: 2,
+		StallProb: 0.5, StallTime: 3e-6,
+		DegradeProb: 0.9, DegradeFactor: 4, DegradeWindow: 1e-3})
+	faulty := mk()
+	f.RunRound(faulty, IfaceUTofu)
+	slower := false
+	for i := range faulty {
+		if faulty[i].RecvComplete <= 0 {
+			t.Fatalf("transfer %d lost under stall/degrade faults", i)
+		}
+		if faulty[i].RecvComplete < clean[i].RecvComplete-1e-12 {
+			t.Errorf("transfer %d faster under faults: %v < %v",
+				i, faulty[i].RecvComplete, clean[i].RecvComplete)
+		}
+		if faulty[i].RecvComplete > clean[i].RecvComplete+1e-12 {
+			slower = true
+		}
+	}
+	if !slower {
+		t.Error("stall+degrade faults changed nothing")
 	}
 }
 

@@ -79,6 +79,25 @@ type Params struct {
 	// spraying all six TNIs pays it on almost every message, which is why
 	// the 6TNI-p2p single-thread variant is "abnormally poor" (section 4.2).
 	VCQSwitchOverhead float64
+	// CompletionTimeout is how long (virtual seconds) after the expected
+	// wire time a sender waits for a put/get completion before declaring
+	// the transmission lost and retransmitting. Only consulted when a fault
+	// model is attached to the fabric.
+	CompletionTimeout float64
+	// RetransmitBackoff is the base delay before the first retransmission;
+	// attempt n waits min(RetransmitBackoff * 2^n, RetransmitBackoffCap).
+	RetransmitBackoff    float64
+	RetransmitBackoffCap float64
+	// MaxRetransmits bounds uTofu retransmission attempts per put/get;
+	// beyond it the operation is reported failed so the layer above can
+	// fall back (the MPI path instead retries until MPIRetryLimit waves,
+	// preserving reliable-transport semantics).
+	MaxRetransmits int
+	// MPIRetryLimit caps the number of retry waves ExchangeRound will run
+	// before concluding the configured fault rate makes the reliable MPI
+	// transport unsatisfiable (0 means the default of 64).
+	MPIRetryLimit int
+
 	// TNIVCQSwitchGap is the hardware-side cost the TNI engine pays when the
 	// next command comes from a different VCQ than the one it last served:
 	// the engine refetches the descriptor-ring context. It is much smaller
@@ -116,6 +135,12 @@ func DefaultParams() Params {
 		TNIEngineGap:      0.13e-6,
 		VCQSwitchOverhead: 0.40e-6,
 		TNIVCQSwitchGap:   0.02e-6,
+
+		CompletionTimeout:    5e-6,
+		RetransmitBackoff:    1e-6,
+		RetransmitBackoffCap: 32e-6,
+		MaxRetransmits:       4,
+		MPIRetryLimit:        64,
 	}
 }
 

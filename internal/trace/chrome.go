@@ -91,12 +91,33 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 		if m.VCQSwitch {
 			args["vcq_switch"] = true
 		}
+		if m.Attempt > 0 {
+			args["attempt"] = m.Attempt
+		}
+		if m.Dropped {
+			args["dropped"] = true
+		}
+		if m.Nacked {
+			args["nacked"] = true
+		}
 		add(chromeEvent{Name: "issue " + label, Cat: "issue", Ph: "X",
 			Ts: usPerSec * m.IssueStart, Dur: usPerSec * (m.IssueDone - m.IssueStart),
 			Pid: m.Src, Tid: cpuTidBase + m.Thread, Args: args})
 		add(chromeEvent{Name: "tx " + label, Cat: "tni", Ph: "X",
 			Ts: usPerSec * m.TxStart, Dur: usPerSec * (m.TxDone - m.TxStart),
 			Pid: tniPidBase + m.SrcNode, Tid: m.TNI, Args: args})
+		if m.Dropped {
+			// Nothing reached the receiver: mark the loss on the TNI track.
+			add(chromeEvent{Name: "drop " + label, Cat: "fault", Ph: "i",
+				Ts: usPerSec * m.TxDone, Pid: tniPidBase + m.SrcNode, Tid: m.TNI, Sc: "t"})
+			continue
+		}
+		if m.Nacked {
+			// The delivery reached the receiver and was rejected by the MRQ.
+			add(chromeEvent{Name: "nack " + label, Cat: "fault", Ph: "i",
+				Ts: usPerSec * m.Arrival, Pid: recvPid, Tid: recvTid, Sc: "t"})
+			continue
+		}
 		add(chromeEvent{Name: "recv " + label, Cat: "recv", Ph: "X",
 			Ts: usPerSec * m.Arrival, Dur: usPerSec * (m.RecvComplete - m.Arrival),
 			Pid: recvPid, Tid: recvTid, Args: args})

@@ -32,6 +32,14 @@ type MessageEvent struct {
 	// VCQSwitch marks that the serving TNI engine changed VCQs for this
 	// command and paid the switch gap.
 	VCQSwitch bool
+	// Attempt counts prior transmissions of the same logical message (0 for
+	// the first try; retransmissions carry 1, 2, ...).
+	Attempt int
+	// Dropped marks a payload lost in the torus (fault injection); Arrival
+	// and RecvComplete are 0. Nacked marks a delivery the receiving TNI
+	// rejected with an MRQ-overflow NACK; Arrival is the rejected delivery
+	// time and RecvComplete is 0.
+	Dropped, Nacked bool
 
 	// The timing chain: the payload is packed at ReadyAt, the issuing thread
 	// starts at IssueStart (later than ReadyAt when busy with earlier

@@ -25,6 +25,7 @@ import (
 	"tofumd/internal/metrics"
 	"tofumd/internal/tofu"
 	"tofumd/internal/trace"
+	"tofumd/internal/units"
 )
 
 // System tracks VCQs and registered memory for every rank on one fabric.
@@ -50,6 +51,10 @@ type utofuMetrics struct {
 	putBytes, getBytes   *metrics.Counter
 	piggybacks           *metrics.Counter
 	registrations        *metrics.Counter
+	// Retransmissions issued and operations abandoned after exhausting
+	// MaxRetransmits (fault injection only; zero otherwise).
+	putRetransmits, getRetransmits *metrics.Counter
+	putFailures, getFailures       *metrics.Counter
 }
 
 // SetMetrics enables (or, with a nil registry, disables) metric collection.
@@ -65,6 +70,11 @@ func (s *System) SetMetrics(reg *metrics.Registry) {
 		getBytes:      reg.Counter("utofu_bytes", "get"),
 		piggybacks:    reg.Counter("utofu_ops", "piggyback"),
 		registrations: reg.Counter("utofu_ops", "register"),
+
+		putRetransmits: reg.Counter("utofu_retransmits", "put"),
+		getRetransmits: reg.Counter("utofu_retransmits", "get"),
+		putFailures:    reg.Counter("utofu_failures", "put"),
+		getFailures:    reg.Counter("utofu_failures", "get"),
 	}
 }
 
@@ -78,6 +88,9 @@ type VCQ struct {
 	// Tag is a system-unique VCQ identity used for contention accounting.
 	Tag int
 	sys *System
+	// freed marks a VCQ whose CQ has been released; issuing through it (or
+	// freeing it again) is a caller bug.
+	freed bool
 }
 
 // MemRegion is a registered (STADD'd) memory region owned by a rank.
@@ -137,11 +150,30 @@ func (s *System) CreateVCQ(rank, tni int) (*VCQ, error) {
 	return nil, fmt.Errorf("utofu: no free CQ on node %d TNI %d", node, tni)
 }
 
-// FreeVCQ releases the VCQ's control queue.
-func (s *System) FreeVCQ(v *VCQ) {
+// FreeVCQ releases the VCQ's control queue, making the (node, TNI, CQ) slot
+// fully reusable by a later CreateVCQ. Rounds are synchronous — ExecuteRound
+// returns only after every completion is harvested — so there are never
+// pending TCQ/MRQ entries to drain at free time. Freeing a VCQ twice, or one
+// belonging to another system, previously corrupted the CQ accounting
+// (rankCQOnTNI went negative, letting a rank exceed its one-CQ-per-TNI
+// limit); both are now errors.
+func (s *System) FreeVCQ(v *VCQ) error {
+	if v == nil || v.sys != s {
+		return fmt.Errorf("utofu: FreeVCQ of a VCQ not created by this system")
+	}
+	if v.freed {
+		return fmt.Errorf("utofu: double free of VCQ tag %d (rank %d TNI %d CQ %d)",
+			v.Tag, v.Rank, v.TNI, v.CQ)
+	}
 	node, _ := s.Fab.Map.NodeOf(v.Rank)
+	if !s.cqUsed[node][v.TNI][v.CQ] || s.rankCQOnTNI[v.Rank][v.TNI] <= 0 {
+		return fmt.Errorf("utofu: FreeVCQ of unallocated CQ (node %d TNI %d CQ %d)",
+			node, v.TNI, v.CQ)
+	}
+	v.freed = true
 	s.cqUsed[node][v.TNI][v.CQ] = false
 	s.rankCQOnTNI[v.Rank][v.TNI]--
+	return nil
 }
 
 // Register STADDs a buffer for RDMA access and returns the region plus the
@@ -193,6 +225,14 @@ type Put struct {
 	IssueDone    float64
 	Arrival      float64
 	RecvComplete float64
+	// Attempts counts transmissions performed (1 for a clean put; more when
+	// fault injection forced retransmissions).
+	Attempts int
+	// Failed reports the put was abandoned after MaxRetransmits; FailedAt is
+	// the sender virtual time the final loss was detected. The payload was
+	// NOT delivered — the caller must recover (e.g. fall back to MPI).
+	Failed   bool
+	FailedAt float64
 }
 
 // Get is one queued one-sided RDMA read: bytes from a remote registered
@@ -213,16 +253,62 @@ type Get struct {
 	// Timing outputs.
 	IssueDone float64
 	Complete  float64
+	// Attempts/Failed/FailedAt mirror Put's retransmission outputs.
+	Attempts int
+	Failed   bool
+	FailedAt float64
+}
+
+// retryPlan decides a failed transfer's fate: either schedules a
+// retransmission transfer for the next wave (returned non-nil) or reports
+// the operation permanently failed at detect time. Loss is detected by a
+// completion timeout after the expected wire time; attempt n backs off
+// min(RetransmitBackoff·2^n, RetransmitBackoffCap) before re-injecting.
+// Round-robin receive buffers (section 3.4) make re-execution idempotent:
+// the retransmitted put lands in the same slot the lost one targeted.
+func (s *System) retryPlan(tr *tofu.Transfer) (next *tofu.Transfer, detect float64) {
+	p := s.Fab.Params
+	detect = tr.IssueDone + s.Fab.WireTime(units.Bytes(tr.Bytes)) + p.CompletionTimeout
+	if tr.Attempt >= p.MaxRetransmits {
+		return nil, detect
+	}
+	backoff := p.RetransmitBackoff * float64(uint64(1)<<uint(tr.Attempt))
+	if p.RetransmitBackoffCap > 0 && backoff > p.RetransmitBackoffCap {
+		backoff = p.RetransmitBackoffCap
+	}
+	nt := *tr
+	nt.Attempt++
+	nt.ReadyAt = detect + backoff
+	nt.IssueDone, nt.Arrival, nt.RecvComplete = 0, 0, 0
+	nt.Dropped, nt.Nacked = false, false
+	return &nt, detect
+}
+
+// checkVCQ validates a VCQ handle before issuing through it.
+func (s *System) checkVCQ(v *VCQ, what string, i int) error {
+	if v == nil || v.sys != s {
+		return fmt.Errorf("utofu: %s %d uses a VCQ not created by this system", what, i)
+	}
+	if v.freed {
+		return fmt.Errorf("utofu: %s %d uses freed VCQ tag %d", what, i, v.Tag)
+	}
+	return nil
 }
 
 // ExecuteGetRound runs a batch of gets as one fabric round, copying remote
-// bytes into the local destinations.
+// bytes into the local destinations. Under fault injection, lost gets are
+// retransmitted in follow-up waves with capped exponential backoff; a get
+// that exhausts MaxRetransmits is reported via Failed/FailedAt instead of
+// delivering.
 func (s *System) ExecuteGetRound(gets []*Get) error {
 	if len(gets) == 0 {
 		return nil
 	}
 	transfers := make([]*tofu.Transfer, len(gets))
 	for i, g := range gets {
+		if err := s.checkVCQ(g.VCQ, "get", i); err != nil {
+			return err
+		}
 		src, ok := s.Lookup(g.SrcSTADD)
 		if !ok {
 			return fmt.Errorf("utofu: get %d reads unregistered STADD %d", i, g.SrcSTADD)
@@ -231,6 +317,7 @@ func (s *System) ExecuteGetRound(gets []*Get) error {
 			return fmt.Errorf("utofu: get %d reads [%d,%d) outside region of %d bytes",
 				i, g.SrcOff, g.SrcOff+len(g.Dst), len(src.Buf))
 		}
+		g.Attempts, g.Failed, g.FailedAt = 0, false, 0
 		transfers[i] = &tofu.Transfer{
 			Src:     g.VCQ.Rank,
 			Dst:     src.Rank,
@@ -242,18 +329,52 @@ func (s *System) ExecuteGetRound(gets []*Get) error {
 			IsGet:   true,
 		}
 	}
-	s.Fab.RunRound(transfers, tofu.IfaceUTofu)
-	for i, g := range gets {
-		src, _ := s.Lookup(g.SrcSTADD)
-		copy(g.Dst, src.Buf[g.SrcOff:])
-		g.IssueDone = transfers[i].IssueDone
-		g.Complete = transfers[i].RecvComplete
-		if s.met != nil {
-			s.met.gets.Inc()
-			s.met.getBytes.Add(int64(len(g.Dst)))
-		}
+	pending := make([]int, len(gets))
+	for i := range pending {
+		pending[i] = i
 	}
-	s.recordRound("utofu-get", transfers)
+	for wave := 0; len(pending) > 0; wave++ {
+		batch := make([]*tofu.Transfer, len(pending))
+		for j, i := range pending {
+			batch[j] = transfers[i]
+		}
+		s.Fab.RunRound(batch, tofu.IfaceUTofu)
+		kind := "utofu-get"
+		if wave > 0 {
+			kind = "utofu-retransmit"
+		}
+		s.recordRound(kind, batch)
+		var retry []int
+		for _, i := range pending {
+			tr, g := transfers[i], gets[i]
+			g.Attempts++
+			if !tr.Failed() {
+				src, _ := s.Lookup(g.SrcSTADD)
+				copy(g.Dst, src.Buf[g.SrcOff:])
+				g.IssueDone = tr.IssueDone
+				g.Complete = tr.RecvComplete
+				if s.met != nil {
+					s.met.gets.Inc()
+					s.met.getBytes.Add(int64(len(g.Dst)))
+				}
+				continue
+			}
+			next, detect := s.retryPlan(tr)
+			if next == nil {
+				g.Failed, g.FailedAt = true, detect
+				if s.met != nil {
+					s.met.getFailures.Inc()
+				}
+				continue
+			}
+			transfers[i] = next
+			retry = append(retry, i)
+			if s.met != nil {
+				s.met.getRetransmits.Inc()
+			}
+		}
+		pending = retry
+	}
 	return nil
 }
 
@@ -280,12 +401,21 @@ func (s *System) recordRound(kind string, transfers []*tofu.Transfer) {
 // (injection gaps, TNI engine serialization, hop latency) are computed, and
 // payloads are copied into their destination regions. Puts issued by the
 // same (rank, thread) pair serialize in slice order.
+//
+// Under fault injection, puts whose completion never arrives are detected by
+// timeout and retransmitted in follow-up waves with capped exponential
+// backoff. The payload is copied only on the delivering attempt, so a lost
+// put leaves no partial state. A put that exhausts MaxRetransmits reports
+// Failed/FailedAt; its destination region is untouched.
 func (s *System) ExecuteRound(puts []*Put) error {
 	if len(puts) == 0 {
 		return nil
 	}
 	transfers := make([]*tofu.Transfer, len(puts))
 	for i, p := range puts {
+		if err := s.checkVCQ(p.VCQ, "put", i); err != nil {
+			return err
+		}
 		dst, ok := s.Lookup(p.DstSTADD)
 		if !ok {
 			return fmt.Errorf("utofu: put %d targets unregistered STADD %d", i, p.DstSTADD)
@@ -298,6 +428,7 @@ func (s *System) ExecuteRound(puts []*Put) error {
 		if p.HasPiggyback && bytes == 0 {
 			bytes = 8 // descriptor-only message
 		}
+		p.Attempts, p.Failed, p.FailedAt = 0, false, 0
 		transfers[i] = &tofu.Transfer{
 			Src:       p.VCQ.Rank,
 			Dst:       dst.Rank,
@@ -309,21 +440,55 @@ func (s *System) ExecuteRound(puts []*Put) error {
 			ReadyAt:   p.ReadyAt,
 		}
 	}
-	s.Fab.RunRound(transfers, tofu.IfaceUTofu)
-	for i, p := range puts {
-		dst, _ := s.Lookup(p.DstSTADD)
-		copy(dst.Buf[p.DstOff:], p.Src)
-		p.IssueDone = transfers[i].IssueDone
-		p.Arrival = transfers[i].Arrival
-		p.RecvComplete = transfers[i].RecvComplete
-		if s.met != nil {
-			s.met.puts.Inc()
-			s.met.putBytes.Add(int64(transfers[i].Bytes))
-			if p.HasPiggyback {
-				s.met.piggybacks.Inc()
+	pending := make([]int, len(puts))
+	for i := range pending {
+		pending[i] = i
+	}
+	for wave := 0; len(pending) > 0; wave++ {
+		batch := make([]*tofu.Transfer, len(pending))
+		for j, i := range pending {
+			batch[j] = transfers[i]
+		}
+		s.Fab.RunRound(batch, tofu.IfaceUTofu)
+		kind := "utofu-put"
+		if wave > 0 {
+			kind = "utofu-retransmit"
+		}
+		s.recordRound(kind, batch)
+		var retry []int
+		for _, i := range pending {
+			tr, p := transfers[i], puts[i]
+			p.Attempts++
+			if !tr.Failed() {
+				dst, _ := s.Lookup(p.DstSTADD)
+				copy(dst.Buf[p.DstOff:], p.Src)
+				p.IssueDone = tr.IssueDone
+				p.Arrival = tr.Arrival
+				p.RecvComplete = tr.RecvComplete
+				if s.met != nil {
+					s.met.puts.Inc()
+					s.met.putBytes.Add(int64(tr.Bytes))
+					if p.HasPiggyback {
+						s.met.piggybacks.Inc()
+					}
+				}
+				continue
+			}
+			next, detect := s.retryPlan(tr)
+			if next == nil {
+				p.Failed, p.FailedAt = true, detect
+				if s.met != nil {
+					s.met.putFailures.Inc()
+				}
+				continue
+			}
+			transfers[i] = next
+			retry = append(retry, i)
+			if s.met != nil {
+				s.met.putRetransmits.Inc()
 			}
 		}
+		pending = retry
 	}
-	s.recordRound("utofu-put", transfers)
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"testing"
 
+	"tofumd/internal/faultinject"
+	"tofumd/internal/metrics"
 	"tofumd/internal/tofu"
 	"tofumd/internal/topo"
 	"tofumd/internal/vec"
@@ -35,9 +37,86 @@ func TestCreateVCQOnePerRankPerTNI(t *testing.T) {
 		t.Error("second CQ on same (rank, TNI) allowed; default policy is one")
 	}
 	// After freeing, the CQ can be reacquired.
-	s.FreeVCQ(v)
+	if err := s.FreeVCQ(v); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := s.CreateVCQ(0, 0); err != nil {
 		t.Errorf("reacquire after free: %v", err)
+	}
+}
+
+func TestFreeVCQSlotFullyReusable(t *testing.T) {
+	s := testSystem(t)
+	v, err := s.CreateVCQ(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq := v.CQ
+	if err := s.FreeVCQ(v); err != nil {
+		t.Fatal(err)
+	}
+	// The freed slot must be reallocatable with fresh identity and work for
+	// a real put (the CQ binding is live again).
+	v2, err := s.CreateVCQ(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.CQ != cq {
+		t.Errorf("reacquired CQ %d, want the freed slot %d", v2.CQ, cq)
+	}
+	if v2.Tag == v.Tag {
+		t.Error("reacquired VCQ reuses the freed VCQ's tag; contention accounting would alias them")
+	}
+	region, _ := s.Register(5, make([]byte, 16))
+	p := &Put{VCQ: v2, DstSTADD: region.STADD, Src: []byte{1, 2, 3}}
+	if err := s.ExecuteRound([]*Put{p}); err != nil {
+		t.Fatalf("put through reacquired VCQ: %v", err)
+	}
+}
+
+func TestFreeVCQDoubleFreeRejected(t *testing.T) {
+	s := testSystem(t)
+	v, _ := s.CreateVCQ(0, 0)
+	if err := s.FreeVCQ(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FreeVCQ(v); err == nil {
+		t.Fatal("double free accepted")
+	}
+	// The accounting must be intact: exactly one CQ acquirable again.
+	if _, err := s.CreateVCQ(0, 0); err != nil {
+		t.Fatalf("reacquire after double-free attempt: %v", err)
+	}
+	if _, err := s.CreateVCQ(0, 0); err == nil {
+		t.Error("double free corrupted the one-CQ-per-(rank,TNI) accounting")
+	}
+}
+
+func TestFreeVCQForeignRejected(t *testing.T) {
+	s1, s2 := testSystem(t), testSystem(t)
+	v, _ := s1.CreateVCQ(0, 0)
+	if err := s2.FreeVCQ(v); err == nil {
+		t.Error("foreign VCQ freed")
+	}
+	if err := s2.FreeVCQ(nil); err == nil {
+		t.Error("nil VCQ freed")
+	}
+}
+
+func TestFreedVCQCannotIssue(t *testing.T) {
+	s := testSystem(t)
+	v, _ := s.CreateVCQ(0, 0)
+	region, _ := s.Register(5, make([]byte, 16))
+	if err := s.FreeVCQ(v); err != nil {
+		t.Fatal(err)
+	}
+	p := &Put{VCQ: v, DstSTADD: region.STADD, Src: []byte{1}}
+	if err := s.ExecuteRound([]*Put{p}); err == nil {
+		t.Error("put through freed VCQ accepted")
+	}
+	g := &Get{VCQ: v, SrcSTADD: region.STADD, Dst: make([]byte, 1)}
+	if err := s.ExecuteGetRound([]*Get{g}); err == nil {
+		t.Error("get through freed VCQ accepted")
 	}
 }
 
@@ -205,6 +284,135 @@ func TestGetRoundTripSlowerThanPut(t *testing.T) {
 	if g.Complete <= p.RecvComplete {
 		t.Errorf("get (%v) not slower than put (%v): the request must round trip",
 			g.Complete, p.RecvComplete)
+	}
+}
+
+// Under a lossy fabric, every put must still deliver its payload (via
+// retransmission), attempts must be visible, and retransmits counted.
+func TestPutRetransmitsUntilDelivered(t *testing.T) {
+	s := testSystem(t)
+	s.Fab.Faults = faultinject.New(faultinject.Spec{Seed: 7, Drop: 0.3})
+	reg := metrics.New()
+	s.SetMetrics(reg)
+	dstBuf := make([]byte, 32*8)
+	region, _ := s.Register(5, dstBuf)
+	vcq, _ := s.CreateVCQ(0, 0)
+	var puts []*Put
+	for i := 0; i < 32; i++ {
+		puts = append(puts, &Put{VCQ: vcq, DstSTADD: region.STADD, DstOff: i * 8,
+			Src: []byte{byte(i), 1, 2, 3, 4, 5, 6, 7}})
+	}
+	if err := s.ExecuteRound(puts); err != nil {
+		t.Fatal(err)
+	}
+	maxAttempts := 0
+	for i, p := range puts {
+		if p.Failed {
+			t.Fatalf("put %d failed permanently at drop rate 0.3 with backoff", i)
+		}
+		if p.Attempts < 1 {
+			t.Errorf("put %d attempts = %d", i, p.Attempts)
+		}
+		if p.Attempts > maxAttempts {
+			maxAttempts = p.Attempts
+		}
+		if dstBuf[i*8] != byte(i) {
+			t.Errorf("put %d payload not delivered", i)
+		}
+	}
+	if maxAttempts < 2 {
+		t.Error("no put was retransmitted at drop rate 0.3 over 32 puts")
+	}
+	if got := reg.Counter("utofu_retransmits", "put").Value(); got == 0 {
+		t.Error("retransmit counter is zero")
+	}
+	// Retransmitted completions must still be monotone and positive.
+	for i, p := range puts {
+		if p.RecvComplete <= 0 || p.Arrival <= 0 {
+			t.Errorf("put %d timing outputs: arrival=%v recv=%v", i, p.Arrival, p.RecvComplete)
+		}
+	}
+}
+
+// At a drop rate near 1 the retransmit budget runs out: the put must report
+// permanent failure and leave the destination region untouched.
+func TestPutPermanentFailureLeavesRegionUntouched(t *testing.T) {
+	s := testSystem(t)
+	s.Fab.Faults = faultinject.New(faultinject.Spec{Seed: 3, Drop: 0.99})
+	reg := metrics.New()
+	s.SetMetrics(reg)
+	dstBuf := make([]byte, 64)
+	for i := range dstBuf {
+		dstBuf[i] = 0xEE
+	}
+	region, _ := s.Register(5, dstBuf)
+	vcq, _ := s.CreateVCQ(0, 0)
+	var puts []*Put
+	for i := 0; i < 8; i++ {
+		puts = append(puts, &Put{VCQ: vcq, DstSTADD: region.STADD, DstOff: i * 8,
+			Src: []byte{0xAA, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA}})
+	}
+	if err := s.ExecuteRound(puts); err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for i, p := range puts {
+		if !p.Failed {
+			continue
+		}
+		failed++
+		if p.FailedAt <= 0 {
+			t.Errorf("put %d failed with FailedAt=%v", i, p.FailedAt)
+		}
+		if p.Attempts != s.Fab.Params.MaxRetransmits+1 {
+			t.Errorf("put %d failed after %d attempts, want %d",
+				i, p.Attempts, s.Fab.Params.MaxRetransmits+1)
+		}
+		for j := 0; j < 8; j++ {
+			if dstBuf[i*8+j] != 0xEE {
+				t.Fatalf("failed put %d mutated its destination", i)
+			}
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no put failed at drop rate 0.99")
+	}
+	if got := reg.Counter("utofu_failures", "put").Value(); got != int64(failed) {
+		t.Errorf("failure counter = %d, want %d", got, failed)
+	}
+}
+
+// MRQ-overflow NACKs are retried the same way as drops.
+func TestGetRetransmitsOnNack(t *testing.T) {
+	s := testSystem(t)
+	s.Fab.Faults = faultinject.New(faultinject.Spec{Seed: 11, Nack: 0.3})
+	remote := make([]byte, 32*4)
+	for i := range remote {
+		remote[i] = byte(i)
+	}
+	region, _ := s.Register(9, remote)
+	vcq, _ := s.CreateVCQ(0, 0)
+	var gets []*Get
+	for i := 0; i < 32; i++ {
+		gets = append(gets, &Get{VCQ: vcq, SrcSTADD: region.STADD, SrcOff: i * 4, Dst: make([]byte, 4)})
+	}
+	if err := s.ExecuteGetRound(gets); err != nil {
+		t.Fatal(err)
+	}
+	retried := false
+	for i, g := range gets {
+		if g.Failed {
+			t.Fatalf("get %d failed permanently at nack rate 0.3", i)
+		}
+		if g.Attempts > 1 {
+			retried = true
+		}
+		if !bytes.Equal(g.Dst, remote[i*4:i*4+4]) {
+			t.Errorf("get %d fetched %v", i, g.Dst)
+		}
+	}
+	if !retried {
+		t.Error("no get was retransmitted at nack rate 0.3 over 32 gets")
 	}
 }
 

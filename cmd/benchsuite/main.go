@@ -30,7 +30,7 @@ import (
 // experimentOrder is the canonical run order; it doubles as the known-name
 // list that -experiment values are validated against.
 var experimentOrder = []string{
-	"table1", "fig6", "fig8", "fig11", "fig12", "fig13", "table3", "fig14", "fig15", "ablations", "faults",
+	"table1", "fig6", "fig8", "fig11", "fig12", "fig13", "table3", "fig14", "fig15", "ablations", "faults", "failstop",
 }
 
 func main() {
@@ -159,6 +159,10 @@ func main() {
 	})
 	run("faults", func() (string, *bench.Artifact, error) {
 		r, err := bench.Faults(opt)
+		return r.Format(), r.Artifact(opt), err
+	})
+	run("failstop", func() (string, *bench.Artifact, error) {
+		r, err := bench.Failstop(opt)
 		return r.Format(), r.Artifact(opt), err
 	})
 

@@ -19,6 +19,7 @@ import (
 	"tofumd/internal/core"
 	"tofumd/internal/faultinject"
 	"tofumd/internal/md/dump"
+	"tofumd/internal/md/restart"
 	"tofumd/internal/md/sim"
 	"tofumd/internal/metrics"
 	"tofumd/internal/script"
@@ -45,6 +46,9 @@ func main() {
 		metFile   = flag.String("metrics", "", "dump the metrics registry to this file at exit (.json for JSON, text otherwise)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		faultsStr = flag.String("faults", "", `fault injection spec, e.g. "drop=0.01,seed=7" (see package faultinject)`)
+		ckptEvery = flag.Int("checkpoint-every", 0, "write a checkpoint every N steps (0 = off)")
+		ckptFile  = flag.String("checkpoint", "tofumd.restart", "checkpoint file written by -checkpoint-every")
+		restartIn = flag.String("restart", "", "resume from a checkpoint file written by -checkpoint-every")
 	)
 	flag.Parse()
 
@@ -74,6 +78,9 @@ func main() {
 		log.Fatal(err)
 	}
 	if *inFile != "" {
+		if *restartIn != "" || *ckptEvery > 0 {
+			log.Fatal("-restart and -checkpoint-every apply to the flag-driven path, not -in decks")
+		}
 		runDeck(*inFile, shape, *variant, faults, rec, met)
 		writeTrace(*traceFile, rec)
 		finishMetrics(*metFile, met)
@@ -128,6 +135,35 @@ func main() {
 			}
 		}
 	}
+	if *restartIn != "" {
+		f, err := os.Open(*restartIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		snap, err := restart.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.Restart = snap
+		fmt.Printf("Resuming from %s (checkpointed at step %d, %d atoms)\n",
+			*restartIn, snap.Step, len(snap.Atoms))
+	}
+	if *ckptEvery > 0 {
+		prev := spec.Observer
+		every := *ckptEvery
+		path := *ckptFile
+		spec.Observer = func(s *sim.Simulation, step int) {
+			if prev != nil {
+				prev(s, step)
+			}
+			if step%every == 0 {
+				if err := writeCheckpoint(path, s, step); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
 	res, err := core.Run(spec)
 	if err != nil {
 		log.Fatal(err)
@@ -153,6 +189,26 @@ func main() {
 	writeTrace(*traceFile, rec)
 	finishMetrics(*metFile, met)
 	os.Exit(0)
+}
+
+// writeCheckpoint captures the simulation state and writes it atomically:
+// the CRC-trailed file appears under its final name only once complete, so
+// a crash mid-write can never leave a truncated checkpoint behind.
+func writeCheckpoint(path string, s *sim.Simulation, step int) error {
+	snap := restart.Capture(s, step)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := restart.Write(f, snap); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // finishMetrics prints the top-5 metric families as an exit summary and

@@ -19,6 +19,7 @@ var determinismScope = []string{
 	"tofumd/internal/core",
 	"tofumd/internal/bench",
 	"tofumd/internal/threadpool",
+	"tofumd/internal/health",
 }
 
 // wallclockFuncs are the time-package functions that read the host clock.

@@ -8,13 +8,15 @@ import (
 
 // nilsafeTargets names the types whose documented contract is "a nil
 // receiver is a valid, disabled instance": the metrics registry and its
-// family handle types, and the trace recorder. Instrumented hot paths rely
-// on that contract costing exactly one pointer check, so every exported
-// method must carry its own guard — transitively inheriting nil-safety
-// from a callee rots silently when the callee changes.
+// family handle types, the trace recorder, and the health tracker.
+// Instrumented hot paths rely on that contract costing exactly one pointer
+// check, so every exported method must carry its own guard — transitively
+// inheriting nil-safety from a callee rots silently when the callee
+// changes.
 var nilsafeTargets = map[string][]string{
 	"tofumd/internal/metrics": {"Registry", "Counter", "Gauge", "Histogram"},
 	"tofumd/internal/trace":   {"Recorder"},
+	"tofumd/internal/health":  {"Tracker"},
 }
 
 // NilSafe requires every exported pointer-receiver method on the nil-safe

@@ -24,6 +24,7 @@ var DefaultTolerances = map[string]float64{
 	"fig15":     0.25,
 	"ablations": 0.35,
 	"faults":    0.50,
+	"failstop":  0.50,
 }
 
 // compareAbsFloor is the magnitude below which two values are considered

@@ -12,6 +12,7 @@ import (
 	"tofumd/internal/faultinject"
 	"tofumd/internal/md/lattice"
 	"tofumd/internal/md/potential"
+	"tofumd/internal/md/restart"
 	"tofumd/internal/md/sim"
 	"tofumd/internal/metrics"
 	"tofumd/internal/topo"
@@ -167,6 +168,9 @@ type RunSpec struct {
 	// Faults, when enabled, injects deterministic transport faults into the
 	// timed steps (setup rounds stay fault-free, like tracing and metrics).
 	Faults faultinject.Spec
+	// Restart, when non-nil, resumes the run from a checkpoint snapshot;
+	// its box must match the one the workload derives.
+	Restart *restart.Snapshot
 }
 
 // RunResult is the outcome of a run.
@@ -221,6 +225,11 @@ func Run(spec RunSpec) (*RunResult, error) {
 	steps := spec.Steps
 	if steps == 0 {
 		steps = spec.Workload.Steps
+	}
+	if spec.Restart != nil {
+		if err := spec.Restart.Apply(&cfg); err != nil {
+			return nil, err
+		}
 	}
 	s, err := sim.New(m, spec.Variant, cfg)
 	if err != nil {

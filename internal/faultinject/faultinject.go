@@ -11,10 +11,18 @@
 // the same input are bit-identical, faults included. A nil *Model is a
 // valid, disabled model whose methods are single-branch no-ops, following
 // the recorder/registry idiom.
+//
+// Beyond the probabilistic transient faults, the spec can schedule permanent
+// fail-stop faults at absolute virtual times: a TNI that dies (tnifail), a
+// one-sided link that is severed (linkfail), a rank that fail-stops
+// (rankfail). Permanent faults draw nothing from the streams — they are pure
+// functions of the spec and the clock — so adding one never perturbs the
+// transient fault pattern of an otherwise-identical run.
 package faultinject
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -51,11 +59,53 @@ type Spec struct {
 	DegradeProb   float64
 	DegradeFactor float64
 	DegradeWindow float64
+	// TNIFails, LinkFails and RankFails schedule permanent fail-stop faults
+	// (see the type docs). They make Spec non-comparable; use
+	// reflect.DeepEqual in tests.
+	TNIFails  []TNIFail
+	LinkFails []LinkFail
+	RankFails []RankFail
+}
+
+// TNIFail is a permanent TNI failure: TNI index Idx stops serving one-sided
+// traffic on every node at absolute virtual time At (the fabric-wide
+// failure mode of a firmware fault). The MPI stack survives — system
+// software re-binds its injection queues away from dead interfaces — which
+// is what makes the per-neighbor MPI fallback a recovery, not a retry.
+type TNIFail struct {
+	Idx int
+	At  float64
+}
+
+// LinkFail is a permanent link failure: the one-sided (uTofu) Src→Dst rank
+// path is severed at absolute virtual time At. Directional: the reverse
+// path needs its own term.
+type LinkFail struct {
+	Src, Dst int
+	At       float64
+}
+
+// RankFail is a fail-stop rank failure: rank Rank halts at absolute virtual
+// time At. The simulation layer detects it through its (perfect) failure
+// detector at the next step boundary and performs checkpoint rollback.
+type RankFail struct {
+	Rank int
+	At   float64
 }
 
 // Enabled reports whether the spec injects any fault at all.
 func (s Spec) Enabled() bool {
-	return s.Drop > 0 || s.Nack > 0 || s.StallProb > 0 || s.DegradeProb > 0
+	return s.Drop > 0 || s.Nack > 0 || s.StallProb > 0 || s.DegradeProb > 0 ||
+		len(s.TNIFails) > 0 || len(s.LinkFails) > 0 || len(s.RankFails) > 0
+}
+
+// WithoutRankFails returns a copy of the spec with every rankfail term
+// removed. Checkpoint-rollback recovery rebuilds the decomposition with
+// renumbered ranks, so rank-addressed fail-stop terms do not carry over to
+// the recovered run; the caller strips them before re-attaching faults.
+func (s Spec) WithoutRankFails() Spec {
+	s.RankFails = nil
+	return s
 }
 
 // String renders the spec in the canonical flag grammar; parsing the result
@@ -74,6 +124,15 @@ func (s Spec) String() string {
 	if s.DegradeProb > 0 {
 		parts = append(parts, fmt.Sprintf("degrade=%g@%gx%g", s.DegradeProb, s.DegradeFactor, s.DegradeWindow))
 	}
+	for _, f := range s.TNIFails {
+		parts = append(parts, fmt.Sprintf("tnifail=%d@%g", f.Idx, f.At))
+	}
+	for _, f := range s.LinkFails {
+		parts = append(parts, fmt.Sprintf("linkfail=%d-%d@%g", f.Src, f.Dst, f.At))
+	}
+	for _, f := range s.RankFails {
+		parts = append(parts, fmt.Sprintf("rankfail=%d@%g", f.Rank, f.At))
+	}
 	if len(parts) == 0 {
 		return ""
 	}
@@ -89,9 +148,13 @@ func (s Spec) String() string {
 //	stall=P@T         TNI stall probability P, duration T seconds
 //	degrade=P@FxW     per-(round,link) degradation probability P, wire-time
 //	                  factor F, window W virtual seconds from round start
+//	tnifail=IDX@T     TNI index IDX dies permanently at virtual time T
+//	linkfail=S-D@T    the one-sided rank S→D path is severed at time T
+//	rankfail=R@T      rank R fail-stops at virtual time T
 //	seed=N            fault stream seed (default 0)
 //
-// Probabilities must lie in [0, 0.99]. An empty string is a disabled spec.
+// Probabilities must lie in [0, 0.99]. The three permanent-fault terms may
+// repeat to schedule several failures. An empty string is a disabled spec.
 func ParseSpec(text string) (Spec, error) {
 	var s Spec
 	text = strings.TrimSpace(text)
@@ -107,6 +170,26 @@ func ParseSpec(text string) (Spec, error) {
 			return 0, fmt.Errorf("faultinject: %s=%g outside [0, %g]", key, p, maxProb)
 		}
 		return p, nil
+	}
+	// failAt splits the "<what>@T" shape of the permanent-fault terms and
+	// validates the time.
+	failAt := func(key, val string) (string, float64, error) {
+		what, tStr, ok := strings.Cut(val, "@")
+		if !ok {
+			return "", 0, fmt.Errorf("faultinject: %s=%q: want %s=...@T", key, val, key)
+		}
+		at, err := strconv.ParseFloat(tStr, 64)
+		if err != nil || at < 0 {
+			return "", 0, fmt.Errorf("faultinject: %s time %q: want non-negative virtual seconds", key, tStr)
+		}
+		return what, at, nil
+	}
+	nonNeg := func(key, val string) (int, error) {
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("faultinject: %s index %q: want non-negative integer", key, val)
+		}
+		return n, nil
 	}
 	for _, term := range strings.Split(text, ",") {
 		term = strings.TrimSpace(term)
@@ -172,6 +255,47 @@ func ParseSpec(text string) (Spec, error) {
 				return Spec{}, fmt.Errorf("faultinject: degrade window %q: want non-negative seconds", wStr)
 			}
 			s.DegradeProb, s.DegradeFactor, s.DegradeWindow = p, f, w
+		case "tnifail":
+			what, at, err := failAt(key, val)
+			if err != nil {
+				return Spec{}, err
+			}
+			idx, err := nonNeg(key, what)
+			if err != nil {
+				return Spec{}, err
+			}
+			s.TNIFails = append(s.TNIFails, TNIFail{Idx: idx, At: at})
+		case "linkfail":
+			what, at, err := failAt(key, val)
+			if err != nil {
+				return Spec{}, err
+			}
+			srcStr, dstStr, ok := strings.Cut(what, "-")
+			if !ok {
+				return Spec{}, fmt.Errorf("faultinject: linkfail=%q: want linkfail=SRC-DST@T", val)
+			}
+			src, err := nonNeg(key, srcStr)
+			if err != nil {
+				return Spec{}, err
+			}
+			dst, err := nonNeg(key, dstStr)
+			if err != nil {
+				return Spec{}, err
+			}
+			if src == dst {
+				return Spec{}, fmt.Errorf("faultinject: linkfail=%q: src and dst must differ", val)
+			}
+			s.LinkFails = append(s.LinkFails, LinkFail{Src: src, Dst: dst, At: at})
+		case "rankfail":
+			what, at, err := failAt(key, val)
+			if err != nil {
+				return Spec{}, err
+			}
+			rank, err := nonNeg(key, what)
+			if err != nil {
+				return Spec{}, err
+			}
+			s.RankFails = append(s.RankFails, RankFail{Rank: rank, At: at})
 		default:
 			return Spec{}, fmt.Errorf("faultinject: unknown term %q", key)
 		}
@@ -242,6 +366,67 @@ func (m *Model) Spec() Spec {
 		return Spec{}
 	}
 	return m.spec
+}
+
+// TNIFailed reports whether TNI index tni is permanently dead at absolute
+// virtual time now. Pure function of the spec — no stream draws, so
+// permanent faults never shift the transient fault pattern.
+func (m *Model) TNIFailed(tni int, now float64) bool {
+	if m == nil {
+		return false
+	}
+	for _, f := range m.spec.TNIFails {
+		if f.Idx == tni && now >= f.At {
+			return true
+		}
+	}
+	return false
+}
+
+// LinkFailed reports whether the one-sided src→dst path is severed at
+// absolute virtual time now.
+func (m *Model) LinkFailed(src, dst int, now float64) bool {
+	if m == nil {
+		return false
+	}
+	for _, f := range m.spec.LinkFails {
+		if f.Src == src && f.Dst == dst && now >= f.At {
+			return true
+		}
+	}
+	return false
+}
+
+// RankFailed reports whether rank has fail-stopped by absolute virtual time
+// now.
+func (m *Model) RankFailed(rank int, now float64) bool {
+	if m == nil {
+		return false
+	}
+	for _, f := range m.spec.RankFails {
+		if f.Rank == rank && now >= f.At {
+			return true
+		}
+	}
+	return false
+}
+
+// FailedRanks returns the sorted set of ranks that have fail-stopped by
+// absolute virtual time now — the model's perfect failure detector.
+func (m *Model) FailedRanks(now float64) []int {
+	if m == nil {
+		return nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, f := range m.spec.RankFails {
+		if now >= f.At && !seen[f.Rank] {
+			seen[f.Rank] = true
+			out = append(out, f.Rank)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // BeginRound advances the model to the next fabric round: per-link streams

@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"reflect"
 	"testing"
 )
 
@@ -12,6 +13,11 @@ func TestParseSpecRoundTrip(t *testing.T) {
 		"stall=0.001@2e-06,seed=0",
 		"degrade=0.05@4x0.0001,seed=9",
 		"drop=0.01,nack=0.02,stall=0.001@2e-06,degrade=0.05@4x0.0001,seed=3",
+		"tnifail=2@0.001,seed=0",
+		"linkfail=3-4@0.002,seed=0",
+		"rankfail=5@0.003,seed=0",
+		"tnifail=2@0.001,tnifail=4@0.005,linkfail=0-1@0,rankfail=7@1,seed=11",
+		"drop=0.01,tnifail=1@2e-05,seed=7",
 	}
 	for _, text := range cases {
 		s, err := ParseSpec(text)
@@ -22,7 +28,7 @@ func TestParseSpecRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("ParseSpec(String(%q)=%q): %v", text, s.String(), err)
 		}
-		if s != s2 {
+		if !reflect.DeepEqual(s, s2) {
 			t.Errorf("round trip of %q: %+v != %+v", text, s, s2)
 		}
 	}
@@ -30,18 +36,27 @@ func TestParseSpecRoundTrip(t *testing.T) {
 
 func TestParseSpecErrors(t *testing.T) {
 	bad := []string{
-		"drop",             // no value
-		"drop=x",           // not a number
-		"drop=1.5",         // probability > cap
-		"drop=-0.1",        // negative
-		"nack=0.999999",    // above cap
-		"stall=0.1",        // missing @T
-		"stall=0.1@-1",     // negative duration
-		"degrade=0.1@2",    // missing xW
+		"drop",                 // no value
+		"drop=x",               // not a number
+		"drop=1.5",             // probability > cap
+		"drop=-0.1",            // negative
+		"nack=0.999999",        // above cap
+		"stall=0.1",            // missing @T
+		"stall=0.1@-1",         // negative duration
+		"degrade=0.1@2",        // missing xW
 		"degrade=0.1@0.5x1e-4", // factor < 1
-		"degrade=0.1@2x-1", // negative window
+		"degrade=0.1@2x-1",     // negative window
 		"seed=abc",
 		"bogus=1",
+		"tnifail=2",      // missing @T
+		"tnifail=x@1",    // index not a number
+		"tnifail=-1@1",   // negative index
+		"tnifail=2@-1",   // negative time
+		"linkfail=3@1",   // missing -DST
+		"linkfail=3-3@1", // src == dst
+		"linkfail=3-x@1", // dst not a number
+		"rankfail=r@1",   // rank not a number
+		"rankfail=1@abc", // time not a number
 	}
 	for _, text := range bad {
 		if _, err := ParseSpec(text); err == nil {
@@ -63,6 +78,15 @@ func TestSpecEnabled(t *testing.T) {
 	if New(Spec{Seed: 7}) != nil {
 		t.Error("New of a disabled spec should return nil")
 	}
+	if !(Spec{TNIFails: []TNIFail{{Idx: 2, At: 1}}}).Enabled() {
+		t.Error("tnifail-only spec reports disabled")
+	}
+	if !(Spec{LinkFails: []LinkFail{{Src: 0, Dst: 1, At: 1}}}).Enabled() {
+		t.Error("linkfail-only spec reports disabled")
+	}
+	if !(Spec{RankFails: []RankFail{{Rank: 3, At: 1}}}).Enabled() {
+		t.Error("rankfail-only spec reports disabled")
+	}
 }
 
 func TestNilModelIsDisabled(t *testing.T) {
@@ -75,8 +99,83 @@ func TestNilModelIsDisabled(t *testing.T) {
 	if out.Drop || out.Nack || out.Stall != 0 || out.WireFactor != 1 {
 		t.Errorf("nil model judged a fault: %+v", out)
 	}
-	if m.Spec() != (Spec{}) {
+	if !reflect.DeepEqual(m.Spec(), Spec{}) {
 		t.Errorf("nil model spec: %+v", m.Spec())
+	}
+	if m.TNIFailed(0, 1e9) || m.LinkFailed(0, 1, 1e9) || m.RankFailed(0, 1e9) {
+		t.Error("nil model reports a permanent failure")
+	}
+	if got := m.FailedRanks(1e9); got != nil {
+		t.Errorf("nil model FailedRanks: %v", got)
+	}
+}
+
+func TestPermanentFaults(t *testing.T) {
+	spec, err := ParseSpec("tnifail=2@0.001,linkfail=3-4@0.002,rankfail=5@0.003,rankfail=1@0.001,seed=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(spec)
+	if m == nil {
+		t.Fatal("permanent-only spec disabled")
+	}
+	if m.TNIFailed(2, 0.0005) {
+		t.Error("TNI 2 failed before its time")
+	}
+	if !m.TNIFailed(2, 0.001) || !m.TNIFailed(2, 1) {
+		t.Error("TNI 2 not failed at/after its time")
+	}
+	if m.TNIFailed(3, 1) {
+		t.Error("unrelated TNI reported failed")
+	}
+	if m.LinkFailed(3, 4, 0.001) {
+		t.Error("link 3-4 failed before its time")
+	}
+	if !m.LinkFailed(3, 4, 0.002) {
+		t.Error("link 3-4 not failed at its time")
+	}
+	if m.LinkFailed(4, 3, 1) {
+		t.Error("linkfail is directional; reverse path reported failed")
+	}
+	if !m.RankFailed(5, 0.003) || m.RankFailed(5, 0.0029) {
+		t.Error("rankfail time semantics wrong")
+	}
+	if got := m.FailedRanks(0.002); len(got) != 1 || got[0] != 1 {
+		t.Errorf("FailedRanks(0.002) = %v, want [1]", got)
+	}
+	if got := m.FailedRanks(1); len(got) != 2 || got[0] != 1 || got[1] != 5 {
+		t.Errorf("FailedRanks(1) = %v, want [1 5]", got)
+	}
+	// Stripping rankfail terms keeps everything else.
+	stripped := spec.WithoutRankFails()
+	if len(stripped.RankFails) != 0 || len(stripped.TNIFails) != 1 || len(stripped.LinkFails) != 1 {
+		t.Errorf("WithoutRankFails: %+v", stripped)
+	}
+}
+
+// Adding permanent faults to a spec must not change the transient draws:
+// permanent verdicts are pure functions of the clock, not the streams.
+func TestPermanentFaultsDoNotShiftStreams(t *testing.T) {
+	base := Spec{Seed: 7, Drop: 0.2, Nack: 0.1}
+	withPerm := base
+	withPerm.TNIFails = []TNIFail{{Idx: 2, At: 1e-3}}
+	withPerm.RankFails = []RankFail{{Rank: 3, At: 1e-3}}
+	run := func(spec Spec) []Outcome {
+		m := New(spec)
+		var outs []Outcome
+		for round := 0; round < 3; round++ {
+			m.BeginRound()
+			for i := 0; i < 32; i++ {
+				outs = append(outs, m.Judge(0, 1, true, 0))
+			}
+		}
+		return outs
+	}
+	a, b := run(base), run(withPerm)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs with permanent faults present: %+v vs %+v", i, a[i], b[i])
+		}
 	}
 }
 

@@ -274,6 +274,32 @@ func BalanceThreads(links []Link, nThreads int, bytesPerSec, hopLatency float64)
 	return assign
 }
 
+// SurvivingTNIs returns the TNI indices in [0, total) that the quarantine
+// predicate does not exclude, in ascending order. The fail-stop re-plan
+// calls it with the health tracker's TNIQuarantined to get the TNI set the
+// §3.3 balance runs over after a TNI failover.
+func SurvivingTNIs(total int, quarantined func(tni int) bool) []int {
+	var out []int
+	for t := 0; t < total; t++ {
+		if quarantined == nil || !quarantined(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SurvivorTNI maps comm thread th onto one of the surviving TNI indices,
+// preserving the thread-bound policy's round-robin thread→TNI pairing when
+// the TNI set shrinks mid-run. Panics on an empty survivor set: a machine
+// with every TNI quarantined cannot run one-sided communication at all,
+// and the caller must have fallen back to MPI before asking.
+func SurvivorTNI(th int, surviving []int) int {
+	if len(surviving) == 0 {
+		panic("comm: no surviving TNIs to bind a comm thread to")
+	}
+	return surviving[th%len(surviving)]
+}
+
 // Validate sanity-checks a pattern/transport combination: the fine-grained
 // thread-bound policy requires the uTofu transport (MPI progress is single
 // threaded in the baseline).

@@ -1,0 +1,84 @@
+package restart
+
+import (
+	"fmt"
+
+	"tofumd/internal/md/sim"
+)
+
+// RecoveryOptions configures RunWithRecovery.
+type RecoveryOptions struct {
+	// CheckpointEvery is the in-memory snapshot cadence in steps
+	// (non-positive selects 10). Keep it a multiple of the run's
+	// NeighEvery so the reneighbor cadence survives a rollback.
+	CheckpointEvery int
+	// Rebuild constructs the replacement simulation after the given ranks
+	// fail-stopped, resuming from snap. It must exclude the failed
+	// ranks' node from the new decomposition and strip the rank failures
+	// from the fault spec (Spec.WithoutRankFails) — ranks are renumbered
+	// on the smaller machine, so the old indices are meaningless.
+	Rebuild func(snap *Snapshot, failed []int) (*sim.Simulation, error)
+	// MaxRollbacks caps recovery attempts before giving up
+	// (non-positive selects 3).
+	MaxRollbacks int
+}
+
+// RunWithRecovery advances the simulation by steps with checkpoint-rollback
+// fail-stop recovery: a snapshot is captured at step 0 and every
+// CheckpointEvery steps, and when the fault model marks a rank fail-stopped
+// (a perfect failure detector polled at step boundaries) the run rolls back
+// to the last snapshot, rebuilds via opt.Rebuild, and resumes. Mid-step
+// transients of the aborted epoch are discarded wholesale — recovery
+// restarts from a bit-exact committed state, so the recovered trajectory is
+// identical to a clean run restarted from the same snapshot.
+//
+// Returns the simulation that finished the run (the original, or the last
+// rebuild), the number of rollbacks taken, and an error if recovery was
+// impossible or the rollback budget was exhausted. Intermediate rebuilds
+// are closed as they are replaced; the caller owns Close of the original
+// and of the returned simulation.
+func RunWithRecovery(s *sim.Simulation, steps int, opt RecoveryOptions) (*sim.Simulation, int, error) {
+	every := opt.CheckpointEvery
+	if every <= 0 {
+		every = 10
+	}
+	maxRB := opt.MaxRollbacks
+	if maxRB <= 0 {
+		maxRB = 3
+	}
+	cur := s
+	rollbacks := 0
+	lastSnap := Capture(cur, 0)
+	lastStep := 0
+	step := 0
+	for {
+		if failed := cur.FailedRanks(); len(failed) > 0 {
+			if opt.Rebuild == nil {
+				return cur, rollbacks, fmt.Errorf("restart: ranks %v fail-stopped and no Rebuild configured", failed)
+			}
+			if rollbacks >= maxRB {
+				return cur, rollbacks, fmt.Errorf("restart: giving up after %d rollbacks; ranks %v still failing", rollbacks, failed)
+			}
+			rollbacks++
+			rebuilt, err := opt.Rebuild(lastSnap, failed)
+			if err != nil {
+				return cur, rollbacks, fmt.Errorf("restart: rebuild after rank failure: %w", err)
+			}
+			if cur != s {
+				cur.Close()
+			}
+			cur = rebuilt
+			step = lastStep
+			continue
+		}
+		if step >= steps {
+			return cur, rollbacks, nil
+		}
+		cur.Step()
+		step++
+		if step%every == 0 && step < steps {
+			lastSnap = Capture(cur, step)
+			lastStep = step
+		}
+	}
+}

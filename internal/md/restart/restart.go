@@ -9,7 +9,9 @@ package restart
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"sort"
@@ -18,8 +20,14 @@ import (
 	"tofumd/internal/vec"
 )
 
-// magic identifies tofumd restart files (version 1).
-const magic = "TOFUMD01"
+// Restart file magics. Version 2 appends a little-endian IEEE CRC32 of
+// everything before it (magic included), so a torn or bit-flipped
+// checkpoint is rejected instead of resuming a corrupted trajectory.
+// Version 1 files (no trailer) are still read.
+const (
+	magicV1 = "TOFUMD01"
+	magicV2 = "TOFUMD02"
+)
 
 // Snapshot is the decomposition-independent state of a system.
 type Snapshot struct {
@@ -43,13 +51,16 @@ func Capture(s *sim.Simulation, step int) *Snapshot {
 	return snap
 }
 
-// Write serializes the snapshot.
+// Write serializes the snapshot in the current (version 2) format: magic,
+// body, CRC32 trailer over both.
 func Write(w io.Writer, snap *Snapshot) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(magic); err != nil {
+	sum := crc32.NewIEEE()
+	mw := io.MultiWriter(bw, sum)
+	if _, err := io.WriteString(mw, magicV2); err != nil {
 		return err
 	}
-	writeU64 := func(v uint64) { binary.Write(bw, binary.LittleEndian, v) }
+	writeU64 := func(v uint64) { binary.Write(mw, binary.LittleEndian, v) }
 	writeF := func(v float64) { writeU64(math.Float64bits(v)) }
 	writeU64(uint64(snap.Step))
 	writeF(snap.Box.X)
@@ -63,22 +74,58 @@ func Write(w io.Writer, snap *Snapshot) error {
 			writeF(v)
 		}
 	}
+	// Trailer goes to the file only, not into its own checksum.
+	if err := binary.Write(bw, binary.LittleEndian, sum.Sum32()); err != nil {
+		return err
+	}
 	return bw.Flush()
 }
 
-// Read deserializes a snapshot.
+// truncated classifies short-read errors so every truncation surfaces as
+// one clearly worded failure.
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("restart: truncated checkpoint: %w", err)
+	}
+	return err
+}
+
+// Read deserializes a snapshot, accepting the current version-2 format
+// (CRC32-verified) and legacy version-1 files (no trailer).
 func Read(r io.Reader) (*Snapshot, error) {
 	br := bufio.NewReader(r)
-	head := make([]byte, len(magic))
+	head := make([]byte, len(magicV2))
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("restart: %w", err)
+		return nil, truncated(fmt.Errorf("restart: %w", err))
 	}
-	if string(head) != magic {
+	switch string(head) {
+	case magicV1:
+		return readBody(br)
+	case magicV2:
+	default:
 		return nil, fmt.Errorf("restart: bad magic %q", head)
 	}
+	sum := crc32.NewIEEE()
+	sum.Write(head)
+	snap, err := readBody(io.TeeReader(br, sum))
+	if err != nil {
+		return nil, err
+	}
+	var want uint32
+	if err := binary.Read(br, binary.LittleEndian, &want); err != nil {
+		return nil, truncated(fmt.Errorf("restart: missing checksum trailer: %w", err))
+	}
+	if got := sum.Sum32(); got != want {
+		return nil, fmt.Errorf("restart: corrupt checkpoint: crc32 %08x, trailer says %08x", got, want)
+	}
+	return snap, nil
+}
+
+// readBody deserializes the version-independent snapshot body.
+func readBody(r io.Reader) (*Snapshot, error) {
 	readU64 := func() (uint64, error) {
 		var v uint64
-		err := binary.Read(br, binary.LittleEndian, &v)
+		err := binary.Read(r, binary.LittleEndian, &v)
 		return v, err
 	}
 	readF := func() (float64, error) {
@@ -88,44 +135,46 @@ func Read(r io.Reader) (*Snapshot, error) {
 	snap := &Snapshot{}
 	step, err := readU64()
 	if err != nil {
-		return nil, err
+		return nil, truncated(err)
 	}
 	snap.Step = int64(step)
 	if snap.Box.X, err = readF(); err != nil {
-		return nil, err
+		return nil, truncated(err)
 	}
 	if snap.Box.Y, err = readF(); err != nil {
-		return nil, err
+		return nil, truncated(err)
 	}
 	if snap.Box.Z, err = readF(); err != nil {
-		return nil, err
+		return nil, truncated(err)
 	}
 	n, err := readU64()
 	if err != nil {
-		return nil, err
+		return nil, truncated(err)
 	}
 	const maxAtoms = 1 << 32
 	if n > maxAtoms {
 		return nil, fmt.Errorf("restart: implausible atom count %d", n)
 	}
-	snap.Atoms = make([]sim.InitAtom, n)
-	for i := range snap.Atoms {
+	// Grow incrementally: the count is untrusted input, so a lying header
+	// must hit the truncation error, not a giant up-front allocation.
+	snap.Atoms = make([]sim.InitAtom, 0, min(n, 4096))
+	for i := uint64(0); i < n; i++ {
 		id, err := readU64()
 		if err != nil {
-			return nil, fmt.Errorf("restart: atom %d: %w", i, err)
+			return nil, truncated(fmt.Errorf("restart: atom %d: %w", i, err))
 		}
 		typ, err := readU64()
 		if err != nil {
-			return nil, err
+			return nil, truncated(err)
 		}
-		a := &snap.Atoms[i]
-		a.ID, a.Type = int64(id), int32(typ)
+		a := sim.InitAtom{ID: int64(id), Type: int32(typ)}
 		vals := [6]*float64{&a.Pos.X, &a.Pos.Y, &a.Pos.Z, &a.Vel.X, &a.Vel.Y, &a.Vel.Z}
 		for _, p := range vals {
 			if *p, err = readF(); err != nil {
-				return nil, err
+				return nil, truncated(err)
 			}
 		}
+		snap.Atoms = append(snap.Atoms, a)
 	}
 	return snap, nil
 }

@@ -2,6 +2,7 @@ package restart
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"tofumd/internal/md/lattice"
@@ -77,6 +78,57 @@ func TestReadRejectsGarbage(t *testing.T) {
 	trunc := buf.Bytes()[:buf.Len()-10]
 	if _, err := Read(bytes.NewReader(trunc)); err == nil {
 		t.Error("truncated stream accepted")
+	}
+}
+
+func TestReadV1Compat(t *testing.T) {
+	snap := &Snapshot{
+		Step: 3,
+		Box:  vec.V3{X: 2, Y: 2, Z: 2},
+		Atoms: []sim.InitAtom{
+			{ID: 1, Type: 1, Pos: vec.V3{X: 0.25, Y: 0.5, Z: 0.75}, Vel: vec.V3{X: 1, Y: -1, Z: 0}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	// A version-1 file is the same body under the old magic, without the
+	// checksum trailer.
+	v2 := buf.Bytes()
+	v1 := append([]byte(magicV1), v2[len(magicV2):len(v2)-4]...)
+	got, err := Read(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 checkpoint rejected: %v", err)
+	}
+	if got.Step != snap.Step || got.Box != snap.Box || len(got.Atoms) != 1 || got.Atoms[0] != snap.Atoms[0] {
+		t.Fatalf("v1 checkpoint misread: %+v", got)
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	snap := &Snapshot{Box: vec.V3{X: 1, Y: 1, Z: 1}, Atoms: make([]sim.InitAtom, 3)}
+	var buf bytes.Buffer
+	if err := Write(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit mid-body: the CRC32 trailer must catch it.
+	b := append([]byte{}, buf.Bytes()...)
+	b[len(b)/2] ^= 0x40
+	_, err := Read(bytes.NewReader(b))
+	if err == nil {
+		t.Fatal("bit-flipped checkpoint accepted")
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("corruption surfaced as %q, want a corrupt-checkpoint error", err)
+	}
+	// Tearing off the trailer is a truncation, not a corruption.
+	_, err = Read(bytes.NewReader(buf.Bytes()[:buf.Len()-2]))
+	if err == nil {
+		t.Fatal("truncated trailer accepted")
+	}
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("truncation surfaced as %q, want a truncated-checkpoint error", err)
 	}
 }
 

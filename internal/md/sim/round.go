@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"tofumd/internal/health"
 	"tofumd/internal/md/comm"
 	"tofumd/internal/mpi"
 	"tofumd/internal/trace"
@@ -117,10 +118,10 @@ func (s *Simulation) runMPIRound(msgs []*rmsg, base float64) {
 func (s *Simulation) runUTofuRoundReliable(msgs []*rmsg, base float64) {
 	direct := msgs
 	var fallback []*rmsg
-	if s.fb.DegradedCount() > 0 {
+	if s.fb.DegradedCount() > 0 || s.health.QuarantinedLinkCount() > 0 {
 		direct = direct[:0:0]
 		for _, m := range msgs {
-			if s.fb.Degraded(m.src.ID, m.dst.ID) {
+			if s.fb.Degraded(m.src.ID, m.dst.ID) || s.health.LinkQuarantined(m.src.ID, m.dst.ID) {
 				fallback = append(fallback, m)
 			} else {
 				direct = append(direct, m)
@@ -175,16 +176,29 @@ func (s *Simulation) runUTofuRound(msgs []*rmsg, base float64) []*rmsg {
 		panic("sim: utofu round failed: " + err.Error())
 	}
 	var failed []*rmsg
+	replan := false
 	for i, m := range msgs {
 		if puts[i].Failed {
 			s.fb.RecordFailure(m.src.ID, m.dst.ID)
-			m.readyAt = base + puts[i].FailedAt
+			at := base + puts[i].FailedAt
+			s.health.RecordLinkFailure(m.src.ID, m.dst.ID, m.res.tni, at)
+			if s.health.RecordTNIFailure(m.res.tni, at) == health.Quarantined {
+				replan = true
+			}
+			m.readyAt = at
 			failed = append(failed, m)
 			continue
 		}
 		s.fb.RecordSuccess(m.src.ID, m.dst.ID)
+		s.health.RecordLinkSuccess(m.src.ID, m.dst.ID)
+		s.health.RecordTNISuccess(m.res.tni)
 		m.complete = base + puts[i].RecvComplete
 		m.issueDone = base + puts[i].IssueDone
+	}
+	if replan {
+		// A TNI crossed into quarantine this round: re-balance over the
+		// survivors before the next round injects on a dead interface.
+		s.replanTNIs()
 	}
 	return failed
 }

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"tofumd/internal/faultinject"
+	"tofumd/internal/health"
 	"tofumd/internal/machine"
 	"tofumd/internal/md/atom"
 	"tofumd/internal/md/comm"
@@ -145,6 +146,12 @@ type Simulation struct {
 	// fb tracks per-neighbor retransmission health for the p2p→3-stage
 	// graceful-degradation fallback.
 	fb *comm.Fallback
+	// health is the fail-stop state machine: links and TNIs move healthy →
+	// suspect → quarantined on consecutive retransmit exhaustion. A
+	// quarantined link routes via MPI permanently (only ProbeHealth
+	// re-arms it); a quarantined TNI triggers a §3.3 re-balance over the
+	// survivors.
+	health *health.Tracker
 
 	step    int
 	shells  int
@@ -207,6 +214,8 @@ func New(m *Machine, v Variant, cfg Config) (*Simulation, error) {
 	s.mpiComm = mpi.NewComm(s.fab)
 	s.mpiComm.CombineLength = v.CombineLength
 	s.fb = comm.NewFallback(fallbackK)
+	s.health = health.New(0, 0)
+	s.health.SetTNITotal(m.Params.TNIsPerNode)
 	s.shells = dec.ShellsFor(s.ghCut)
 	s.nve = &integrate.NVE{Dt: dt, Mass: cfg.Potential.Mass(), Mvv2e: u.Mvv2e}
 
@@ -239,18 +248,23 @@ func (s *Simulation) SetRecorder(rec *trace.Recorder) {
 	s.rec = rec
 	s.fab.Rec = rec
 	s.mpiComm.Rec = rec
-	s.mpiComm.Now = func() float64 {
-		var t float64
-		for _, r := range s.ranks {
-			if r.Clock > t {
-				t = r.Clock
-			}
-		}
-		return t
-	}
+	s.health.SetRecorder(rec)
+	s.mpiComm.Now = s.Now
 	if rec == nil {
 		s.mpiComm.Now = nil
 	}
+}
+
+// Now returns the simulation's current virtual time: the slowest rank's
+// clock, the frontier of the bulk-synchronous run.
+func (s *Simulation) Now() float64 {
+	var t float64
+	for _, r := range s.ranks {
+		if r.Clock > t {
+			t = r.Clock
+		}
+	}
+	return t
 }
 
 // SetFaults attaches a fault model to the simulation's fabric. Call it
@@ -262,6 +276,82 @@ func (s *Simulation) SetFaults(m *faultinject.Model) {
 	s.fab.Faults = m
 }
 
+// Health exposes the fail-stop health tracker for observability and tests.
+func (s *Simulation) Health() *health.Tracker { return s.health }
+
+// FailedRanks returns the ranks the fault model marks fail-stopped at the
+// simulation's current virtual time — the perfect failure detector the
+// checkpoint-rollback driver polls at step boundaries.
+func (s *Simulation) FailedRanks() []int {
+	return s.faults.FailedRanks(s.Now())
+}
+
+// replanTNIs re-runs the §3.3 balance over the surviving TNIs after a TNI
+// quarantine (or probe re-arm) and moves the uTofu transport with it: VCQs
+// on quarantined TNIs are freed and newly needed survivor VCQs created.
+// The link graph is untouched — only the resources behind it move.
+func (s *Simulation) replanTNIs() {
+	surviving := comm.SurvivingTNIs(s.M.Params.TNIsPerNode, s.health.TNIQuarantined)
+	s.assignResourcesOver(surviving)
+	if s.met != nil {
+		s.met.tniReplans.Inc()
+	}
+	if s.Var.Transport != comm.TransportUTofu {
+		return
+	}
+	quarantined := s.health.QuarantinedTNIs()
+	for _, r := range s.ranks {
+		for _, tni := range quarantined {
+			if vcq := r.vcqByTNI[tni]; vcq != nil {
+				if err := s.uts.FreeVCQ(vcq); err != nil {
+					panic("sim: " + err.Error())
+				}
+				delete(r.vcqByTNI, tni)
+			}
+		}
+		need := map[int]bool{}
+		for _, l := range r.sendLinks {
+			need[l.fwd.tni] = true
+		}
+		for _, l := range r.recvLinks {
+			need[l.rev.tni] = true
+		}
+		for _, tni := range surviving {
+			if need[tni] && r.vcqByTNI[tni] == nil {
+				vcq, err := s.uts.CreateVCQ(r.ID, tni)
+				if err != nil {
+					panic("sim: " + err.Error())
+				}
+				r.vcqByTNI[tni] = vcq
+			}
+		}
+	}
+}
+
+// ProbeHealth actively probes every quarantined resource against the fault
+// model — the explicit re-arm path (quarantine never clears on its own,
+// not even on a border plan rebuild). A probe finds a resource alive only
+// if the fault model says so at the current virtual time; re-armed TNIs
+// re-enter the balance via an immediate re-plan.
+func (s *Simulation) ProbeHealth() {
+	now := s.Now()
+	for _, k := range s.health.QuarantinedLinks() {
+		alive := !(s.faults.LinkFailed(k.Src, k.Dst, now) ||
+			s.faults.RankFailed(k.Src, now) || s.faults.RankFailed(k.Dst, now))
+		s.health.ProbeLink(k.Src, k.Dst, alive, now)
+	}
+	rearmed := false
+	for _, tni := range s.health.QuarantinedTNIs() {
+		if !s.faults.TNIFailed(tni, now) {
+			s.health.ProbeTNI(tni, true, now)
+			rearmed = true
+		}
+	}
+	if rearmed {
+		s.replanTNIs()
+	}
+}
+
 // simMetrics caches the simulation's stage-level metric handles. Stage
 // histograms and imbalance gauges are created lazily per stage name (the
 // set is small and fixed by the step sequence).
@@ -271,6 +361,8 @@ type simMetrics struct {
 	imbalance map[string]*metrics.Gauge
 	// Graceful-degradation fallback counters (fault injection only).
 	fallbackMsgs, fallbackRounds *metrics.Counter
+	// tniReplans counts mid-run §3.3 re-balances after a TNI quarantine.
+	tniReplans *metrics.Counter
 }
 
 // SetMetrics attaches a metrics registry to the simulation and all its
@@ -283,6 +375,7 @@ func (s *Simulation) SetMetrics(reg *metrics.Registry) {
 	s.uts.SetMetrics(reg)
 	s.mpiComm.SetMetrics(reg)
 	s.pool.SetMetrics(reg)
+	s.health.SetMetrics(reg)
 	if !reg.Enabled() {
 		s.met = nil
 		return
@@ -293,6 +386,7 @@ func (s *Simulation) SetMetrics(reg *metrics.Registry) {
 		imbalance:      map[string]*metrics.Gauge{},
 		fallbackMsgs:   reg.Counter("sim_p2p_fallback", "msgs"),
 		fallbackRounds: reg.Counter("sim_p2p_fallback", "rounds"),
+		tniReplans:     reg.Counter("sim_tni_replans", "total"),
 	}
 }
 
@@ -511,22 +605,31 @@ func (s *Simulation) createLinks() {
 }
 
 // assignResources maps every link's two sending sides onto TNIs, threads
-// and VCQs per the variant's policy.
+// and VCQs per the variant's policy, over the machine's full TNI set.
 func (s *Simulation) assignResources() {
-	tnis := s.M.Params.TNIsPerNode
+	s.assignResourcesOver(comm.SurvivingTNIs(s.M.Params.TNIsPerNode, nil))
+}
+
+// assignResourcesOver runs the resource assignment over an explicit set of
+// surviving TNIs. Over the full set it reproduces the modulo policies
+// bit-identically; the fail-stop recovery path re-invokes it with the
+// quarantined TNIs removed, re-running the §3.3 balancer and replanning
+// each rank's neighbor→thread table mid-run.
+func (s *Simulation) assignResourcesOver(tnis []int) {
 	side := s.dec.Side()
 	avgSide := (side.X + side.Y + side.Z) / 3
 	for _, r := range s.ranks {
 		_, slot := s.M.Map.NodeOf(r.ID)
-		assignSide := func(links []*link, pick func(l *link) *commRes, hopOf func(l *link) int) {
+		assignSide := func(links []*link, pick func(l *link) *commRes, hopOf func(l *link) int) []int {
+			threads := make([]int, len(links))
 			switch s.Var.TNIPolicy {
 			case comm.TNIPerRankSlot:
 				for _, l := range links {
-					*pick(l) = commRes{thread: 0, tni: slot % tnis, vcqTag: 0}
+					*pick(l) = commRes{thread: 0, tni: comm.SurvivorTNI(slot, tnis), vcqTag: 0}
 				}
 			case comm.TNISprayAll:
 				for i, l := range links {
-					*pick(l) = commRes{thread: 0, tni: i % tnis, vcqTag: 0}
+					*pick(l) = commRes{thread: 0, tni: comm.SurvivorTNI(i, tnis), vcqTag: 0}
 				}
 			default: // thread-bound: balance links over the comm threads
 				specs := make([]comm.Link, len(links))
@@ -542,14 +645,25 @@ func (s *Simulation) assignResources() {
 					s.M.Params.LinkBandwidth, s.M.Params.HopLatency)
 				for i, l := range links {
 					th := assign[i]
-					*pick(l) = commRes{thread: th, tni: th % tnis, vcqTag: 0}
+					*pick(l) = commRes{thread: th, tni: comm.SurvivorTNI(th, tnis), vcqTag: 0}
+					threads[i] = th
 				}
 			}
+			return threads
 		}
-		assignSide(r.sendLinks, func(l *link) *commRes { return &l.fwd },
+		sendThreads := assignSide(r.sendLinks, func(l *link) *commRes { return &l.fwd },
 			func(l *link) int { return s.M.Map.Hops(l.src.ID, l.dst.ID) })
 		assignSide(r.recvLinks, func(l *link) *commRes { return &l.rev },
 			func(l *link) int { return s.M.Map.Hops(l.dst.ID, l.src.ID) })
+		if r.plan == nil {
+			p, err := threadpool.NewPlan(max(1, s.Var.CommThreads), sendThreads)
+			if err != nil {
+				panic("sim: " + err.Error())
+			}
+			r.plan = p
+		} else if err := r.plan.Replan(sendThreads); err != nil {
+			panic("sim: " + err.Error())
+		}
 	}
 }
 

@@ -76,7 +76,10 @@ func (b *batch) add(m *rmsg) {
 // record the recv_ptr offsets. Under the pre-registered scheme the offsets
 // are piggybacked back to the senders (section 3.4).
 func (s *Simulation) doBorder() {
-	s.fb.Reset() // a fresh plan re-arms degraded neighbor links
+	// A fresh plan re-arms transiently degraded neighbor links; health
+	// quarantine is sticky and survives the rebuild (only ProbeHealth
+	// re-arms a quarantined link or TNI).
+	s.fb.Reset()
 	s.forRanks(func(id int) {
 		r := s.ranks[id]
 		r.Atoms.ClearGhosts()

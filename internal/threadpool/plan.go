@@ -1,0 +1,65 @@
+package threadpool
+
+import "fmt"
+
+// Plan is a stable assignment of indexed communication work items (a
+// rank's neighbor links) to the virtual comm threads that drive VCQs — the
+// neighbor→thread table the §3.3 balancer produces. It exists as a
+// first-class object so the assignment can be swapped mid-run: when the
+// health layer quarantines a TNI, the balancer re-runs over the survivors
+// and Replan installs the new table atomically between rounds, bumping the
+// version the observability layers key on.
+//
+// A Plan is not safe for concurrent mutation; the bulk-synchronous round
+// loop replans only between rounds.
+type Plan struct {
+	threads  int
+	threadOf []int
+	version  int
+}
+
+// NewPlan builds a plan mapping len(threadOf) items onto threads comm
+// threads; threadOf[i] is item i's thread. The slice is copied.
+func NewPlan(threads int, threadOf []int) (*Plan, error) {
+	p := &Plan{threads: threads}
+	if err := p.install(threadOf); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Plan) install(threadOf []int) error {
+	for i, th := range threadOf {
+		if th < 0 || th >= p.threads {
+			return fmt.Errorf("threadpool: plan item %d assigned to thread %d of %d", i, th, p.threads)
+		}
+	}
+	p.threadOf = append(p.threadOf[:0], threadOf...)
+	p.version++
+	return nil
+}
+
+// Replan swaps in a new item→thread table of the same shape — the mid-run
+// re-plan entry point of the fail-stop recovery path. The item count must
+// match the original plan (the link graph is static; only the resources
+// behind it move).
+func (p *Plan) Replan(threadOf []int) error {
+	if len(threadOf) != len(p.threadOf) {
+		return fmt.Errorf("threadpool: replan with %d items, plan has %d", len(threadOf), len(p.threadOf))
+	}
+	return p.install(threadOf)
+}
+
+// Threads returns the comm thread count the plan assigns onto.
+func (p *Plan) Threads() int { return p.threads }
+
+// Items returns the number of planned items.
+func (p *Plan) Items() int { return len(p.threadOf) }
+
+// ThreadOf returns item i's assigned comm thread.
+func (p *Plan) ThreadOf(i int) int { return p.threadOf[i] }
+
+// Version counts installs: 1 after NewPlan, +1 per successful Replan.
+// Observability layers record it so a trace shows which plan generation a
+// round ran under.
+func (p *Plan) Version() int { return p.version }

@@ -1,0 +1,48 @@
+package threadpool
+
+import "testing"
+
+func TestPlanAssignAndReplan(t *testing.T) {
+	p, err := NewPlan(3, []int{0, 1, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Threads() != 3 || p.Items() != 4 || p.Version() != 1 {
+		t.Fatalf("threads/items/version = %d/%d/%d", p.Threads(), p.Items(), p.Version())
+	}
+	if p.ThreadOf(1) != 1 || p.ThreadOf(3) != 0 {
+		t.Errorf("ThreadOf wrong: %d, %d", p.ThreadOf(1), p.ThreadOf(3))
+	}
+	if err := p.Replan([]int{2, 2, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Version() != 2 {
+		t.Errorf("version after replan = %d, want 2", p.Version())
+	}
+	if p.ThreadOf(0) != 2 || p.ThreadOf(2) != 1 {
+		t.Errorf("replan not installed: %d, %d", p.ThreadOf(0), p.ThreadOf(2))
+	}
+}
+
+func TestPlanRejectsBadShapes(t *testing.T) {
+	if _, err := NewPlan(2, []int{0, 2}); err == nil {
+		t.Error("NewPlan accepted out-of-range thread")
+	}
+	if _, err := NewPlan(2, []int{0, -1}); err == nil {
+		t.Error("NewPlan accepted negative thread")
+	}
+	p, err := NewPlan(2, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Replan([]int{0}); err == nil {
+		t.Error("Replan accepted a different item count")
+	}
+	if err := p.Replan([]int{0, 5}); err == nil {
+		t.Error("Replan accepted out-of-range thread")
+	}
+	// A failed replan must not bump the version or corrupt the table.
+	if p.Version() != 1 || p.ThreadOf(1) != 1 {
+		t.Errorf("failed replan mutated plan: version %d, ThreadOf(1)=%d", p.Version(), p.ThreadOf(1))
+	}
+}

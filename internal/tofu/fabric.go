@@ -304,6 +304,21 @@ func (f *Fabric) transmit(tr *Transfer, iface Interface, recvOv, issueStart floa
 	// Fault verdict for this transmission: drawn per (seed, round, link),
 	// judged at the time the TNI engine would start serving the command.
 	fo := f.Faults.Judge(tr.Src, tr.Dst, iface == IfaceUTofu, txStart)
+	// Permanent fail-stop faults override the transient draws without
+	// consuming any: a dead TNI, a severed link or a fail-stopped endpoint
+	// loses the payload in the torus. Judged against the caller's absolute
+	// clock (RecBase + engine time), which is what the spec's "@T" means.
+	// One-sided traffic only — the MPI stack's system software re-binds its
+	// injection queues away from dead interfaces and routes, which is what
+	// makes the per-neighbor MPI fallback a recovery rather than a retry.
+	if iface == IfaceUTofu {
+		abs := f.RecBase + txStart
+		if f.Faults.TNIFailed(tr.TNI, abs) ||
+			f.Faults.LinkFailed(tr.Src, tr.Dst, abs) ||
+			f.Faults.RankFailed(tr.Src, abs) || f.Faults.RankFailed(tr.Dst, abs) {
+			fo.Drop, fo.Nack = true, false
+		}
+	}
 	if fo.Stall > 0 {
 		// Transient TNI stall: the engine pauses before the command.
 		txStart += fo.Stall

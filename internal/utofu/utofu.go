@@ -47,10 +47,10 @@ type System struct {
 
 // utofuMetrics caches the uTofu layer's metric handles.
 type utofuMetrics struct {
-	puts, gets           *metrics.Counter
-	putBytes, getBytes   *metrics.Counter
-	piggybacks           *metrics.Counter
-	registrations        *metrics.Counter
+	puts, gets         *metrics.Counter
+	putBytes, getBytes *metrics.Counter
+	piggybacks         *metrics.Counter
+	registrations      *metrics.Counter
 	// Retransmissions issued and operations abandoned after exhausting
 	// MaxRetransmits (fault injection only; zero otherwise).
 	putRetransmits, getRetransmits *metrics.Counter

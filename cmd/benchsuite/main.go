@@ -30,7 +30,7 @@ import (
 // experimentOrder is the canonical run order; it doubles as the known-name
 // list that -experiment values are validated against.
 var experimentOrder = []string{
-	"table1", "fig6", "fig8", "fig11", "fig12", "fig13", "table3", "fig14", "fig15", "ablations", "faults", "failstop",
+	"table1", "fig6", "fig8", "fig11", "fig12", "fig13", "table3", "fig14", "fig15", "ablations", "faults", "failstop", "pdes",
 }
 
 func main() {
@@ -46,13 +46,14 @@ func main() {
 		metFile   = flag.String("metrics", "", "dump the metrics registry to this file at exit (.json for JSON, text otherwise)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for long -full runs")
 		faultsStr = flag.String("faults", "", `fault injection spec for the raw-fabric experiments, e.g. "drop=0.01,seed=7"`)
+		par       = flag.Int("par", 0, "logical processes for the pdes engine-speedup experiment (0 = default)")
 	)
 	flag.Parse()
 	faults, err := faultinject.ParseSpec(*faultsStr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := bench.Options{Full: *full, Steps: *steps, Faults: faults}
+	opt := bench.Options{Full: *full, Steps: *steps, Faults: faults, Par: *par}
 	if *traceFile != "" {
 		opt.Rec = trace.NewRecorder()
 	}
@@ -163,6 +164,10 @@ func main() {
 	})
 	run("failstop", func() (string, *bench.Artifact, error) {
 		r, err := bench.Failstop(opt)
+		return r.Format(), r.Artifact(opt), err
+	})
+	run("pdes", func() (string, *bench.Artifact, error) {
+		r, err := bench.Pdes(opt)
 		return r.Format(), r.Artifact(opt), err
 	})
 

@@ -49,6 +49,7 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 0, "write a checkpoint every N steps (0 = off)")
 		ckptFile  = flag.String("checkpoint", "tofumd.restart", "checkpoint file written by -checkpoint-every")
 		restartIn = flag.String("restart", "", "resume from a checkpoint file written by -checkpoint-every")
+		par       = flag.Int("par", 1, "logical processes for the parallel event engine (1 = serial; results are bit-identical)")
 	)
 	flag.Parse()
 
@@ -114,6 +115,7 @@ func main() {
 		Recorder:    rec,
 		Metrics:     met,
 		Faults:      faults,
+		ParallelLPs: *par,
 	}
 	if *dumpFile != "" {
 		f, err := os.Create(*dumpFile)

@@ -5,11 +5,15 @@ import (
 	"go/types"
 )
 
-// spinlockScope is the spin-wait thread pool (paper section 3.3): the
-// whole point of the pool is that dispatch and join never park a thread in
-// the kernel, so the regions that spin on atomics must not block.
+// spinlockScope covers the spin-wait thread pool (paper section 3.3) and
+// the parallel event engine's epoch barrier: the whole point of both is
+// that dispatch/join and epoch release never park a thread in the kernel
+// on the hot path, so the regions that spin on atomics must not block.
+// (The barrier's bounded-spin channel fallback sits after its spin loop,
+// which is exactly the pattern this analyzer permits.)
 var spinlockScope = []string{
 	"tofumd/internal/threadpool",
+	"tofumd/internal/des",
 }
 
 // blockingPkgs are packages whose package-level calls inside a spin region

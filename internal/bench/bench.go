@@ -33,6 +33,9 @@ type Options struct {
 	// raw-fabric microbenchmarks (Fig. 8). The "faults" chaos experiment
 	// sweeps its own rates and ignores this field.
 	Faults faultinject.Spec
+	// Par is the logical-process count of the parallel event engine for the
+	// pdes experiment (0 picks a default; 1 would compare serial to serial).
+	Par int
 }
 
 // tileFor returns the functional tile for experiments pinned at 768 nodes.

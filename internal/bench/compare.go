@@ -25,6 +25,9 @@ var DefaultTolerances = map[string]float64{
 	"ablations": 0.35,
 	"faults":    0.50,
 	"failstop":  0.50,
+	// pdes gates a wall-clock speedup, which tracks the measuring host's
+	// core count and load; only a collapse should trip the gate.
+	"pdes": 0.75,
 }
 
 // compareAbsFloor is the magnitude below which two values are considered

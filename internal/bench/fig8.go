@@ -50,7 +50,7 @@ func Fig8(opt Options) (Fig8Result, error) {
 		}
 	}
 	const perRank = 48
-	run := func(bytes int, mode string) float64 {
+	run := func(bytes int, mode string) (float64, error) {
 		var trs []*tofu.Transfer
 		for si, src := range senders {
 			_, slot := m.Map.NodeOf(src)
@@ -69,22 +69,33 @@ func Fig8(opt Options) (Fig8Result, error) {
 				trs = append(trs, tr)
 			}
 		}
-		fab.RunRound(trs, tofu.IfaceUTofu)
+		if err := fab.RunRound(trs, tofu.IfaceUTofu); err != nil {
+			return 0, err
+		}
 		var last float64
 		for _, tr := range trs {
 			if tr.Arrival > last {
 				last = tr.Arrival
 			}
 		}
-		return last
+		return last, nil
 	}
 	sizes := []int{8, 32, 128, 512, 2048, 8192, 32768, 131072, 1 << 20}
 	var res Fig8Result
 	totalMsgs := float64(len(senders) * perRank)
 	for _, b := range sizes {
-		t4 := run(b, "4tni")
-		t6 := run(b, "6tni")
-		tp := run(b, "parallel")
+		t4, err := run(b, "4tni")
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		t6, err := run(b, "6tni")
+		if err != nil {
+			return Fig8Result{}, err
+		}
+		tp, err := run(b, "parallel")
+		if err != nil {
+			return Fig8Result{}, err
+		}
 		row := Fig8Row{
 			Bytes:        b,
 			Rate4TNI:     totalMsgs / t4,

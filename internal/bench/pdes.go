@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"tofumd/internal/md/sim"
+	"tofumd/internal/tofu"
+	"tofumd/internal/vec"
+)
+
+// PdesResult measures the wall-clock speedup of the conservative parallel
+// event engine over the serial engine on a raw fabric round. Unlike every
+// other experiment, the headline series here is host wall time, not virtual
+// time: the parallel engine exists to make the simulator itself faster, and
+// its correctness contract (bit-identical virtual results) is checked as a
+// side condition.
+type PdesResult struct {
+	Nodes, Ranks int
+	// Transfers is the size of the measured round.
+	Transfers int
+	// LPs is the logical-process count of the parallel engine after
+	// clamping to the node count.
+	LPs int
+	// HostCPUs is runtime.NumCPU() on the measuring host; a speedup below
+	// 1 on a single-core host is expected (the epoch barrier only costs).
+	HostCPUs int
+	// SerialWall and ParallelWall are the minimum wall-clock seconds over
+	// the repetitions for one round on each engine.
+	SerialWall, ParallelWall float64
+	// Speedup is SerialWall/ParallelWall.
+	Speedup float64
+	// VirtualTime is the latest Arrival of the round, identical on both
+	// engines by the determinism contract.
+	VirtualTime float64
+	// Identical reports whether every per-transfer timing (IssueDone,
+	// Arrival, RecvComplete) matched bit-for-bit between the engines.
+	Identical bool
+}
+
+// pdesLPs is the default logical-process count when Options.Par is unset.
+const pdesLPs = 4
+
+// pdesTransfers builds one halo-like round on the tile: every rank sends a
+// small message to each of its six axis neighbors, spread over the six TNIs
+// like the paper's parallel injection scheme. Fresh transfers are built per
+// run because RunRound writes the timing results into the Transfer structs.
+func pdesTransfers(m *sim.Machine, bytes int) []*tofu.Transfer {
+	// Rank-grid offsets that cross a node boundary: the default node block
+	// is 2x2x1 ranks, so +-2 in x/y and +-1 in z land on a neighbor node.
+	dirs := []vec.I3{
+		{X: 2}, {X: -2}, {Y: 2}, {Y: -2}, {Z: 1}, {Z: -1},
+	}
+	trs := make([]*tofu.Transfer, 0, m.Map.Ranks()*len(dirs))
+	for src := 0; src < m.Map.Ranks(); src++ {
+		for di, d := range dirs {
+			trs = append(trs, &tofu.Transfer{
+				Src: src, Dst: m.Map.NeighborRank(src, d), Bytes: bytes,
+				Thread: di, TNI: di, VCQ: src<<3 | di,
+			})
+		}
+	}
+	return trs
+}
+
+// Pdes runs the engine-speedup benchmark: the same raw-fabric round executed
+// on the serial engine and on the parallel engine, timed on the host clock.
+func Pdes(opt Options) (PdesResult, error) {
+	m, err := sim.NewMachine(opt.tileFor())
+	if err != nil {
+		return PdesResult{}, err
+	}
+	lps := opt.Par
+	if lps <= 0 {
+		lps = pdesLPs
+	}
+	const bytes = 256 // the sub-512B strong-scaling regime
+	reps := 3
+	if opt.Full {
+		reps = 5
+	}
+	res := PdesResult{
+		Nodes:     m.Map.Ranks() / m.Map.RanksPerNode(),
+		Ranks:     m.Map.Ranks(),
+		HostCPUs:  runtime.NumCPU(),
+		Identical: true,
+	}
+
+	// One timed round on a fresh fabric; returns wall seconds and the
+	// transfers with their virtual timings filled in.
+	round := func(lps int) (float64, []*tofu.Transfer, error) {
+		fab := tofu.NewFabric(m.Map, m.Params)
+		if lps > 1 {
+			if err := fab.SetParallel(lps); err != nil {
+				return 0, nil, err
+			}
+		}
+		trs := pdesTransfers(m, bytes)
+		start := time.Now() //tofuvet:allow wallclock measuring the simulator's own speed, not simulated time
+		err := fab.RunRound(trs, tofu.IfaceUTofu)
+		wall := time.Since(start).Seconds() //tofuvet:allow wallclock measuring the simulator's own speed, not simulated time
+		return wall, trs, err
+	}
+
+	var serialRef, parRef []*tofu.Transfer
+	for i := 0; i < reps; i++ {
+		ws, trs, err := round(1)
+		if err != nil {
+			return PdesResult{}, fmt.Errorf("serial round: %w", err)
+		}
+		if i == 0 || ws < res.SerialWall {
+			res.SerialWall = ws
+		}
+		serialRef = trs
+		wp, ptrs, err := round(lps)
+		if err != nil {
+			return PdesResult{}, fmt.Errorf("parallel round (%d LPs): %w", lps, err)
+		}
+		if i == 0 || wp < res.ParallelWall {
+			res.ParallelWall = wp
+		}
+		parRef = ptrs
+	}
+	res.Transfers = len(serialRef)
+	// The clamp lives in SetParallel; recompute it for the report.
+	if lps > res.Nodes {
+		lps = res.Nodes
+	}
+	res.LPs = lps
+	for i := range serialRef {
+		s, p := serialRef[i], parRef[i]
+		if s.IssueDone != p.IssueDone || s.Arrival != p.Arrival || s.RecvComplete != p.RecvComplete {
+			res.Identical = false
+		}
+		if s.Arrival > res.VirtualTime {
+			res.VirtualTime = s.Arrival
+		}
+	}
+	if !res.Identical {
+		return res, fmt.Errorf("pdes: parallel engine diverged from serial on %d transfers", res.Transfers)
+	}
+	if res.ParallelWall > 0 {
+		res.Speedup = res.SerialWall / res.ParallelWall
+	}
+	return res, nil
+}
+
+// Format renders the engine-speedup report.
+func (p PdesResult) Format() string {
+	s := "PDES: parallel event-engine speedup on one fabric round\n"
+	s += fmt.Sprintf("tile: %d nodes, %d ranks, %d transfers; engine: %d LPs on %d host CPUs\n",
+		p.Nodes, p.Ranks, p.Transfers, p.LPs, p.HostCPUs)
+	s += fmt.Sprintf("serial wall: %.3f ms   parallel wall: %.3f ms   speedup: %.2fx\n",
+		1e3*p.SerialWall, 1e3*p.ParallelWall, p.Speedup)
+	ident := "yes"
+	if !p.Identical {
+		ident = "NO"
+	}
+	s += fmt.Sprintf("virtual time: %.2f us   bit-identical results: %s\n", 1e6*p.VirtualTime, ident)
+	if p.Speedup < 1 && p.HostCPUs < 2 {
+		s += "(single-CPU host: the epoch barrier can only cost; expect speedup >= 1 with 2+ CPUs)\n"
+	}
+	return s
+}
+
+// Artifact emits the pdes series. Wall times are info-only (they track the
+// host, not the model); the gated series are the speedup (higher is better,
+// with a generous tolerance since hosts differ) and the virtual-time and
+// identity checks, which are deterministic.
+func (p PdesResult) Artifact(opt Options) *Artifact {
+	a := NewArtifact("pdes", opt)
+	a.Params["lps"] = p.LPs
+	a.Params["host_cpus"] = p.HostCPUs
+	a.Add("wall/serial", "s", p.SerialWall, "")
+	a.Add("wall/parallel", "s", p.ParallelWall, "")
+	a.Add("speedup", "x", p.Speedup, DirHigher)
+	a.Add("virtual_time", "s", p.VirtualTime, DirEqual)
+	identical := 0.0
+	if p.Identical {
+		identical = 1
+	}
+	a.Add("identical", "bool", identical, DirEqual)
+	return a
+}

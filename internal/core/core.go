@@ -171,6 +171,10 @@ type RunSpec struct {
 	// Restart, when non-nil, resumes the run from a checkpoint snapshot;
 	// its box must match the one the workload derives.
 	Restart *restart.Snapshot
+	// ParallelLPs > 1 runs the fabric's communication rounds on the
+	// conservative parallel event engine with that many logical processes
+	// (the -par flag). Results are bit-identical to the serial engine.
+	ParallelLPs int
 }
 
 // RunResult is the outcome of a run.
@@ -244,6 +248,11 @@ func Run(spec RunSpec) (*RunResult, error) {
 	}
 	if spec.Faults.Enabled() {
 		s.SetFaults(faultinject.New(spec.Faults))
+	}
+	if spec.ParallelLPs > 1 {
+		if err := s.SetParallel(spec.ParallelLPs); err != nil {
+			return nil, err
+		}
 	}
 	if spec.Observer == nil {
 		s.Run(steps)

@@ -41,6 +41,10 @@ type ModelSpec struct {
 	// Met, when non-nil, aggregates fabric counters/histograms of the
 	// modeled rounds.
 	Met *metrics.Registry
+	// LPs > 1 runs the fabric rounds on the conservative parallel event
+	// engine with that many logical processes; results are bit-identical
+	// to the serial engine.
+	LPs int
 }
 
 // kindParams bundles the geometry constants of a benchmark kind.
@@ -109,6 +113,11 @@ func Modeled(spec ModelSpec) (*RunResult, error) {
 	fab := tofu.NewFabric(m.Map, m.Params)
 	fab.Rec = spec.Rec
 	fab.SetMetrics(spec.Met)
+	if spec.LPs > 1 {
+		if err := fab.SetParallel(spec.LPs); err != nil {
+			return nil, err
+		}
+	}
 	cost := m.Cost
 	th := spec.Variant.ComputeThreading
 	packTh := machine.Serial
@@ -215,6 +224,11 @@ func HaloTime(spec ModelSpec) (float64, error) {
 	fab := tofu.NewFabric(m.Map, m.Params)
 	fab.Rec = spec.Rec
 	fab.SetMetrics(spec.Met)
+	if spec.LPs > 1 {
+		if err := fab.SetParallel(spec.LPs); err != nil {
+			return 0, err
+		}
+	}
 	cost := m.Cost
 	cost.PackPerByte = 0
 	cost.UnpackPerByte = 0
@@ -377,7 +391,11 @@ func modelRounds(fab *tofu.Fabric, m *sim.Machine, v sim.Variant, links []modelL
 		if len(transfers) == 0 {
 			continue
 		}
-		fab.RunRound(transfers, iface)
+		// A round that fails to drain is a fabric invariant violation, not a
+		// modeling outcome; the timing model has no recovery for it.
+		if err := fab.RunRound(transfers, iface); err != nil {
+			panic("core: " + err.Error())
+		}
 		var maxDone float64
 		for _, tr := range transfers {
 			if tr.RecvComplete > maxDone {

@@ -3,41 +3,122 @@
 // schedules message injection and completion events on an Engine so that
 // shared resources (TNIs, links) are acquired in correct global time order
 // regardless of how the caller enumerated the messages.
+//
+// Two engines are provided. Engine is the serial kernel: one clock, one
+// queue, one goroutine. ParallelEngine (parallel.go) shards the event loop
+// into logical processes synchronized by conservative barrier epochs; it
+// executes the exact same event order per LP as the serial engine would,
+// so the two are interchangeable wherever the caller can partition its
+// state.
 package des
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback.
+// event is a scheduled callback. The ordering key is the full tuple
+// (time, sendTime, src, seq): time is when the event fires, sendTime is the
+// scheduler's clock at the moment it called Schedule, src is the scheduling
+// logical process (always 0 for the serial Engine) and seq is the
+// scheduler's per-LP scheduling counter.
+//
+// For the serial engine this collapses to the historical (time, seq) order:
+// sendTime is non-decreasing in seq (the clock never rewinds), so comparing
+// (time, sendTime, 0, seq) and (time, seq) yields the same total order. The
+// longer key exists for the parallel engine, where events from different LPs
+// meet in one queue and the tie-break must not depend on merge order.
 type event struct {
-	time float64
-	seq  uint64
-	fn   func()
+	time     float64
+	sendTime float64
+	src      int32
+	seq      uint64
+	fn       func()
 }
 
+// before is the strict ordering of the event queue.
+func (a *event) before(b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.sendTime != b.sendTime {
+		return a.sendTime < b.sendTime
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a direct binary min-heap over event values. It deliberately
+// does not go through container/heap: that interface takes interface{}
+// values, so every Push and Pop used to box an event (one heap allocation
+// per scheduled event on the fabric's hottest path). The monomorphic
+// push/pop below allocate only when the backing array grows.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// push inserts ev, restoring the heap invariant by sifting up.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].before(&s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	// Zero the vacated slot so the popped closure (and everything it
-	// captures) is not retained by the backing array until the slot is
-	// overwritten by a later Push.
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return it
+
+// pop removes and returns the minimum event. The vacated slot is zeroed so
+// the popped closure (and everything it captures) is not retained by the
+// backing array until the slot is overwritten by a later push.
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = event{}
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && s[right].before(&s[left]) {
+			min = right
+		}
+		if !s[min].before(&s[i]) {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+// BudgetError reports that an event-budget-bounded run stopped before the
+// queue drained. Because fabric rounds schedule a bounded number of events
+// per message, exceeding a generous budget means a scheduling cycle — an
+// event that (transitively) reschedules itself without advancing time — and
+// NextAt names the virtual time the cycle is stuck at.
+type BudgetError struct {
+	// Budget is the event-count bound that was exhausted.
+	Budget int
+	// Now is the virtual time of the last executed event.
+	Now float64
+	// NextAt is the earliest pending event time — for a livelock this is the
+	// virtual time the engine cannot get past.
+	NextAt float64
+	// Pending is the number of events still queued.
+	Pending int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("des: event budget %d exhausted at t=%g with %d events pending (next at t=%g): scheduling cycle?",
+		e.Budget, e.Now, e.Pending, e.NextAt)
 }
 
 // Engine is a virtual-time event loop. The zero value is ready to use with
@@ -60,7 +141,7 @@ func (e *Engine) Schedule(t float64, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.pq, event{time: t, seq: e.seq, fn: fn})
+	e.pq.push(event{time: t, sendTime: e.now, seq: e.seq, fn: fn})
 }
 
 // ScheduleAt registers fn to run at virtual time t, rejecting times in the
@@ -72,7 +153,7 @@ func (e *Engine) ScheduleAt(t float64, fn func()) error {
 		return fmt.Errorf("des: ScheduleAt(%g) is before now (%g)", t, e.now)
 	}
 	e.seq++
-	heap.Push(&e.pq, event{time: t, seq: e.seq, fn: fn})
+	e.pq.push(event{time: t, sendTime: e.now, seq: e.seq, fn: fn})
 	return nil
 }
 
@@ -82,17 +163,39 @@ func (e *Engine) Step() bool {
 	if len(e.pq) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(event)
+	ev := e.pq.pop()
 	e.now = ev.time
 	ev.fn()
 	return true
 }
 
 // Run executes events until the queue is empty and returns the final time.
+// It has no event bound: a scheduling cycle livelocks. Drivers that cannot
+// prove their event graph is acyclic should use RunBudget.
 func (e *Engine) Run() float64 {
 	for e.Step() {
 	}
 	return e.now
+}
+
+// RunBudget executes events until the queue is empty or budget events have
+// run, whichever comes first. budget <= 0 means unbounded (identical to
+// Run). On budget exhaustion with events still pending it returns a
+// *BudgetError naming the stuck virtual time; the remaining events stay
+// queued for the caller to inspect.
+func (e *Engine) RunBudget(budget int) (float64, error) {
+	if budget <= 0 {
+		return e.Run(), nil
+	}
+	for n := 0; n < budget; n++ {
+		if !e.Step() {
+			return e.now, nil
+		}
+	}
+	if len(e.pq) == 0 {
+		return e.now, nil
+	}
+	return e.now, &BudgetError{Budget: budget, Now: e.now, NextAt: e.pq[0].time, Pending: len(e.pq)}
 }
 
 // Pending returns the number of queued events.

@@ -191,6 +191,92 @@ func TestResetReleasesAbandonedEvents(t *testing.T) {
 	}
 }
 
+// Regression: Run used to livelock on a scheduling cycle — an event that
+// reschedules itself at Now spins forever. RunBudget must stop and name the
+// stuck virtual time.
+func TestRunBudgetStopsLivelock(t *testing.T) {
+	var e Engine
+	var tick func()
+	tick = func() { e.Schedule(e.Now(), tick) }
+	e.Schedule(5, tick)
+	_, err := e.RunBudget(100)
+	if err == nil {
+		t.Fatal("RunBudget returned nil on a scheduling cycle")
+	}
+	be, ok := err.(*BudgetError)
+	if !ok {
+		t.Fatalf("error type = %T, want *BudgetError", err)
+	}
+	if be.NextAt != 5 || be.Now != 5 {
+		t.Errorf("BudgetError names t=%g (now %g), want the stuck time 5", be.NextAt, be.Now)
+	}
+	if be.Pending == 0 || e.Pending() == 0 {
+		t.Errorf("pending = %d/%d, want the cycle's event still queued", be.Pending, e.Pending())
+	}
+}
+
+func TestRunBudgetCompletesUnderBudget(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(float64(i), func() { count++ })
+	}
+	final, err := e.RunBudget(1000)
+	if err != nil {
+		t.Fatalf("RunBudget failed on a finite workload: %v", err)
+	}
+	if count != 10 || final != 9 {
+		t.Errorf("count=%d final=%g, want 10 events ending at t=9", count, final)
+	}
+}
+
+func TestRunBudgetZeroIsUnbounded(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := 0; i < 500; i++ {
+		e.Schedule(float64(i), func() { count++ })
+	}
+	if _, err := e.RunBudget(0); err != nil {
+		t.Fatalf("RunBudget(0) errored: %v", err)
+	}
+	if count != 500 {
+		t.Errorf("count = %d, want all 500 (budget 0 means unbounded)", count)
+	}
+}
+
+// Guard for the monomorphic-heap fix: container/heap's interface{} Push/Pop
+// boxed one event per schedule. With warm capacity a schedule+run cycle must
+// not allocate at all.
+func TestScheduleRunDoesNotAllocate(t *testing.T) {
+	var e Engine
+	fn := func() {}
+	for i := 0; i < 4096; i++ {
+		e.Schedule(float64(i), fn)
+	}
+	e.Run()
+	avg := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 1024; i++ {
+			e.Schedule(float64(i&15), fn)
+		}
+		e.Run()
+	})
+	if avg != 0 {
+		t.Errorf("Schedule+Run allocates %.1f per round with warm capacity, want 0", avg)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	var e Engine
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 256; j++ {
+			e.Schedule(float64(j&7), fn)
+		}
+		e.Run()
+	}
+}
+
 // Property: regardless of scheduling order, execution is monotone in time.
 func TestMonotoneExecutionProperty(t *testing.T) {
 	f := func(times []uint16) bool {

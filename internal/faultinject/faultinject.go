@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"tofumd/internal/xrand"
 )
@@ -329,15 +330,20 @@ type linkState struct {
 	degraded bool
 }
 
-// Model draws fault outcomes for a fabric. Not safe for concurrent use; the
-// fabric replays one round at a time on a single goroutine.
+// Model draws fault outcomes for a fabric. Rounds must run one at a time
+// (BeginRound is not concurrent with Judge), but within a round Judge may
+// be called from the parallel engine's LP goroutines: the lazy per-link
+// cache is mutex-protected, and determinism holds because all draws on one
+// link come from the LP owning the source rank, in that LP's deterministic
+// event order.
 type Model struct {
 	spec  Spec
 	root  *xrand.Source
 	round uint64
 	// base is the current round's stream root; links caches the per-link
-	// streams split from it.
+	// streams split from it, guarded by mu.
 	base  *xrand.Source
+	mu    sync.Mutex
 	links map[uint64]*linkState
 }
 
@@ -443,8 +449,13 @@ func (m *Model) BeginRound() {
 
 // link returns the (round, link) stream, creating it on first use. The
 // stream's first draw decides the link's degradation window for the round.
+// The cache lookup is locked because LPs of the parallel engine create
+// streams for different links concurrently; the draw order on any single
+// link stays deterministic (one owning LP per source rank).
 func (m *Model) link(src, dst int) *linkState {
 	key := uint64(uint32(src))<<32 | uint64(uint32(dst))
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	ls := m.links[key]
 	if ls == nil {
 		if m.base == nil {

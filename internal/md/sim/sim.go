@@ -276,6 +276,14 @@ func (s *Simulation) SetFaults(m *faultinject.Model) {
 	s.fab.Faults = m
 }
 
+// SetParallel selects the fabric's event engine: lps > 1 runs every
+// communication round on the conservative parallel DES with that many
+// logical processes, lps <= 1 reverts to the serial engine. Results are
+// bit-identical either way; call it any time between rounds.
+func (s *Simulation) SetParallel(lps int) error {
+	return s.fab.SetParallel(lps)
+}
+
 // Health exposes the fail-stop health tracker for observability and tests.
 func (s *Simulation) Health() *health.Tracker { return s.health }
 

@@ -152,7 +152,11 @@ func (c *Comm) ExchangeRound(msgs []*Message) {
 		for j, i := range pending {
 			batch[j] = transfers[i]
 		}
-		c.Fab.RunRound(batch, tofu.IfaceMPI)
+		if err := c.Fab.RunRound(batch, tofu.IfaceMPI); err != nil {
+			// The reliable transport cannot proceed on an undrained fabric
+			// round; like retry-wave exhaustion this is a hard stop.
+			panic("mpi: " + err.Error())
+		}
 		var retry []int
 		for _, i := range pending {
 			tr, m := transfers[i], msgs[i]

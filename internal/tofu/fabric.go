@@ -76,6 +76,13 @@ func (tr *Transfer) Failed() bool { return tr.Dropped || tr.Nacked }
 // Fabric simulates one TofuD allocation: the torus, its nodes' TNIs and the
 // timing of message rounds. A Fabric is not safe for concurrent rounds; the
 // bulk-synchronous simulation runs rounds one at a time.
+//
+// By default a round runs on the serial des.Engine. SetParallel shards the
+// fabric into logical processes (contiguous node blocks) executed by the
+// conservative-PDES des.ParallelEngine; results are bit-identical either
+// way, because all per-round mutable state is partitioned by the node that
+// owns it and only inter-node arrivals cross LPs — always at least one
+// link latency (the engine's lookahead) in the future.
 type Fabric struct {
 	Params Params
 	Map    *topo.RankMap
@@ -95,11 +102,37 @@ type Fabric struct {
 	// met caches metric handles (see SetMetrics); nil when metrics are off.
 	met *fabricMetrics
 
+	// eng is the serial engine; par, when non-nil, replaces it with the
+	// parallel engine selected by SetParallel.
 	eng des.Engine
-	// tniFree[node*TNIsPerNode+tni] is the time the TNI engine frees up.
-	tniFree []float64
+	par *des.ParallelEngine
+	// lpOfRank maps each rank to the LP owning its node (parallel only).
+	lpOfRank []int32
+	// state holds the round-scoped mutable maps, sharded one entry per LP
+	// (a single shard for the serial engine). Every key is only touched by
+	// events executing on the shard's LP.
+	state []lpState
+
+	// tniFree[node*TNIsPerNode+tni] is the time the TNI engine frees up;
 	// tniLastVCQ tracks the last VCQ served per TNI (unused slot = -1).
+	// Indexed by node, so under the parallel engine each slot is only
+	// touched by the LP owning that node.
+	tniFree    []float64
 	tniLastVCQ []int
+
+	// msgEvs/msgSet buffer one MessageEvent per transfer index during a
+	// round (only while Rec is enabled). Each slot has a single writer (the
+	// transfer's completion or failure event), and the buffered events are
+	// flushed to Rec in transfer order after the round — making trace
+	// output both thread-safe and independent of event interleaving.
+	msgEvs []trace.MessageEvent
+	msgSet []bool
+}
+
+// lpState is one LP's shard of the per-round mutable state.
+type lpState struct {
+	// queues holds the per (rank, thread) FIFO of not-yet-issued transfers.
+	queues map[threadKey][]queuedTransfer
 	// threadFree tracks per (rank, thread) CPU availability within a round.
 	threadFree map[threadKey]float64
 	// recvCtxFree tracks per (rank, thread) receive-context availability.
@@ -107,6 +140,13 @@ type Fabric struct {
 	// lastVCQByThread tracks the previous VCQ used by each thread to charge
 	// the VCQ-switch overhead.
 	lastVCQByThread map[threadKey]int
+}
+
+// queuedTransfer pairs a transfer with its index in the round's slice (the
+// index keys the deterministic trace slot).
+type queuedTransfer struct {
+	tr  *Transfer
+	idx int
 }
 
 type threadKey struct {
@@ -123,11 +163,16 @@ type fabricMetrics struct {
 	hops                  [2]*metrics.Histogram // per Interface
 	// Injected-fault counters (fault injection only; zero otherwise).
 	drops, nacks, faultStalls *metrics.Counter
+	// abandoned counts events a round left undrained (see RunRound); any
+	// nonzero value is a fabric bug surfaced instead of silently dropped.
+	abandoned *metrics.Counter
 }
 
 // SetMetrics enables (or, with a nil registry, disables) metric collection.
 // Metrics only observe the computed virtual times: timing outputs are
-// bit-identical with metrics on or off.
+// bit-identical with metrics on or off. All handles are safe for the
+// parallel engine's worker goroutines (counters are atomic, histograms
+// mutex-protected, and histogram contents are order-independent).
 func (f *Fabric) SetMetrics(reg *metrics.Registry) {
 	if !reg.Enabled() {
 		f.met = nil
@@ -148,25 +193,174 @@ func (f *Fabric) SetMetrics(reg *metrics.Registry) {
 	m.drops = reg.Counter("fabric_faults", "drops")
 	m.nacks = reg.Counter("fabric_faults", "nacks")
 	m.faultStalls = reg.Counter("fabric_faults", "stalls")
+	m.abandoned = reg.Counter("des_abandoned_events", "total")
 	f.met = m
 }
 
-// NewFabric builds a fabric over the rank map with the given parameters.
+// NewFabric builds a fabric over the rank map with the given parameters,
+// using the serial event engine; see SetParallel.
 func NewFabric(m *topo.RankMap, p Params) *Fabric {
 	nodes := m.Torus.Nodes()
 	f := &Fabric{
-		Params:          p,
-		Map:             m,
-		tniFree:         make([]float64, nodes*p.TNIsPerNode),
-		tniLastVCQ:      make([]int, nodes*p.TNIsPerNode),
-		threadFree:      make(map[threadKey]float64),
-		recvCtxFree:     make(map[threadKey]float64),
-		lastVCQByThread: make(map[threadKey]int),
+		Params:     p,
+		Map:        m,
+		tniFree:    make([]float64, nodes*p.TNIsPerNode),
+		tniLastVCQ: make([]int, nodes*p.TNIsPerNode),
 	}
 	for i := range f.tniLastVCQ {
 		f.tniLastVCQ[i] = -1
 	}
+	f.initShards(1)
 	return f
+}
+
+// initShards (re)builds the per-LP state shards.
+func (f *Fabric) initShards(n int) {
+	f.state = make([]lpState, n)
+	for i := range f.state {
+		f.state[i] = lpState{
+			queues:          make(map[threadKey][]queuedTransfer),
+			threadFree:      make(map[threadKey]float64),
+			recvCtxFree:     make(map[threadKey]float64),
+			lastVCQByThread: make(map[threadKey]int),
+		}
+	}
+}
+
+// SetParallel selects the event engine for subsequent rounds. lps <= 1
+// reverts to the serial engine. lps > 1 partitions the nodes into that many
+// contiguous blocks, one logical process each, executed by the conservative
+// parallel engine with lookahead equal to the minimum inter-node latency —
+// the soonest an event on one node can affect another. lps is clamped to
+// the node count (an LP without nodes would only slow the barrier down).
+func (f *Fabric) SetParallel(lps int) error {
+	if nodes := f.Map.Torus.Nodes(); lps > nodes {
+		lps = nodes
+	}
+	if lps <= 1 {
+		f.par = nil
+		f.lpOfRank = nil
+		f.initShards(1)
+		return nil
+	}
+	la := f.Params.Lookahead(f.Map.MinInterNodeHops())
+	if !(la > 0) {
+		return fmt.Errorf("tofu: cannot shard the fabric: non-positive lookahead %g", la)
+	}
+	par, err := des.NewParallel(lps, la)
+	if err != nil {
+		return err
+	}
+	nodes := f.Map.Torus.Nodes()
+	f.par = par
+	f.lpOfRank = make([]int32, f.Map.Ranks())
+	for r := range f.lpOfRank {
+		node, _ := f.Map.NodeOf(r)
+		f.lpOfRank[r] = int32(node * lps / nodes)
+	}
+	f.initShards(lps)
+	return nil
+}
+
+// Parallel returns the number of logical processes rounds run on (1 for
+// the serial engine).
+func (f *Fabric) Parallel() int {
+	if f.par == nil {
+		return 1
+	}
+	return f.par.LPs()
+}
+
+// procForRank returns the scheduling surface of the LP owning rank.
+func (f *Fabric) procForRank(rank int) des.Proc {
+	if f.par == nil {
+		return &f.eng
+	}
+	return f.par.LP(int(f.lpOfRank[rank]))
+}
+
+// shardForRank returns the state shard of the LP owning rank.
+func (f *Fabric) shardForRank(rank int) *lpState {
+	if f.par == nil {
+		return &f.state[0]
+	}
+	return &f.state[f.lpOfRank[rank]]
+}
+
+// mustSchedule wraps Proc.ScheduleAt: every time the fabric computes is
+// monotone by construction (costs are non-negative), so a past time is an
+// arithmetic bug that must not be masked by Schedule's clamping.
+func (f *Fabric) mustSchedule(c des.Proc, t float64, fn func()) {
+	if err := c.ScheduleAt(t, fn); err != nil {
+		panic("tofu: " + err.Error())
+	}
+}
+
+// sendAt schedules fn at time t on the LP owning rank, from the event
+// currently executing on c. Serial engine: a plain ScheduleAt. Parallel
+// engine: a cross-LP send, which the engine checks against its lookahead —
+// a violation means the fabric computed an inter-node delivery faster than
+// the minimum link latency, an arithmetic bug worth crashing on.
+func (f *Fabric) sendAt(c des.Proc, rank int, t float64, fn func()) {
+	if f.par == nil {
+		f.mustSchedule(c, t, fn)
+		return
+	}
+	src := c.(*des.LP)
+	if err := src.SendAt(f.par.LP(int(f.lpOfRank[rank])), t, fn); err != nil {
+		panic("tofu: " + err.Error())
+	}
+}
+
+func (f *Fabric) enginePending() int {
+	if f.par != nil {
+		return f.par.Pending()
+	}
+	return f.eng.Pending()
+}
+
+func (f *Fabric) engineReset() {
+	if f.par != nil {
+		f.par.Reset()
+		return
+	}
+	f.eng.Reset()
+}
+
+func (f *Fabric) engineRun(budget int) (float64, error) {
+	if f.par != nil {
+		return f.par.RunBudget(budget)
+	}
+	return f.eng.RunBudget(budget)
+}
+
+// countAbandoned records events stranded in the engine.
+func (f *Fabric) countAbandoned(n int) {
+	if n > 0 && f.met != nil {
+		f.met.abandoned.Add(int64(n))
+	}
+}
+
+// setTrace buffers the MessageEvent of transfer idx. Each slot is written
+// by exactly one event (the transfer's completion or its failure), so the
+// buffer needs no lock under the parallel engine.
+func (f *Fabric) setTrace(idx int, ev trace.MessageEvent) {
+	if f.msgEvs == nil {
+		return
+	}
+	f.msgEvs[idx] = ev
+	f.msgSet[idx] = true
+}
+
+// flushTrace emits the buffered events in transfer order and releases the
+// buffers.
+func (f *Fabric) flushTrace() {
+	for i := range f.msgEvs {
+		if f.msgSet[i] {
+			f.Rec.Message(f.msgEvs[i])
+		}
+	}
+	f.msgEvs, f.msgSet = nil, nil
 }
 
 // WireTime returns the bandwidth serialization time of a message.
@@ -191,38 +385,59 @@ func (f *Fabric) PutLatency(hops int, bytes units.Bytes) float64 {
 // respecting per-thread injection gaps, serialized on their TNI engines, and
 // routed across the torus. Timing outputs are written into the transfers.
 // Virtual time within the round starts at 0; ReadyAt values are relative to
-// the round start. The round is deterministic for a given transfer slice.
-func (f *Fabric) RunRound(transfers []*Transfer, iface Interface) {
+// the round start. The round is deterministic for a given transfer slice,
+// with either engine.
+//
+// RunRound returns an error when the event engine does not drain: events
+// stranded from a previous round (which Reset would silently discard — a
+// lost retransmit timer or in-flight put vanishing without trace), or a
+// round exceeding its event budget (a scheduling cycle). Both increment the
+// des_abandoned_events counter; the transfers' timing outputs are not
+// trustworthy after an error.
+func (f *Fabric) RunRound(transfers []*Transfer, iface Interface) error {
 	if len(transfers) == 0 {
-		return
+		return nil
 	}
 	p := &f.Params
-	f.eng.Reset()
+	if n := f.enginePending(); n != 0 {
+		f.countAbandoned(n)
+		return fmt.Errorf("tofu: %d events stranded from a previous round at round start (%d abandoned)", n, n)
+	}
+	f.engineReset()
 	for i := range f.tniFree {
 		f.tniFree[i] = 0
 		f.tniLastVCQ[i] = -1
 	}
-	clear(f.threadFree)
-	clear(f.recvCtxFree)
-	clear(f.lastVCQByThread)
+	for i := range f.state {
+		st := &f.state[i]
+		clear(st.queues)
+		clear(st.threadFree)
+		clear(st.recvCtxFree)
+		clear(st.lastVCQByThread)
+	}
 	// Each RunRound is one fault round: retransmission waves re-run the
 	// round and therefore draw from fresh (seed, round, link) streams.
 	f.Faults.BeginRound()
 
+	if f.Rec.Enabled() {
+		f.msgEvs = make([]trace.MessageEvent, len(transfers))
+		f.msgSet = make([]bool, len(transfers))
+	}
+
 	// Build per-thread FIFO queues preserving the caller's order, which is
 	// the order the comm plan issues messages.
-	queues := make(map[threadKey][]*Transfer)
 	var keys []threadKey
-	for _, tr := range transfers {
+	for i, tr := range transfers {
 		if tr.TNI < 0 || tr.TNI >= p.TNIsPerNode {
 			panic(fmt.Sprintf("tofu: transfer TNI %d out of range", tr.TNI))
 		}
 		tr.Dropped, tr.Nacked = false, false
 		k := threadKey{tr.Src, tr.Thread}
-		if _, ok := queues[k]; !ok {
+		st := f.shardForRank(tr.Src)
+		if _, ok := st.queues[k]; !ok {
 			keys = append(keys, k)
 		}
-		queues[k] = append(queues[k], tr)
+		st.queues[k] = append(st.queues[k], queuedTransfer{tr: tr, idx: i})
 	}
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].rank != keys[j].rank {
@@ -237,17 +452,20 @@ func (f *Fabric) RunRound(transfers []*Transfer, iface Interface) {
 
 	var issueNext func(k threadKey)
 	issueNext = func(k threadKey) {
-		q := queues[k]
+		st := f.shardForRank(k.rank)
+		q := st.queues[k]
 		if len(q) == 0 {
 			return
 		}
-		tr := q[0]
-		queues[k] = q[1:]
-		start := f.eng.Now()
+		item := q[0]
+		st.queues[k] = q[1:]
+		tr := item.tr
+		c := f.procForRank(k.rank)
+		start := c.Now()
 		if tr.ReadyAt > start {
 			// The thread idles until the message is packed.
-			f.schedule(tr.ReadyAt, func() {
-				queues[k] = append([]*Transfer{tr}, queues[k]...)
+			f.mustSchedule(c, tr.ReadyAt, func() {
+				st.queues[k] = append([]queuedTransfer{item}, st.queues[k]...)
 				issueNext(k)
 			})
 			return
@@ -259,45 +477,56 @@ func (f *Fabric) RunRound(transfers []*Transfer, iface Interface) {
 		if tr.TwoStep {
 			cost += gap // separate length message
 		}
-		if last, ok := f.lastVCQByThread[k]; ok && last != tr.VCQ {
+		if last, ok := st.lastVCQByThread[k]; ok && last != tr.VCQ {
 			cost += p.VCQSwitchOverhead
 		}
-		f.lastVCQByThread[k] = tr.VCQ
+		st.lastVCQByThread[k] = tr.VCQ
 		done := start + cost
 		tr.IssueDone = done
-		f.threadFree[k] = done
+		st.threadFree[k] = done
 		// Hand the command to the TNI engine at issue completion.
-		f.schedule(done, func() { f.transmit(tr, iface, recvOv, start) })
+		f.mustSchedule(c, done, func() { f.transmit(c, item, iface, recvOv, start) })
 		// The thread can issue its next message immediately after.
-		f.schedule(done, func() { issueNext(k) })
+		f.mustSchedule(c, done, func() { issueNext(k) })
 	}
 
 	for _, k := range keys {
 		k := k
-		f.schedule(0, func() { issueNext(k) })
+		f.mustSchedule(f.procForRank(k.rank), 0, func() { issueNext(k) })
 	}
-	f.eng.Run()
-}
-
-// schedule wraps des.Engine.ScheduleAt: every time the fabric computes is
-// monotone by construction (costs are non-negative), so a past time is an
-// arithmetic bug that must not be masked by Schedule's clamping.
-func (f *Fabric) schedule(t float64, fn func()) {
-	if err := f.eng.ScheduleAt(t, fn); err != nil {
-		panic("tofu: " + err.Error())
+	// Each transfer contributes a bounded number of events (seed, at most
+	// one ready-wait requeue, issue chain, transmit, receive completion), so
+	// this budget is never reached by a correct round; hitting it means a
+	// scheduling cycle and stops what would otherwise be a livelock.
+	budget := 8*len(transfers) + 8*len(keys) + 64
+	_, runErr := f.engineRun(budget)
+	f.flushTrace()
+	if runErr != nil {
+		n := f.enginePending()
+		f.countAbandoned(n)
+		return fmt.Errorf("tofu: round did not drain (%d events abandoned): %w", n, runErr)
 	}
+	if n := f.enginePending(); n != 0 {
+		f.countAbandoned(n)
+		return fmt.Errorf("tofu: %d events abandoned at end of round", n)
+	}
+	return nil
 }
 
 // transmit serializes the command on the source TNI engine and computes the
-// network arrival time. issueStart is when the issuing thread started on the
-// command (for stall attribution in the trace).
-func (f *Fabric) transmit(tr *Transfer, iface Interface, recvOv, issueStart float64) {
+// network arrival time. It executes on c, the LP owning the source rank;
+// everything it touches (TNI slots of the source node, the source shard) is
+// owned by that LP, and the receive completion is forwarded to the LP
+// owning the completion context's rank. issueStart is when the issuing
+// thread started on the command (for stall attribution in the trace).
+func (f *Fabric) transmit(c des.Proc, item queuedTransfer, iface Interface, recvOv, issueStart float64) {
 	p := &f.Params
+	tr := item.tr
 	srcNode, _ := f.Map.NodeOf(tr.Src)
 	dstNode, _ := f.Map.NodeOf(tr.Dst)
 	idx := srcNode*p.TNIsPerNode + tr.TNI
 
-	txStart := f.eng.Now()
+	txStart := c.Now()
 	if f.tniFree[idx] > txStart {
 		txStart = f.tniFree[idx]
 	}
@@ -402,7 +631,7 @@ func (f *Fabric) transmit(tr *Transfer, iface Interface, recvOv, issueStart floa
 			if tr.Nacked {
 				arrival = b + tr.Arrival
 			}
-			f.Rec.Message(trace.MessageEvent{
+			f.setTrace(item.idx, trace.MessageEvent{
 				Src: tr.Src, Dst: tr.Dst, SrcNode: srcNode,
 				TNI: tr.TNI, VCQ: tr.VCQ, Thread: tr.Thread, DstThread: tr.DstThread,
 				Bytes: tr.Bytes, Hops: hops, Iface: iface.String(),
@@ -424,25 +653,31 @@ func (f *Fabric) transmit(tr *Transfer, iface Interface, recvOv, issueStart floa
 	}
 	// The receiver's polling context handles completions one at a time.
 	// For a get, the payload returns to the issuer, whose own context
-	// harvests the TCQ completion.
-	f.schedule(tr.Arrival, func() {
-		ctx := threadKey{tr.Dst, tr.DstThread}
-		if tr.IsGet {
-			ctx = threadKey{tr.Src, tr.Thread}
-		}
-		start := f.eng.Now()
-		if free := f.recvCtxFree[ctx]; free > start {
+	// harvests the TCQ completion. The completion event belongs to (and
+	// executes on) the LP owning the context's rank; for gets and
+	// intra-node puts that is the source's own LP, and the only truly
+	// cross-LP hop — an inter-node arrival — is at least one link latency
+	// (= the engine's lookahead) away.
+	ctx := threadKey{tr.Dst, tr.DstThread}
+	if tr.IsGet {
+		ctx = threadKey{tr.Src, tr.Thread}
+	}
+	rp := f.procForRank(ctx.rank)
+	st := f.shardForRank(ctx.rank)
+	f.sendAt(c, ctx.rank, tr.Arrival, func() {
+		start := rp.Now()
+		if free := st.recvCtxFree[ctx]; free > start {
 			start = free
 		}
 		tr.RecvComplete = start + cost
-		f.recvCtxFree[ctx] = tr.RecvComplete
+		st.recvCtxFree[ctx] = tr.RecvComplete
 		if f.Rec.Enabled() {
 			hops := 0
 			if srcNode != dstNode {
 				hops = f.Map.Hops(tr.Src, tr.Dst)
 			}
 			b := f.RecBase
-			f.Rec.Message(trace.MessageEvent{
+			f.setTrace(item.idx, trace.MessageEvent{
 				Src: tr.Src, Dst: tr.Dst, SrcNode: srcNode,
 				TNI: tr.TNI, VCQ: tr.VCQ, Thread: tr.Thread, DstThread: tr.DstThread,
 				Bytes: tr.Bytes, Hops: hops, Iface: iface.String(),

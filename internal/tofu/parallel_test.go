@@ -1,0 +1,149 @@
+package tofu
+
+import (
+	"reflect"
+	"testing"
+
+	"tofumd/internal/metrics"
+	"tofumd/internal/trace"
+	"tofumd/internal/vec"
+)
+
+// mixedRound builds a round exercising every cost path: inter-node puts in
+// both directions, intra-node puts, gets, MPI two-step sends, multiple
+// threads/TNIs/VCQs and staggered ReadyAt times.
+func mixedRound(f *Fabric) []*Transfer {
+	var out []*Transfer
+	for r := 0; r < f.Map.Ranks(); r++ {
+		xp := f.Map.NeighborRank(r, vec.I3{X: 2})
+		xm := f.Map.NeighborRank(r, vec.I3{X: -2})
+		yp := f.Map.NeighborRank(r, vec.I3{Y: 2})
+		in := f.Map.NeighborRank(r, vec.I3{X: 1}) // same node (2x2x1 block)
+		out = append(out,
+			&Transfer{Src: r, Dst: xp, TNI: r % 6, VCQ: r << 3, Thread: 0, Bytes: 64},
+			&Transfer{Src: r, Dst: xm, TNI: (r + 1) % 6, VCQ: r<<3 | 1, Thread: 1, Bytes: 700},
+			&Transfer{Src: r, Dst: yp, TNI: (r + 2) % 6, VCQ: r<<3 | 2, Thread: 2, Bytes: 128, IsGet: true},
+			&Transfer{Src: r, Dst: in, TNI: (r + 3) % 6, VCQ: r<<3 | 3, Thread: 0, Bytes: 32, ReadyAt: 0.1e-6},
+		)
+	}
+	return out
+}
+
+// TestParallelRoundBitIdentical is the fabric-level golden check of the
+// conservative engine: the same round on the serial engine and on several
+// LP counts must produce bit-identical per-transfer timings and the same
+// trace, for both uTofu and MPI interfaces.
+func TestParallelRoundBitIdentical(t *testing.T) {
+	for _, iface := range []Interface{IfaceUTofu, IfaceMPI} {
+		ref := testFabric(t, vec.I3{X: 4, Y: 4, Z: 4})
+		ref.Rec = trace.NewRecorder()
+		refTrs := mixedRound(ref)
+		if iface == IfaceMPI {
+			for _, tr := range refTrs {
+				tr.TwoStep = tr.Bytes > 256
+			}
+		}
+		if err := ref.RunRound(refTrs, iface); err != nil {
+			t.Fatalf("serial round (iface %v): %v", iface, err)
+		}
+		for _, lps := range []int{2, 4, 8} {
+			f := testFabric(t, vec.I3{X: 4, Y: 4, Z: 4})
+			if err := f.SetParallel(lps); err != nil {
+				t.Fatalf("SetParallel(%d): %v", lps, err)
+			}
+			if got := f.Parallel(); got != lps {
+				t.Fatalf("Parallel() = %d, want %d", got, lps)
+			}
+			f.Rec = trace.NewRecorder()
+			trs := mixedRound(f)
+			if iface == IfaceMPI {
+				for _, tr := range trs {
+					tr.TwoStep = tr.Bytes > 256
+				}
+			}
+			if err := f.RunRound(trs, iface); err != nil {
+				t.Fatalf("parallel round (%d LPs, iface %v): %v", lps, iface, err)
+			}
+			for i := range refTrs {
+				a, b := refTrs[i], trs[i]
+				if a.IssueDone != b.IssueDone || a.Arrival != b.Arrival || a.RecvComplete != b.RecvComplete {
+					t.Fatalf("%d LPs iface %v: transfer %d timings differ: serial (%v,%v,%v) parallel (%v,%v,%v)",
+						lps, iface, i, a.IssueDone, a.Arrival, a.RecvComplete, b.IssueDone, b.Arrival, b.RecvComplete)
+				}
+			}
+			if !reflect.DeepEqual(ref.Rec.Messages(), f.Rec.Messages()) {
+				t.Fatalf("%d LPs iface %v: trace message events differ from serial", lps, iface)
+			}
+		}
+	}
+}
+
+// TestParallelRoundRepeatsDeterministic reruns the same parallel round and
+// demands identical results: goroutine interleaving must not leak into the
+// model.
+func TestParallelRoundRepeatsDeterministic(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 4, Y: 4, Z: 4})
+	if err := f.SetParallel(4); err != nil {
+		t.Fatal(err)
+	}
+	a := mixedRound(f)
+	if err := f.RunRound(a, IfaceUTofu); err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		b := mixedRound(f)
+		if err := f.RunRound(b, IfaceUTofu); err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i].Arrival != b[i].Arrival || a[i].IssueDone != b[i].IssueDone || a[i].RecvComplete != b[i].RecvComplete {
+				t.Fatalf("rep %d: transfer %d differs between identical parallel rounds", rep, i)
+			}
+		}
+	}
+}
+
+// TestParallelRoundDrains asserts the drain invariant the abandoned-events
+// sweep introduced: a normal round leaves nothing on the engine and the
+// des_abandoned_events counter stays zero.
+func TestParallelRoundDrains(t *testing.T) {
+	for _, lps := range []int{1, 4} {
+		f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2})
+		reg := metrics.New()
+		f.SetMetrics(reg)
+		if err := f.SetParallel(lps); err != nil {
+			t.Fatal(err)
+		}
+		trs := mixedRound(f)
+		if err := f.RunRound(trs, IfaceUTofu); err != nil {
+			t.Fatalf("%d LPs: %v", lps, err)
+		}
+		if got := reg.Counter("des_abandoned_events", "total").Value(); got != 0 {
+			t.Fatalf("%d LPs: des_abandoned_events = %v, want 0", lps, got)
+		}
+	}
+}
+
+// TestSetParallelClampsAndValidates covers the configuration surface: LP
+// counts are clamped to the node count, and 1 falls back to the serial
+// engine.
+func TestSetParallelClampsAndValidates(t *testing.T) {
+	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2}) // 8 nodes
+	if err := f.SetParallel(64); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Parallel(); got != 8 {
+		t.Fatalf("Parallel() after SetParallel(64) on 8 nodes = %d, want 8", got)
+	}
+	if err := f.SetParallel(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Parallel(); got != 1 {
+		t.Fatalf("Parallel() after SetParallel(1) = %d, want 1", got)
+	}
+	// A serial-mode round still works after switching back.
+	trs := mixedRound(f)
+	if err := f.RunRound(trs, IfaceUTofu); err != nil {
+		t.Fatal(err)
+	}
+}

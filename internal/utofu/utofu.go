@@ -338,7 +338,9 @@ func (s *System) ExecuteGetRound(gets []*Get) error {
 		for j, i := range pending {
 			batch[j] = transfers[i]
 		}
-		s.Fab.RunRound(batch, tofu.IfaceUTofu)
+		if err := s.Fab.RunRound(batch, tofu.IfaceUTofu); err != nil {
+			return fmt.Errorf("utofu: get round: %w", err)
+		}
 		kind := "utofu-get"
 		if wave > 0 {
 			kind = "utofu-retransmit"
@@ -449,7 +451,9 @@ func (s *System) ExecuteRound(puts []*Put) error {
 		for j, i := range pending {
 			batch[j] = transfers[i]
 		}
-		s.Fab.RunRound(batch, tofu.IfaceUTofu)
+		if err := s.Fab.RunRound(batch, tofu.IfaceUTofu); err != nil {
+			return fmt.Errorf("utofu: put round: %w", err)
+		}
 		kind := "utofu-put"
 		if wave > 0 {
 			kind = "utofu-retransmit"

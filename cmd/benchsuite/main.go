@@ -15,7 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"strings"
@@ -24,6 +23,7 @@ import (
 	"tofumd/internal/bench"
 	"tofumd/internal/faultinject"
 	"tofumd/internal/metrics"
+	"tofumd/internal/obs"
 	"tofumd/internal/trace"
 )
 
@@ -46,25 +46,48 @@ func main() {
 		metFile   = flag.String("metrics", "", "dump the metrics registry to this file at exit (.json for JSON, text otherwise)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for long -full runs")
 		faultsStr = flag.String("faults", "", `fault injection spec for the raw-fabric experiments, e.g. "drop=0.01,seed=7"`)
-		par       = flag.Int("par", 0, "logical processes for the pdes engine-speedup experiment (0 = default)")
+		par        = flag.Int("par", 0, "logical processes for the pdes engine-speedup experiment (0 = default)")
+		statusAddr = flag.String("status", "", "serve a live JSON run-status endpoint on this address (GET /status; reports the experiment in flight)")
+		explain    = flag.Bool("explain", false, "append the scaling-diagnosis report (per-LP profile + critical path) to the pdes experiment")
 	)
 	flag.Parse()
 	faults, err := faultinject.ParseSpec(*faultsStr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := bench.Options{Full: *full, Steps: *steps, Faults: faults, Par: *par}
+	opt := bench.Options{Full: *full, Steps: *steps, Faults: faults, Par: *par, Explain: *explain}
 	if *traceFile != "" {
 		opt.Rec = trace.NewRecorder()
 	}
-	if *metFile != "" {
+	if *metFile != "" || *statusAddr != "" {
 		opt.Met = metrics.New()
 	}
 	if *pprofAddr != "" {
+		// Bind first so a bad address fails the run instead of a background
+		// goroutine logging after we already claimed the endpoint is up.
+		ln, addr, err := obs.Listen(*pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof: %v", err)
+		}
+		log.Printf("pprof listening on http://%s/debug/pprof/", addr)
 		go func() {
-			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := obs.Serve(ln, nil); err != nil {
 				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+	var status *obs.StatusServer
+	if *statusAddr != "" {
+		status = obs.NewStatus("benchsuite")
+		status.SetMetrics(opt.Met)
+		ln, addr, err := obs.Listen(*statusAddr)
+		if err != nil {
+			log.Fatalf("status: %v", err)
+		}
+		log.Printf("status listening on http://%s/status", addr)
+		go func() {
+			if err := obs.Serve(ln, status.Handler()); err != nil {
+				log.Printf("status server: %v", err)
 			}
 		}()
 	}
@@ -88,10 +111,18 @@ func main() {
 		log.Fatalf("no experiments requested")
 	}
 	all := want["all"]
+	if all {
+		status.SetSteps(len(experimentOrder))
+	} else {
+		status.SetSteps(len(want))
+	}
+	done := 0
 	run := func(name string, fn func() (string, *bench.Artifact, error)) {
 		if !all && !want[name] {
 			return
 		}
+		status.SetRun("benchsuite/" + name)
+		status.Observe(done, nil, nil)
 		start := time.Now()
 		out, art, err := fn()
 		if err != nil {
@@ -104,6 +135,8 @@ func main() {
 				log.Fatalf("%s: writing artifact: %v", name, err)
 			}
 		}
+		done++
+		status.Observe(done, nil, nil)
 	}
 
 	run("table1", func() (string, *bench.Artifact, error) {
@@ -185,10 +218,11 @@ func main() {
 		fmt.Printf("Trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n\n", *traceFile)
 		fmt.Print(opt.Rec.Summarize().Format())
 	}
-	if opt.Met != nil {
+	if opt.Met != nil && *metFile != "" {
 		if err := opt.Met.WriteFile(*metFile); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("Metrics written to %s\n", *metFile)
 	}
+	status.Finish()
 }

@@ -11,17 +11,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"strings"
 
 	"tofumd/internal/core"
+	"tofumd/internal/des"
 	"tofumd/internal/faultinject"
 	"tofumd/internal/md/dump"
 	"tofumd/internal/md/restart"
 	"tofumd/internal/md/sim"
 	"tofumd/internal/metrics"
+	"tofumd/internal/obs"
 	"tofumd/internal/script"
 	"tofumd/internal/trace"
 	"tofumd/internal/units"
@@ -49,7 +50,9 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 0, "write a checkpoint every N steps (0 = off)")
 		ckptFile  = flag.String("checkpoint", "tofumd.restart", "checkpoint file written by -checkpoint-every")
 		restartIn = flag.String("restart", "", "resume from a checkpoint file written by -checkpoint-every")
-		par       = flag.Int("par", 1, "logical processes for the parallel event engine (1 = serial; results are bit-identical)")
+		par       = flag.Int("par", 1, "logical processes for the parallel event engine (0 = plain serial; N >= 1 runs the parallel engine, results bit-identical)")
+		statusAddr = flag.String("status", "", "serve a live JSON run-status endpoint on this address (e.g. localhost:8080, port 0 picks one; GET /status)")
+		explain    = flag.Bool("explain", false, "print the scaling-diagnosis report (per-LP engine profile + critical path) after the run")
 	)
 	flag.Parse()
 
@@ -59,18 +62,41 @@ func main() {
 	}
 
 	var rec *trace.Recorder
-	if *traceFile != "" {
+	if *traceFile != "" || *explain {
+		// -explain needs the message trace for the critical path even when no
+		// trace file is written.
 		rec = trace.NewRecorder()
 	}
 	var met *metrics.Registry
-	if *metFile != "" {
+	if *metFile != "" || *statusAddr != "" {
 		met = metrics.New()
 	}
 	if *pprofAddr != "" {
+		// Bind first so a bad address fails the run instead of a background
+		// goroutine logging after we already claimed the endpoint is up.
+		ln, addr, err := obs.Listen(*pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof: %v", err)
+		}
+		log.Printf("pprof listening on http://%s/debug/pprof/", addr)
 		go func() {
-			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := obs.Serve(ln, nil); err != nil {
 				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+	var status *obs.StatusServer
+	if *statusAddr != "" {
+		status = obs.NewStatus("mdsim")
+		status.SetMetrics(met)
+		ln, addr, err := obs.Listen(*statusAddr)
+		if err != nil {
+			log.Fatalf("status: %v", err)
+		}
+		log.Printf("status listening on http://%s/status", addr)
+		go func() {
+			if err := obs.Serve(ln, status.Handler()); err != nil {
+				log.Printf("status server: %v", err)
 			}
 		}()
 	}
@@ -82,7 +108,7 @@ func main() {
 		if *restartIn != "" || *ckptEvery > 0 {
 			log.Fatal("-restart and -checkpoint-every apply to the flag-driven path, not -in decks")
 		}
-		runDeck(*inFile, shape, *variant, faults, rec, met)
+		runDeck(*inFile, shape, *variant, faults, rec, met, *par, status, *explain)
 		writeTrace(*traceFile, rec)
 		finishMetrics(*metFile, met)
 		return
@@ -116,7 +142,9 @@ func main() {
 		Metrics:     met,
 		Faults:      faults,
 		ParallelLPs: *par,
+		Profile:     *explain || status.Enabled(),
 	}
+	status.SetSteps(*steps)
 	if *dumpFile != "" {
 		f, err := os.Create(*dumpFile)
 		if err != nil {
@@ -166,10 +194,28 @@ func main() {
 			}
 		}
 	}
+	// The diagnosis layer observes at step boundaries: it pushes status
+	// snapshots, captures the engine profile for -explain, and samples the
+	// per-LP Chrome counter tracks into the trace.
+	var lastStats *des.ParallelStats
+	if status.Enabled() || *explain || (rec != nil && *par > 0) {
+		prev := spec.Observer
+		spec.Observer = func(s *sim.Simulation, step int) {
+			if prev != nil {
+				prev(s, step)
+			}
+			if st, ok := s.ParallelStats(); ok {
+				lastStats = &st
+				obs.SampleLPCounters(rec, st, s.Now())
+			}
+			status.Observe(step, lastStats, s.Health())
+		}
+	}
 	res, err := core.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
+	status.Finish()
 
 	fmt.Printf("tofumd (%s potential, %s variant) on %d nodes / %d ranks\n",
 		kind, v.Name, shape.Prod(), res.Ranks)
@@ -188,6 +234,10 @@ func main() {
 		unit = "us/day"
 	}
 	fmt.Printf("Performance: %.6g %s (virtual wall clock %.6f s)\n", res.PerfPerDay, unit, res.Elapsed)
+	if *explain {
+		fmt.Println("\nScaling diagnosis:")
+		fmt.Print(obs.Explain(lastStats, rec, 10))
+	}
 	writeTrace(*traceFile, rec)
 	finishMetrics(*metFile, met)
 	os.Exit(0)
@@ -214,10 +264,11 @@ func writeCheckpoint(path string, s *sim.Simulation, step int) error {
 }
 
 // finishMetrics prints the top-5 metric families as an exit summary and
-// dumps the full registry to path; a nil registry (no -metrics flag) is a
+// dumps the full registry to path; a nil registry or empty path (no
+// -metrics flag; -status feeds the registry to the endpoint instead) is a
 // no-op.
 func finishMetrics(path string, met *metrics.Registry) {
-	if met == nil {
+	if met == nil || path == "" {
 		return
 	}
 	fmt.Println("\nTop metrics families:")
@@ -239,9 +290,10 @@ func finishMetrics(path string, met *metrics.Registry) {
 }
 
 // writeTrace emits the recorded events as Chrome trace JSON plus the
-// per-rank/per-TNI summary; a nil recorder (no -trace flag) is a no-op.
+// per-rank/per-TNI summary; a nil recorder or empty path (no -trace flag;
+// -explain records without writing) is a no-op.
 func writeTrace(path string, rec *trace.Recorder) {
-	if rec == nil {
+	if rec == nil || path == "" {
 		return
 	}
 	f, err := os.Create(path)
@@ -259,7 +311,8 @@ func writeTrace(path string, rec *trace.Recorder) {
 }
 
 // runDeck executes a parsed LAMMPS-style input file on the machine.
-func runDeck(path string, shape vec.I3, variantName string, faults faultinject.Spec, rec *trace.Recorder, met *metrics.Registry) {
+func runDeck(path string, shape vec.I3, variantName string, faults faultinject.Spec,
+	rec *trace.Recorder, met *metrics.Registry, par int, status *obs.StatusServer, explain bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -295,7 +348,27 @@ func runDeck(path string, shape vec.I3, variantName string, faults faultinject.S
 	if faults.Enabled() {
 		s.SetFaults(faultinject.New(faults))
 	}
-	s.Run(steps)
+	if par > 0 {
+		if err := s.SetParallel(par); err != nil {
+			log.Fatal(err)
+		}
+	}
+	s.SetProfiling(explain || status.Enabled())
+	status.SetSteps(steps)
+	var lastStats *des.ParallelStats
+	if status.Enabled() || explain || (rec != nil && par > 0) {
+		for i := 1; i <= steps; i++ {
+			s.Step()
+			if st, ok := s.ParallelStats(); ok {
+				lastStats = &st
+				obs.SampleLPCounters(rec, st, s.Now())
+			}
+			status.Observe(i, lastStats, s.Health())
+		}
+		status.Finish()
+	} else {
+		s.Run(steps)
+	}
 
 	kind := core.LJ
 	unit := "tau/day"
@@ -319,6 +392,10 @@ func runDeck(path string, shape vec.I3, variantName string, faults faultinject.S
 	elapsed := s.ElapsedMax()
 	fmt.Printf("Performance: %.6g %s (virtual wall clock %.6f s)\n",
 		core.PerfPerDay(kind, steps, cfg.Dt, elapsed), unit, elapsed)
+	if explain {
+		fmt.Println("\nScaling diagnosis:")
+		fmt.Print(obs.Explain(lastStats, rec, 10))
+	}
 }
 
 func parseShape(s string) (vec.I3, error) {

@@ -8,11 +8,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	_ "net/http/pprof"
 	"os"
 
 	"tofumd/internal/bench"
 	"tofumd/internal/faultinject"
 	"tofumd/internal/metrics"
+	"tofumd/internal/obs"
 	"tofumd/internal/trace"
 )
 
@@ -23,10 +25,25 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of the fabric rounds to this file")
 	metFile := flag.String("metrics", "", "dump the metrics registry to this file at exit (.json for JSON, text otherwise)")
 	faultsStr := flag.String("faults", "", `fault injection spec for the fabric rounds, e.g. "drop=0.01,seed=7"`)
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	faults, err := faultinject.ParseSpec(*faultsStr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *pprofAddr != "" {
+		// Bind first so a bad address fails the run instead of a background
+		// goroutine logging after we already claimed the endpoint is up.
+		ln, addr, err := obs.Listen(*pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof: %v", err)
+		}
+		log.Printf("pprof listening on http://%s/debug/pprof/", addr)
+		go func() {
+			if err := obs.Serve(ln, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 	opt := bench.Options{Full: *full, Faults: faults}
 	if *traceFile != "" {

@@ -14,6 +14,7 @@ var mapiterScope = []string{
 	"tofumd/internal/metrics",
 	"tofumd/internal/trace",
 	"tofumd/internal/bench",
+	"tofumd/internal/obs",
 }
 
 // MapIter flags ranging over a map in the exporter packages unless the

@@ -17,6 +17,7 @@ var nilsafeTargets = map[string][]string{
 	"tofumd/internal/metrics": {"Registry", "Counter", "Gauge", "Histogram"},
 	"tofumd/internal/trace":   {"Recorder"},
 	"tofumd/internal/health":  {"Tracker"},
+	"tofumd/internal/obs":     {"StatusServer"},
 }
 
 // NilSafe requires every exported pointer-receiver method on the nil-safe

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"tofumd/internal/md/sim"
+	"tofumd/internal/obs"
 	"tofumd/internal/tofu"
+	"tofumd/internal/trace"
 	"tofumd/internal/vec"
 )
 
@@ -35,8 +37,19 @@ type PdesResult struct {
 	// engines by the determinism contract.
 	VirtualTime float64
 	// Identical reports whether every per-transfer timing (IssueDone,
-	// Arrival, RecvComplete) matched bit-for-bit between the engines.
+	// Arrival, RecvComplete) matched bit-for-bit between the engines —
+	// including the extra profiled round, which must not perturb results.
 	Identical bool
+
+	// The scaling-diagnosis series, measured on one extra profiled round.
+	// ImbalanceMax is max/mean events across LPs (1 = perfectly balanced);
+	// BarrierWaitFrac the fraction of the LPs' aggregate wall time spent in
+	// the epoch barrier; CritPathFrac the critical path's share of total
+	// virtual work (the Amdahl-style serial fraction of the round).
+	ImbalanceMax, BarrierWaitFrac, CritPathFrac float64
+	// ExplainReport carries the rendered per-LP profile and critical path
+	// when Options.Explain is set.
+	ExplainReport string
 }
 
 // pdesLPs is the default logical-process count when Options.Par is unset.
@@ -128,9 +141,44 @@ func Pdes(opt Options) (PdesResult, error) {
 		lps = res.Nodes
 	}
 	res.LPs = lps
+
+	// One extra round with profiling on: per-LP counters, barrier-wait wall
+	// timing and the message trace for the critical path. Untimed against
+	// the headline series, and held to the same bit-identity contract —
+	// profiling must never change virtual results.
+	fab := tofu.NewFabric(m.Map, m.Params)
+	if err := fab.SetParallel(lps); err != nil {
+		return PdesResult{}, fmt.Errorf("profiled round: %w", err)
+	}
+	fab.SetProfiling(true)
+	rec := trace.NewRecorder()
+	fab.Rec = rec
+	profRef := pdesTransfers(m, bytes)
+	profStart := time.Now() //tofuvet:allow wallclock barrier-wait fraction relates profiled waits to the round's own wall time
+	if err := fab.RunRound(profRef, tofu.IfaceUTofu); err != nil {
+		return PdesResult{}, fmt.Errorf("profiled round: %w", err)
+	}
+	profWall := time.Since(profStart).Seconds() //tofuvet:allow wallclock barrier-wait fraction relates profiled waits to the round's own wall time
+	st, ok := fab.ParallelStats()
+	if !ok {
+		return PdesResult{}, fmt.Errorf("profiled round: no parallel stats after SetParallel(%d)", lps)
+	}
+	res.ImbalanceMax = st.ImbalanceMax()
+	if profWall > 0 && len(st.LPs) > 0 {
+		res.BarrierWaitFrac = st.TotalBarrierWait() / (float64(len(st.LPs)) * profWall)
+	}
+	cp := obs.Analyze(rec.Messages())
+	res.CritPathFrac = cp.PathFrac
+	if opt.Explain {
+		res.ExplainReport = obs.Explain(&st, rec, 10)
+	}
+
 	for i := range serialRef {
-		s, p := serialRef[i], parRef[i]
+		s, p, pr := serialRef[i], parRef[i], profRef[i]
 		if s.IssueDone != p.IssueDone || s.Arrival != p.Arrival || s.RecvComplete != p.RecvComplete {
+			res.Identical = false
+		}
+		if s.IssueDone != pr.IssueDone || s.Arrival != pr.Arrival || s.RecvComplete != pr.RecvComplete {
 			res.Identical = false
 		}
 		if s.Arrival > res.VirtualTime {
@@ -158,8 +206,13 @@ func (p PdesResult) Format() string {
 		ident = "NO"
 	}
 	s += fmt.Sprintf("virtual time: %.2f us   bit-identical results: %s\n", 1e6*p.VirtualTime, ident)
+	s += fmt.Sprintf("lp imbalance (max/mean events): %.3f   barrier-wait frac: %.3f   critical-path frac: %.4f\n",
+		p.ImbalanceMax, p.BarrierWaitFrac, p.CritPathFrac)
 	if p.Speedup < 1 && p.HostCPUs < 2 {
 		s += "(single-CPU host: the epoch barrier can only cost; expect speedup >= 1 with 2+ CPUs)\n"
+	}
+	if p.ExplainReport != "" {
+		s += "\n" + p.ExplainReport
 	}
 	return s
 }
@@ -181,5 +234,12 @@ func (p PdesResult) Artifact(opt Options) *Artifact {
 		identical = 1
 	}
 	a.Add("identical", "bool", identical, DirEqual)
+	// Scaling-diagnosis series. Imbalance and critical-path fraction are
+	// deterministic functions of the virtual round; the barrier-wait
+	// fraction tracks the host (like the wall times) but is gated lower-is-
+	// better so a scheduling regression in the engine shows up.
+	a.Add("lp_imbalance_max", "x", p.ImbalanceMax, DirLower)
+	a.Add("barrier_wait_frac", "frac", p.BarrierWaitFrac, DirLower)
+	a.Add("critical_path_frac", "frac", p.CritPathFrac, DirLower)
 	return a
 }

@@ -171,10 +171,14 @@ type RunSpec struct {
 	// Restart, when non-nil, resumes the run from a checkpoint snapshot;
 	// its box must match the one the workload derives.
 	Restart *restart.Snapshot
-	// ParallelLPs > 1 runs the fabric's communication rounds on the
+	// ParallelLPs > 0 runs the fabric's communication rounds on the
 	// conservative parallel event engine with that many logical processes
-	// (the -par flag). Results are bit-identical to the serial engine.
+	// (the -par flag); 1 is a degenerate one-LP engine that still produces
+	// per-LP stats. Results are bit-identical to the serial engine.
 	ParallelLPs int
+	// Profile enables the parallel engine's barrier-wait wall timing (the
+	// event/epoch counters are always on). Never changes virtual results.
+	Profile bool
 }
 
 // RunResult is the outcome of a run.
@@ -249,11 +253,12 @@ func Run(spec RunSpec) (*RunResult, error) {
 	if spec.Faults.Enabled() {
 		s.SetFaults(faultinject.New(spec.Faults))
 	}
-	if spec.ParallelLPs > 1 {
+	if spec.ParallelLPs > 0 {
 		if err := s.SetParallel(spec.ParallelLPs); err != nil {
 			return nil, err
 		}
 	}
+	s.SetProfiling(spec.Profile)
 	if spec.Observer == nil {
 		s.Run(steps)
 	} else {

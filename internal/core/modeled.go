@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"tofumd/internal/des"
 	"tofumd/internal/machine"
 	"tofumd/internal/md/comm"
 	"tofumd/internal/md/domain"
@@ -41,10 +42,39 @@ type ModelSpec struct {
 	// Met, when non-nil, aggregates fabric counters/histograms of the
 	// modeled rounds.
 	Met *metrics.Registry
-	// LPs > 1 runs the fabric rounds on the conservative parallel event
+	// LPs > 0 runs the fabric rounds on the conservative parallel event
 	// engine with that many logical processes; results are bit-identical
-	// to the serial engine.
+	// to the serial engine (LPs == 1 is a degenerate one-LP engine, useful
+	// because it still produces ParallelStats).
 	LPs int
+	// Profile enables the engine's barrier-wait wall timing (the event and
+	// epoch counters are always on). Never changes virtual results.
+	Profile bool
+	// Stats, when non-nil and LPs > 0, receives the engine's cumulative
+	// per-LP profile after the run.
+	Stats *des.ParallelStats
+}
+
+// setupParallel applies the spec's engine settings to a fresh fabric.
+func (spec ModelSpec) setupParallel(fab *tofu.Fabric) error {
+	if spec.LPs <= 0 {
+		return nil
+	}
+	if err := fab.SetParallel(spec.LPs); err != nil {
+		return err
+	}
+	fab.SetProfiling(spec.Profile)
+	return nil
+}
+
+// captureStats copies the fabric's engine profile into spec.Stats.
+func (spec ModelSpec) captureStats(fab *tofu.Fabric) {
+	if spec.Stats == nil {
+		return
+	}
+	if st, ok := fab.ParallelStats(); ok {
+		*spec.Stats = st
+	}
 }
 
 // kindParams bundles the geometry constants of a benchmark kind.
@@ -113,10 +143,8 @@ func Modeled(spec ModelSpec) (*RunResult, error) {
 	fab := tofu.NewFabric(m.Map, m.Params)
 	fab.Rec = spec.Rec
 	fab.SetMetrics(spec.Met)
-	if spec.LPs > 1 {
-		if err := fab.SetParallel(spec.LPs); err != nil {
-			return nil, err
-		}
+	if err := spec.setupParallel(fab); err != nil {
+		return nil, err
 	}
 	cost := m.Cost
 	th := spec.Variant.ComputeThreading
@@ -189,6 +217,7 @@ func Modeled(spec ModelSpec) (*RunResult, error) {
 	bd.Add(trace.Other, checkCost*float64(checks)+cost.ThermoTime(int(n))+
 		cost.OtherPerStep*float64(steps))
 
+	spec.captureStats(fab)
 	elapsed := bd.Total()
 	wl := Workload{
 		Name:      fmt.Sprintf("%s-modeled", spec.Kind),
@@ -224,10 +253,8 @@ func HaloTime(spec ModelSpec) (float64, error) {
 	fab := tofu.NewFabric(m.Map, m.Params)
 	fab.Rec = spec.Rec
 	fab.SetMetrics(spec.Met)
-	if spec.LPs > 1 {
-		if err := fab.SetParallel(spec.LPs); err != nil {
-			return 0, err
-		}
+	if err := spec.setupParallel(fab); err != nil {
+		return 0, err
 	}
 	cost := m.Cost
 	cost.PackPerByte = 0
@@ -246,6 +273,7 @@ func HaloTime(spec ModelSpec) (float64, error) {
 	}
 	fwd := modelRounds(fab, m, spec.Variant, links, 24, false, false, 0, cost, packTh)
 	rev := modelRounds(fab, m, spec.Variant, links, 24, true, false, 0, cost, packTh)
+	spec.captureStats(fab)
 	return fwd + rev, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file implements the conservative parallel DES. The event loop is
@@ -111,6 +112,15 @@ type ParallelEngine struct {
 	horizon   float64
 	done      bool
 	budgetErr *BudgetError
+
+	// profile gates barrier-wait wall-clock timing (SetProfiling); set from
+	// the driving goroutine before a run. The cheap counters below are
+	// always on — see stats.go.
+	profile bool
+	// epochs counts published horizons; laLimited the subset in which some
+	// LP's earliest pending event already lay at or beyond the horizon.
+	// Written by the lead LP, atomics so Stats can read them mid-run.
+	epochs, laLimited atomic.Int64
 }
 
 // LP is one logical process: a shard of the event loop with its own clock,
@@ -129,6 +139,8 @@ type LP struct {
 	out [][]event
 	// ran counts events executed during the current Run, for the budget.
 	ran int
+	// prof is the cumulative profile (see stats.go); survives Reset.
+	prof lpProf
 }
 
 // Proc is the scheduling surface an event callback sees: a local clock and
@@ -184,7 +196,9 @@ func (p *ParallelEngine) Pending() int {
 }
 
 // Reset clears every LP's queue and outboxes and rewinds every clock to 0,
-// retaining (zeroed) backing arrays for reuse.
+// retaining (zeroed) backing arrays for reuse. The profiling counters are
+// left alone so they accumulate across the rounds of one run; see
+// ResetStats.
 func (p *ParallelEngine) Reset() {
 	for _, l := range p.lps {
 		l.now = 0
@@ -240,18 +254,24 @@ func (p *ParallelEngine) RunBudget(budget int) (float64, error) {
 	return final, nil
 }
 
-// runSerial is the single-LP degenerate case: no goroutines, no barriers.
+// runSerial is the single-LP degenerate case: no goroutines, no barriers
+// (and hence no epochs in the profile — only event/send counts advance).
 func (p *ParallelEngine) runSerial(budget int) {
 	l := p.lps[0]
+	n := 0
 	for len(l.pq) > 0 {
 		if budget > 0 && l.ran >= budget {
 			p.budgetErr = &BudgetError{Budget: budget, Now: l.now, NextAt: l.pq[0].time, Pending: len(l.pq)}
-			return
+			break
 		}
 		ev := l.pq.pop()
 		l.now = ev.time
 		ev.fn()
 		l.ran++
+		n++
+	}
+	if n > 0 {
+		l.prof.events.Add(int64(n))
 	}
 }
 
@@ -281,27 +301,47 @@ func (p *ParallelEngine) runParallel(budget int) {
 // publish barrier, so every LP exits on the same epoch.
 func (p *ParallelEngine) lpLoop(l *LP, budget int, lead bool) {
 	for !p.done {
+		l.prof.epochs.Add(1)
 		l.runEpoch(p.horizon, budget)
-		p.bar.wait() // all LPs done executing; outboxes are stable
+		p.barWait(l) // all LPs done executing; outboxes are stable
 		l.mergeInbox()
-		p.bar.wait() // all LPs merged; heaps are stable
+		p.barWait(l) // all LPs merged; heaps are stable
 		if lead {
 			p.computeEpoch(budget)
 		}
-		p.bar.wait() // next horizon/done published
+		p.barWait(l) // next horizon/done published
 	}
+}
+
+// barWait crosses the epoch barrier, charging the wall-clock wait to the
+// LP's profile when profiling is on. The host clock here measures the
+// simulator's own synchronization cost; it never feeds back into virtual
+// time, so profiled runs stay bit-identical.
+func (p *ParallelEngine) barWait(l *LP) {
+	if !p.profile {
+		p.bar.wait()
+		return
+	}
+	start := time.Now() //tofuvet:allow wallclock profiling measures real barrier-wait cost, not simulated time
+	p.bar.wait()
+	l.prof.barrierNs.Add(time.Since(start).Nanoseconds()) //tofuvet:allow wallclock profiling measures real barrier-wait cost, not simulated time
 }
 
 // runEpoch executes this LP's events strictly below the horizon.
 func (l *LP) runEpoch(horizon float64, budget int) {
+	n := 0
 	for len(l.pq) > 0 && l.pq[0].time < horizon {
 		if budget > 0 && l.ran >= budget {
-			return
+			break
 		}
 		ev := l.pq.pop()
 		l.now = ev.time
 		ev.fn()
 		l.ran++
+		n++
+	}
+	if n > 0 {
+		l.prof.events.Add(int64(n))
 	}
 }
 
@@ -327,13 +367,18 @@ func (l *LP) mergeInbox() {
 // budget. Called only by the lead LP while the others are parked at the
 // publish barrier (or before the workers spawn).
 func (p *ParallelEngine) computeEpoch(budget int) {
-	minT := math.Inf(1)
+	minT, maxTop := math.Inf(1), math.Inf(-1)
 	pending, ran := 0, 0
 	for _, l := range p.lps {
 		pending += len(l.pq)
 		ran += l.ran
-		if len(l.pq) > 0 && l.pq[0].time < minT {
-			minT = l.pq[0].time
+		if len(l.pq) > 0 {
+			if l.pq[0].time < minT {
+				minT = l.pq[0].time
+			}
+			if l.pq[0].time > maxTop {
+				maxTop = l.pq[0].time
+			}
 		}
 	}
 	if pending == 0 {
@@ -352,6 +397,13 @@ func (p *ParallelEngine) computeEpoch(budget int) {
 		return
 	}
 	p.horizon = minT + p.lookahead
+	p.epochs.Add(1)
+	// Lookahead-limited: some LP has pending work whose earliest event
+	// already lies at or beyond the horizon, so the window (not a lack of
+	// events) idles it through this epoch.
+	if maxTop >= p.horizon {
+		p.laLimited.Add(1)
+	}
 }
 
 // ID returns this LP's index.
@@ -396,6 +448,7 @@ func (l *LP) SendAt(dst *LP, t float64, fn func()) error {
 		return fmt.Errorf("des: SendAt to an LP of a different engine")
 	}
 	if dst == l {
+		l.prof.sends.Add(1)
 		return l.ScheduleAt(t, fn)
 	}
 	if t < l.now+l.eng.lookahead {
@@ -403,6 +456,8 @@ func (l *LP) SendAt(dst *LP, t float64, fn func()) error {
 			t, dst.id, l.eng.lookahead, l.now)
 	}
 	l.seq++
+	l.prof.sends.Add(1)
+	l.prof.staged.Add(1)
 	l.out[dst.id] = append(l.out[dst.id], event{time: t, sendTime: l.now, src: l.id, seq: l.seq, fn: fn})
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tofumd/internal/des"
 	"tofumd/internal/faultinject"
 	"tofumd/internal/health"
 	"tofumd/internal/machine"
@@ -276,12 +277,26 @@ func (s *Simulation) SetFaults(m *faultinject.Model) {
 	s.fab.Faults = m
 }
 
-// SetParallel selects the fabric's event engine: lps > 1 runs every
+// SetParallel selects the fabric's event engine: lps > 0 runs every
 // communication round on the conservative parallel DES with that many
-// logical processes, lps <= 1 reverts to the serial engine. Results are
-// bit-identical either way; call it any time between rounds.
+// logical processes (1 is a degenerate one-LP engine that still profiles),
+// lps <= 0 reverts to the serial engine. Results are bit-identical either
+// way; call it any time between rounds.
 func (s *Simulation) SetParallel(lps int) error {
 	return s.fab.SetParallel(lps)
+}
+
+// SetProfiling toggles the parallel engine's barrier-wait wall timing (the
+// event/epoch counters are always on). No-op on the serial engine; never
+// changes virtual results.
+func (s *Simulation) SetProfiling(on bool) {
+	s.fab.SetProfiling(on)
+}
+
+// ParallelStats returns the parallel engine's cumulative per-LP profile,
+// or ok=false when the fabric runs the serial engine.
+func (s *Simulation) ParallelStats() (des.ParallelStats, bool) {
+	return s.fab.ParallelStats()
 }
 
 // Health exposes the fail-stop health tracker for observability and tests.

@@ -106,6 +106,9 @@ type Fabric struct {
 	// parallel engine selected by SetParallel.
 	eng des.Engine
 	par *des.ParallelEngine
+	// profile requests barrier-wait wall profiling on the parallel engine
+	// (SetProfiling); remembered here so SetParallel can re-apply it.
+	profile bool
 	// lpOfRank maps each rank to the LP owning its node (parallel only).
 	lpOfRank []int32
 	// state holds the round-scoped mutable maps, sharded one entry per LP
@@ -166,6 +169,13 @@ type fabricMetrics struct {
 	// abandoned counts events a round left undrained (see RunRound); any
 	// nonzero value is a fabric bug surfaced instead of silently dropped.
 	abandoned *metrics.Counter
+	// reg backs the lazily-sized per-LP engine gauges (publishLPStats): the
+	// LP count is not known at SetMetrics time.
+	reg *metrics.Registry
+	// lpEvents/lpBarrier are per-LP gauges, indexed by LP; limited/epochs
+	// are the engine-wide epoch gauges.
+	lpEvents, lpBarrier []*metrics.Gauge
+	limited, epochs     *metrics.Gauge
 }
 
 // SetMetrics enables (or, with a nil registry, disables) metric collection.
@@ -194,7 +204,36 @@ func (f *Fabric) SetMetrics(reg *metrics.Registry) {
 	m.nacks = reg.Counter("fabric_faults", "nacks")
 	m.faultStalls = reg.Counter("fabric_faults", "stalls")
 	m.abandoned = reg.Counter("des_abandoned_events", "total")
+	m.reg = reg
 	f.met = m
+}
+
+// publishLPStats exports the parallel engine's cumulative profile into the
+// registry after a round: des_lp_events and des_lp_barrier_wait per LP, and
+// the engine-wide epoch gauges. Gauges carry cumulative values, so scraping
+// them mid-run (the -status endpoint) shows monotone progress. Metrics only
+// observe the profile; they never feed back into virtual time.
+func (f *Fabric) publishLPStats() {
+	if f.met == nil || f.par == nil {
+		return
+	}
+	st := f.par.Stats()
+	m := f.met
+	for len(m.lpEvents) < len(st.LPs) {
+		label := fmt.Sprintf("lp%d", len(m.lpEvents))
+		m.lpEvents = append(m.lpEvents, m.reg.Gauge("des_lp_events", label))
+		m.lpBarrier = append(m.lpBarrier, m.reg.Gauge("des_lp_barrier_wait", label))
+	}
+	if m.limited == nil {
+		m.limited = m.reg.Gauge("des_epochs_lookahead_limited", "total")
+		m.epochs = m.reg.Gauge("des_epochs", "total")
+	}
+	for i, lp := range st.LPs {
+		m.lpEvents[i].Set(float64(lp.Events))
+		m.lpBarrier[i].Set(lp.BarrierWait)
+	}
+	m.limited.Set(float64(st.LookaheadLimited))
+	m.epochs.Set(float64(st.Epochs))
 }
 
 // NewFabric builds a fabric over the rank map with the given parameters,
@@ -227,30 +266,34 @@ func (f *Fabric) initShards(n int) {
 	}
 }
 
-// SetParallel selects the event engine for subsequent rounds. lps <= 1
-// reverts to the serial engine. lps > 1 partitions the nodes into that many
-// contiguous blocks, one logical process each, executed by the conservative
-// parallel engine with lookahead equal to the minimum inter-node latency —
-// the soonest an event on one node can affect another. lps is clamped to
-// the node count (an LP without nodes would only slow the barrier down).
+// SetParallel selects the event engine for subsequent rounds. lps <= 0
+// reverts to the plain serial engine. lps >= 1 partitions the nodes into
+// that many contiguous blocks, one logical process each, executed by the
+// conservative parallel engine with lookahead equal to the minimum
+// inter-node latency — the soonest an event on one node can affect another.
+// lps is clamped to the node count (an LP without nodes would only slow the
+// barrier down). lps == 1 runs the parallel engine's degenerate serial loop
+// (no goroutines, no barriers, bit-identical results) so per-LP profiling
+// (ParallelStats) is available at every LP count, including 1.
 func (f *Fabric) SetParallel(lps int) error {
 	if nodes := f.Map.Torus.Nodes(); lps > nodes {
 		lps = nodes
 	}
-	if lps <= 1 {
+	if lps <= 0 {
 		f.par = nil
 		f.lpOfRank = nil
 		f.initShards(1)
 		return nil
 	}
 	la := f.Params.Lookahead(f.Map.MinInterNodeHops())
-	if !(la > 0) {
+	if lps > 1 && !(la > 0) {
 		return fmt.Errorf("tofu: cannot shard the fabric: non-positive lookahead %g", la)
 	}
 	par, err := des.NewParallel(lps, la)
 	if err != nil {
 		return err
 	}
+	par.SetProfiling(f.profile)
 	nodes := f.Map.Torus.Nodes()
 	f.par = par
 	f.lpOfRank = make([]int32, f.Map.Ranks())
@@ -260,6 +303,26 @@ func (f *Fabric) SetParallel(lps int) error {
 	}
 	f.initShards(lps)
 	return nil
+}
+
+// SetProfiling enables barrier-wait wall-clock timing on the parallel
+// engine (current and future ones selected by SetParallel). Profiling never
+// changes virtual times; it only fills ParallelStats.BarrierWait.
+func (f *Fabric) SetProfiling(on bool) {
+	f.profile = on
+	if f.par != nil {
+		f.par.SetProfiling(on)
+	}
+}
+
+// ParallelStats snapshots the parallel engine's cumulative per-LP profile;
+// ok is false under the plain serial engine (SetParallel <= 0 or never
+// called). Safe to call while a round is in flight.
+func (f *Fabric) ParallelStats() (des.ParallelStats, bool) {
+	if f.par == nil {
+		return des.ParallelStats{}, false
+	}
+	return f.par.Stats(), true
 }
 
 // Parallel returns the number of logical processes rounds run on (1 for
@@ -501,6 +564,7 @@ func (f *Fabric) RunRound(transfers []*Transfer, iface Interface) error {
 	budget := 8*len(transfers) + 8*len(keys) + 64
 	_, runErr := f.engineRun(budget)
 	f.flushTrace()
+	f.publishLPStats()
 	if runErr != nil {
 		n := f.enginePending()
 		f.countAbandoned(n)

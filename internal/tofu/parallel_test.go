@@ -125,8 +125,9 @@ func TestParallelRoundDrains(t *testing.T) {
 }
 
 // TestSetParallelClampsAndValidates covers the configuration surface: LP
-// counts are clamped to the node count, and 1 falls back to the serial
-// engine.
+// counts are clamped to the node count, 1 selects the parallel engine's
+// degenerate serial loop (so per-LP profiling exists at every LP count),
+// and 0 reverts to the plain serial engine.
 func TestSetParallelClampsAndValidates(t *testing.T) {
 	f := testFabric(t, vec.I3{X: 2, Y: 2, Z: 2}) // 8 nodes
 	if err := f.SetParallel(64); err != nil {
@@ -141,8 +142,26 @@ func TestSetParallelClampsAndValidates(t *testing.T) {
 	if got := f.Parallel(); got != 1 {
 		t.Fatalf("Parallel() after SetParallel(1) = %d, want 1", got)
 	}
-	// A serial-mode round still works after switching back.
+	// A single-LP round still works and reports a profile.
 	trs := mixedRound(f)
+	if err := f.RunRound(trs, IfaceUTofu); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := f.ParallelStats()
+	if !ok {
+		t.Fatal("ParallelStats: ok = false after SetParallel(1)")
+	}
+	if st.TotalEvents() == 0 {
+		t.Error("single-LP round recorded no events")
+	}
+	if err := f.SetParallel(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.ParallelStats(); ok {
+		t.Fatal("ParallelStats: ok = true after reverting to the serial engine")
+	}
+	// A serial-engine round still works after switching back.
+	trs = mixedRound(f)
 	if err := f.RunRound(trs, IfaceUTofu); err != nil {
 		t.Fatal(err)
 	}

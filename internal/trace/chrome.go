@@ -18,13 +18,16 @@ import (
 //     thread per TNI engine, so the per-TNI serialization and VCQ switches
 //     of sections 3.1-3.3 are visible as queueing on those tracks;
 //   - one "fabric rounds" process for bulk-synchronous round and collective
-//     spans.
+//     spans;
+//   - one "engine counters" process carrying counter tracks (Ph "C"), e.g.
+//     the per-LP progress counters of the scaling-diagnosis layer.
 //
 // Timestamps are microseconds of virtual time, the unit the paper reports.
 
 const (
 	tniPidBase  = 1 << 20
 	roundsPid   = 2 << 20
+	countersPid = 3 << 20
 	stagesTid   = 0
 	cpuTidBase  = 1
 	recvTidBase = 512
@@ -141,6 +144,15 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 		add(chromeEvent{Name: in.Name, Cat: "instant", Ph: "i",
 			Ts: usPerSec * in.Time, Pid: in.Rank, Tid: stagesTid, Sc: "t"})
 	}
+	haveCounters := false
+	for _, cs := range r.Counters() {
+		haveCounters = true
+		// Ph "C": the viewer plots one filled track per (pid, name) from the
+		// args series.
+		add(chromeEvent{Name: cs.Name, Cat: "counter", Ph: "C",
+			Ts: usPerSec * cs.Time, Pid: countersPid, Tid: 0,
+			Args: map[string]any{"value": cs.Value}})
+	}
 
 	for _, id := range sortedKeys(ranks) {
 		meta(id, stagesTid, "process_name", fmt.Sprintf("rank %d", id))
@@ -151,6 +163,9 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 	}
 	if haveRounds {
 		meta(roundsPid, 0, "process_name", "fabric rounds")
+	}
+	if haveCounters {
+		meta(countersPid, 0, "process_name", "engine counters")
 	}
 
 	enc := json.NewEncoder(w)

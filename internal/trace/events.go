@@ -81,15 +81,38 @@ type InstantEvent struct {
 	Time float64
 }
 
-// Recorder accumulates trace events. It is safe for concurrent use (pool
-// workers and the DES loop may both record), and a nil *Recorder is a valid
-// disabled recorder: every method nil-checks the receiver first.
+// CounterSample is one sample of a named counter track (a Ph "C" event in
+// the Chrome export): the track named Name has value Value at virtual time
+// Time. The scaling-diagnosis layer uses these for per-LP progress tracks
+// ("lp3 events" over virtual time).
+type CounterSample struct {
+	Name  string
+	Time  float64
+	Value float64
+}
+
+// Recorder accumulates trace events. A nil *Recorder is a valid disabled
+// recorder: every method nil-checks the receiver first.
+//
+// Concurrency contract: every emission method (Message, Span, Round,
+// Instant, Counter) and every accessor is safe to call concurrently — in
+// particular from the parallel engine's LP goroutines and thread-pool
+// workers; the internal mutex is held only for the append. What the mutex
+// does NOT provide is a deterministic order: concurrent emitters append in
+// goroutine-scheduling order. Producers that need byte-identical output
+// across runs must impose their own order — the fabric buffers one
+// MessageEvent per transfer slot (single writer each) during a round and
+// flushes them in transfer order afterwards, which is why fabric traces are
+// byte-identical across serial/parallel engines and repeat runs. Span and
+// counter emitters in the simulation layer run on the single driver
+// goroutine, so their order is the program order.
 type Recorder struct {
 	mu    sync.Mutex
 	msgs  []MessageEvent
 	spans []SpanEvent
 	rnds  []RoundEvent
 	insts []InstantEvent
+	ctrs  []CounterSample
 }
 
 // NewRecorder returns an enabled recorder.
@@ -138,6 +161,16 @@ func (r *Recorder) Instant(ev InstantEvent) {
 	r.mu.Unlock()
 }
 
+// Counter records one counter-track sample.
+func (r *Recorder) Counter(name string, t, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ctrs = append(r.ctrs, CounterSample{Name: name, Time: t, Value: v})
+	r.mu.Unlock()
+}
+
 // Messages returns a copy of the recorded message events.
 func (r *Recorder) Messages() []MessageEvent {
 	if r == nil {
@@ -176,6 +209,16 @@ func (r *Recorder) Instants() []InstantEvent {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return append([]InstantEvent(nil), r.insts...)
+}
+
+// Counters returns a copy of the recorded counter samples.
+func (r *Recorder) Counters() []CounterSample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]CounterSample(nil), r.ctrs...)
 }
 
 // RankSummary aggregates the messages one rank injected.

@@ -1,11 +1,12 @@
-// Command tofuvet is the repo's custom static-analysis suite: five
-// analyzers that mechanically enforce the determinism, nil-safety and
-// spin-lock invariants the reproduction rests on (see DESIGN.md for the
-// analyzer-to-invariant map).
+// Command tofuvet is the repo's custom static-analysis suite: the
+// analyzers that mechanically enforce the determinism, nil-safety,
+// spin-lock and concurrency-contract invariants the reproduction rests on
+// (see DESIGN.md for the analyzer-to-invariant map).
 //
 // It runs two ways:
 //
 //	tofuvet ./...                      # standalone, loads packages itself
+//	tofuvet -json ./...                # standalone, machine-readable output
 //	go vet -vettool=$(which tofuvet) ./...   # as a go vet tool
 //
 // In vettool mode it speaks the cmd/go unitchecker protocol: go vet hands
@@ -13,10 +14,23 @@
 // typechecks the package's files and prints diagnostics, exiting nonzero
 // when any survive. Diagnostics can be suppressed with
 // `//tofuvet:allow <check> <reason>` comments; see internal/analysis.
+//
+// # Output and exit codes
+//
+// Human-readable diagnostics go to stderr. With -json, a JSON array of
+// objects {"file","line","column","check","message"} goes to stdout (an
+// empty array when clean) so CI can annotate PRs without parsing text.
+//
+// Exit codes, in both output modes:
+//
+//	0  no diagnostics: the tree satisfies every analyzer
+//	1  at least one diagnostic survived the allow directives
+//	2  operational failure (bad pattern, package does not load/typecheck)
 package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -67,8 +81,26 @@ func selfID() string {
 	return fmt.Sprintf("%x", h.Sum(nil)[:12])
 }
 
+// jsonFinding is one -json diagnostic record.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
 // runStandalone loads the named packages from source and analyzes them.
-func runStandalone(patterns []string) {
+func runStandalone(args []string) {
+	jsonOut := false
+	var patterns []string
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			jsonOut = true
+			continue
+		}
+		patterns = append(patterns, a)
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -81,18 +113,36 @@ func runStandalone(patterns []string) {
 		fatalf("tofuvet: %v", err)
 	}
 	loader := analysis.NewLoader(map[string]string{modPath: modRoot})
-	exit := 0
+	all := []jsonFinding{}
 	for _, path := range paths {
 		findings, err := loader.LoadAndRun(path, analysis.All())
 		if err != nil {
 			fatalf("tofuvet: %v", err)
 		}
 		for _, f := range findings {
-			fmt.Fprintln(os.Stderr, f)
-			exit = 1
+			if !jsonOut {
+				fmt.Fprintln(os.Stderr, f)
+			}
+			all = append(all, jsonFinding{
+				File:    f.Pos.Filename,
+				Line:    f.Pos.Line,
+				Column:  f.Pos.Column,
+				Check:   f.Analyzer,
+				Message: f.Message,
+			})
 		}
 	}
-	os.Exit(exit)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fatalf("tofuvet: encoding -json output: %v", err)
+		}
+	}
+	if len(all) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
 }
 
 // findModule walks up from the working directory to the enclosing go.mod

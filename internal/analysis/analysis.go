@@ -187,10 +187,14 @@ func (idx *allowIndex) allowed(checks []string, fset *token.FileSet, pos token.P
 // Run executes the analyzers over one typechecked package and returns the
 // surviving findings sorted by position. Diagnostics suppressed by allow
 // directives are dropped here, so every driver (standalone, vettool,
-// analysistest) shares the same escape-hatch semantics.
+// analysistest) shares the same escape-hatch semantics. Identical
+// diagnostics — same position, analyzer, and message, as happens when an
+// analyzer's traversal visits one node through two parents — are
+// deduplicated to a single finding.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Finding, error) {
 	allow := buildAllowIndex(fset, files)
 	var out []Finding
+	seen := map[Finding]bool{}
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -204,7 +208,12 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 			if allow.allowed(pass.Analyzer.AllowChecks, fset, d.Pos) {
 				return
 			}
-			out = append(out, Finding{Pos: fset.Position(d.Pos), Analyzer: name, Message: d.Message})
+			f := Finding{Pos: fset.Position(d.Pos), Analyzer: name, Message: d.Message}
+			if seen[f] {
+				return
+			}
+			seen[f] = true
+			out = append(out, f)
 		}
 		if _, err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)

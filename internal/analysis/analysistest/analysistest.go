@@ -143,7 +143,31 @@ func checkDiagnostics(t *testing.T, analyzer, pkgPath string, findings []analysi
 	}
 	for _, w := range wants {
 		if !w.matched {
-			t.Errorf("%s:%d: expected %s diagnostic matching %q, got none", w.file, w.line, analyzer, w.raw)
+			t.Errorf("%s:%d: expected %s diagnostic matching %q, got none\n%s",
+				w.file, w.line, analyzer, w.raw, sourceContext(w.file, w.line))
 		}
 	}
+}
+
+// sourceContext renders the fixture source around line with a marker, so
+// an unmatched `// want` failure shows the code it annotates instead of a
+// bare file:line.
+func sourceContext(file string, line int) string {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return ""
+	}
+	lines := strings.Split(string(data), "\n")
+	var b strings.Builder
+	for i := line - 2; i <= line+2; i++ {
+		if i < 1 || i > len(lines) {
+			continue
+		}
+		marker := "  "
+		if i == line {
+			marker = "> "
+		}
+		fmt.Fprintf(&b, "\t%s%4d | %s\n", marker, i, lines[i-1])
+	}
+	return b.String()
 }

@@ -1,0 +1,39 @@
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSourceContextMarksTheWantLine(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "fixture.go")
+	src := "package p\n\nfunc f() {\n\tbad() // want `oops`\n}\n"
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := sourceContext(file, 4)
+	if !strings.Contains(got, ">    4 | \tbad()") {
+		t.Errorf("context does not mark line 4:\n%s", got)
+	}
+	if !strings.Contains(got, "   3 | func f() {") || !strings.Contains(got, "   5 | }") {
+		t.Errorf("context missing surrounding lines:\n%s", got)
+	}
+}
+
+func TestSourceContextClampsToFile(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "short.go")
+	if err := os.WriteFile(file, []byte("package p\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := sourceContext(file, 1)
+	if !strings.Contains(got, ">    1 | package p") {
+		t.Errorf("context = %q", got)
+	}
+	if sourceContext(filepath.Join(dir, "absent.go"), 1) != "" {
+		t.Error("missing file must yield empty context")
+	}
+}

@@ -5,7 +5,9 @@ package analysis
 // correctness rests on; DESIGN.md maps them to the paper sections.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AtomicMix,
 		Determinism,
+		Guarded,
 		MapIter,
 		NilSafe,
 		SpinLock,

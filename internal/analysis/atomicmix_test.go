@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tofumd/internal/analysis"
+	"tofumd/internal/analysis/analysistest"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.AtomicMix, "tofumd/internal/lpstats")
+}

@@ -1,0 +1,40 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tofumd/internal/analysis"
+)
+
+// TestRunDeduplicatesIdenticalDiagnostics drives a synthetic analyzer that
+// reports the same diagnostic twice for one node (the double-visit shape a
+// traversal with parent tracking can produce) and requires Run to collapse
+// the pair while keeping distinct messages.
+func TestRunDeduplicatesIdenticalDiagnostics(t *testing.T) {
+	loader := analysis.NewLoader(map[string]string{"tofumd": "testdata/src/tofumd"})
+	pkg, err := loader.Load("tofumd/internal/lpstats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := &analysis.Analyzer{
+		Name: "dup",
+		Doc:  "test analyzer reporting duplicates",
+		Run: func(p *analysis.Pass) (any, error) {
+			pos := p.Files[0].Package
+			p.Reportf(pos, "same finding")
+			p.Reportf(pos, "same finding")
+			p.Reportf(pos, "different finding")
+			return nil, nil
+		},
+	}
+	findings, err := analysis.Run(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*analysis.Analyzer{dup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want the duplicate collapsed to 2", findings)
+	}
+	if findings[0].Message == findings[1].Message {
+		t.Errorf("surviving findings are identical: %v", findings)
+	}
+}

@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tofumd/internal/analysis"
+	"tofumd/internal/analysis/analysistest"
+)
+
+func TestGuarded(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Guarded,
+		"tofumd/internal/faultcache",
+		"tofumd/internal/health")
+}

@@ -1,0 +1,60 @@
+// Package faultcache is the guarded fixture: a mutex-protected per-link
+// cache in the shape of faultinject.Model, with seeded lockless accesses.
+package faultcache
+
+import "sync"
+
+type cache struct {
+	mu sync.Mutex
+	// links caches per-link state; guarded by mu.
+	links map[int]int
+	// round is the current round number; guarded by mu.
+	round int
+	// spec is immutable after construction (not guarded).
+	spec int
+}
+
+func (c *cache) get(k int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.links[k]
+}
+
+func (c *cache) beginRound() {
+	c.round++                // want `guarded by mu`
+	c.links = map[int]int{}  // want `guarded by mu`
+}
+
+func (c *cache) beginRoundSafely() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.round++
+	c.links = map[int]int{}
+}
+
+// resetLocked clears the cache; the *Locked suffix marks the lock-split
+// helper contract.
+func (c *cache) resetLocked() {
+	c.links = map[int]int{}
+}
+
+// flush clears the cache; caller holds mu.
+func (c *cache) flush() {
+	c.links = map[int]int{}
+}
+
+func (c *cache) specValue() int {
+	return c.spec
+}
+
+func (c *cache) relock(k int) {
+	c.mu.Lock()
+	c.links[k] = 1
+	c.mu.Unlock()
+	c.links[k] = 2 // want `guarded by mu`
+}
+
+func (c *cache) seed() {
+	//tofuvet:allow guarded construction-time init before the cache is shared
+	c.round = 1
+}

@@ -1,0 +1,44 @@
+// Package health is the guarded fixture for the serialized-type contract:
+// a minimal stand-in for the real health.Tracker, which is documented NOT
+// concurrency-safe and must only be driven from one goroutine.
+package health
+
+// Tracker is the fixture detector; single-goroutine by contract.
+type Tracker struct {
+	epoch uint64
+}
+
+func (t *Tracker) ObserveLink(ok bool) {
+	if !ok {
+		t.epoch++
+	}
+}
+
+func (t *Tracker) Epoch() uint64 {
+	return t.epoch
+}
+
+func misuseDirect(t *Tracker) {
+	go t.ObserveLink(false) // want `single-goroutine by contract`
+}
+
+func misuseClosure(t *Tracker) {
+	go func() {
+		_ = t.Epoch() // want `single-goroutine by contract`
+	}()
+}
+
+func driver(t *Tracker) uint64 {
+	t.ObserveLink(true) // fine: the driver goroutine owns the tracker
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	return t.Epoch()
+}
+
+func allowed(t *Tracker) {
+	go func() {
+		//tofuvet:allow guarded test-only probe with external serialization
+		t.ObserveLink(true)
+	}()
+}

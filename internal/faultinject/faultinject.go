@@ -340,10 +340,10 @@ type Model struct {
 	spec  Spec
 	root  *xrand.Source
 	round uint64
-	// base is the current round's stream root; links caches the per-link
-	// streams split from it, guarded by mu.
-	base  *xrand.Source
-	mu    sync.Mutex
+	mu sync.Mutex
+	// base is the current round's stream root; guarded by mu.
+	base *xrand.Source
+	// links caches the per-link streams split from base; guarded by mu.
 	links map[uint64]*linkState
 }
 
@@ -442,6 +442,13 @@ func (m *Model) BeginRound() {
 	if m == nil {
 		return
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.beginRoundLocked()
+}
+
+// beginRoundLocked advances the round; caller holds mu.
+func (m *Model) beginRoundLocked() {
 	m.round++
 	m.base = m.root.Split(m.round)
 	clear(m.links)
@@ -459,7 +466,7 @@ func (m *Model) link(src, dst int) *linkState {
 	ls := m.links[key]
 	if ls == nil {
 		if m.base == nil {
-			m.BeginRound()
+			m.beginRoundLocked()
 		}
 		ls = &linkState{src: m.base.Split(1 + key)}
 		if m.spec.DegradeProb > 0 {

@@ -1,0 +1,483 @@
+// Package fsm is a compact explicit-state model checker for the fabric's
+// protocol state machines: a Go DSL for declaring finite transition systems
+// (states, guarded nondeterministic rules, parameters bound at model build
+// time), a deterministic breadth-first explorer with state deduplication,
+// and an invariant API with counterexample trace extraction.
+//
+// It complements tofuvet: the static analyzers police code *shape*
+// (determinism, nil guards, lock discipline), while fsm proves protocol
+// *behavior* — the health detector's sticky quarantine and last-TNI floor,
+// retransmit/backoff exhaustion, VCQ lifecycle bookkeeping, and
+// checkpoint-rollback epoch selection — by exhaustively enumerating every
+// reachable state of a small configuration instead of sampling schedules
+// with example-based tests. The models live in internal/fsm/models; their
+// tests additionally replay model traces against the real implementations
+// to check conformance (model step ≡ implementation step).
+//
+// # States and rules
+//
+// A state is any comparable Go value; the explorer deduplicates states with
+// an ordinary Go map, so fixed-size arrays and small integer fields are the
+// natural encoding (Go's map hashing is the "state hashing"). A Rule is one
+// named, guarded transition relation: Next returns every nondeterministic
+// outcome enabled from a state. Parameters (capacities, thresholds, fault
+// budgets) are bound by whatever builds the System — typically a config
+// struct whose method returns the ruleset closed over the parameters.
+//
+// # Invariants
+//
+//   - Always(name, pred): pred holds in every reachable state.
+//   - Never(name, pred): pred holds in no reachable state.
+//   - AlwaysStep(name, pred): pred(from, rule, to) holds on every explored
+//     transition — the shape for monotonicity and "who may change this"
+//     assertions (epoch never decreases; only a probe re-arms quarantine).
+//   - EventuallyWithin(name, n, target): from every reachable state some
+//     target state is REACHABLE within n transitions. This is bounded
+//     possibility ("a probe can always re-arm the detector within n
+//     steps"), not inevitability along every path: a scheduler that keeps
+//     injecting failures forever trivially defeats inevitability, and the
+//     protocols here only promise recovery once the environment lets up.
+//
+// Violations come with a minimal counterexample: breadth-first order means
+// the first state (or edge) that breaks an invariant is one at minimum
+// depth, and the trace is the shortest rule sequence from an initial state.
+package fsm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rule is one named, guarded transition relation of a System.
+type Rule[S comparable] struct {
+	// Name labels the rule in traces ("link-fail l0@t1", "probe t0 alive").
+	Name string
+	// Guard gates the rule; nil means always enabled.
+	Guard func(S) bool
+	// Next returns every nondeterministic outcome from s, in a fixed order
+	// (exploration and counterexamples are deterministic because rule order
+	// and outcome order are).
+	Next func(S) []S
+}
+
+// System is a finite transition system: initial states plus rules.
+type System[S comparable] struct {
+	// Name labels the system in reports.
+	Name string
+	// Init is the set of initial states.
+	Init []S
+	// Rules is the ordered ruleset.
+	Rules []Rule[S]
+}
+
+// Enabled reports whether the rule's guard admits s.
+func (r Rule[S]) Enabled(s S) bool { return r.Guard == nil || r.Guard(s) }
+
+// RuleNamed returns the named rule. The boolean reports whether it exists.
+func (sys System[S]) RuleNamed(name string) (Rule[S], bool) {
+	for _, r := range sys.Rules {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Rule[S]{}, false
+}
+
+// Step applies outcome i of the named rule to s — the single-path
+// evaluation used when replaying a model trace against a real
+// implementation. The boolean reports whether the rule exists, its guard
+// admits s, and outcome i exists.
+func (sys System[S]) Step(s S, rule string, i int) (S, bool) {
+	r, ok := sys.RuleNamed(rule)
+	if !ok || !r.Enabled(s) {
+		var zero S
+		return zero, false
+	}
+	outs := r.Next(s)
+	if i < 0 || i >= len(outs) {
+		var zero S
+		return zero, false
+	}
+	return outs[i], true
+}
+
+// Invariant is one property checked during exploration. Build values with
+// Always, Never, AlwaysStep, or EventuallyWithin.
+type Invariant[S comparable] struct {
+	Name string
+
+	always func(S) bool
+	step   func(from S, rule string, to S) bool
+	within int
+	target func(S) bool
+}
+
+// Always asserts pred in every reachable state.
+func Always[S comparable](name string, pred func(S) bool) Invariant[S] {
+	return Invariant[S]{Name: name, always: pred}
+}
+
+// Never asserts pred in no reachable state.
+func Never[S comparable](name string, pred func(S) bool) Invariant[S] {
+	return Invariant[S]{Name: name, always: func(s S) bool { return !pred(s) }}
+}
+
+// AlwaysStep asserts pred on every explored transition.
+func AlwaysStep[S comparable](name string, pred func(from S, rule string, to S) bool) Invariant[S] {
+	return Invariant[S]{Name: name, step: pred}
+}
+
+// EventuallyWithin asserts that from every reachable state, some state
+// satisfying target is reachable within n transitions (bounded
+// possibility; see the package comment for why not inevitability).
+func EventuallyWithin[S comparable](name string, n int, target func(S) bool) Invariant[S] {
+	return Invariant[S]{Name: name, within: n, target: target}
+}
+
+// Options bound one exploration.
+type Options[S comparable] struct {
+	// MaxStates caps the state space; exceeding it is an error (the model
+	// is not small, which defeats exhaustive checking). Non-positive
+	// selects 1<<20.
+	MaxStates int
+	// AllowDeadlock admits states with no enabled transition. Nil means no
+	// deadlock is acceptable; protocols with terminal states (delivered,
+	// failed, done) pass a predicate naming them.
+	AllowDeadlock func(S) bool
+}
+
+// TraceStep is one transition of a counterexample trace.
+type TraceStep[S comparable] struct {
+	Rule string
+	To   S
+}
+
+// Trace is a minimal run witnessing a state: an initial state followed by
+// the shortest rule sequence that reaches it.
+type Trace[S comparable] struct {
+	Init  S
+	Steps []TraceStep[S]
+}
+
+// Last returns the trace's final state.
+func (tr Trace[S]) Last() S {
+	if len(tr.Steps) == 0 {
+		return tr.Init
+	}
+	return tr.Steps[len(tr.Steps)-1].To
+}
+
+// Len returns the number of transitions.
+func (tr Trace[S]) Len() int { return len(tr.Steps) }
+
+// Rules returns the rule-name sequence — the schedule that, replayed
+// against the real implementation, reproduces the modeled run.
+func (tr Trace[S]) Rules() []string {
+	out := make([]string, len(tr.Steps))
+	for i, st := range tr.Steps {
+		out[i] = st.Rule
+	}
+	return out
+}
+
+// String renders the trace one transition per line.
+func (tr Trace[S]) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "init: %+v", tr.Init)
+	for _, st := range tr.Steps {
+		fmt.Fprintf(&b, "\n  --%s--> %+v", st.Rule, st.To)
+	}
+	return b.String()
+}
+
+// Violation is one invariant failure with its minimal counterexample.
+type Violation[S comparable] struct {
+	// Invariant is the violated invariant's name ("deadlock" for a
+	// disallowed stuck state).
+	Invariant string
+	// Kind is "always", "step", "eventually", or "deadlock".
+	Kind string
+	// Trace is the shortest run from an initial state to the violating
+	// state. For step violations the final transition is the offending
+	// one; for eventually violations the final state is one from which no
+	// target state is reachable within the bound.
+	Trace Trace[S]
+	// Detail explains the failure in one line.
+	Detail string
+}
+
+func (v Violation[S]) String() string {
+	return fmt.Sprintf("%s (%s): %s\n%s", v.Invariant, v.Kind, v.Detail, v.Trace)
+}
+
+// Result summarizes one exhaustive exploration.
+type Result[S comparable] struct {
+	// States and Transitions count the reachable state space (deduplicated
+	// states; explored edges, self-loops included).
+	States, Transitions int
+	// Depth is the largest breadth-first distance from an initial state.
+	Depth int
+	// Violations holds at most one minimal violation per invariant, in
+	// invariant order (deadlock violations first).
+	Violations []Violation[S]
+}
+
+// Ok reports a clean exploration.
+func (r Result[S]) Ok() bool { return len(r.Violations) == 0 }
+
+// edge records how a state was first discovered, for trace extraction.
+type edge[S comparable] struct {
+	from    S
+	rule    string
+	hasFrom bool
+	depth   int
+}
+
+// explorer carries one breadth-first enumeration.
+type explorer[S comparable] struct {
+	sys   System[S]
+	opt   Options[S]
+	seen  map[S]edge[S]
+	order []S // discovery order: deterministic iteration over seen
+	succ  map[S][]TraceStep[S]
+	edges int
+	depth int
+}
+
+// Check exhaustively enumerates the system's reachable states and checks
+// the invariants, returning counts and minimal counterexamples. It panics
+// only on misuse (no initial states); an over-large state space is
+// reported as an error.
+func Check[S comparable](sys System[S], opt Options[S], invs ...Invariant[S]) (Result[S], error) {
+	if len(sys.Init) == 0 {
+		return Result[S]{}, fmt.Errorf("fsm: system %q has no initial states", sys.Name)
+	}
+	max := opt.MaxStates
+	if max <= 0 {
+		max = 1 << 20
+	}
+	ex := &explorer[S]{
+		sys:  sys,
+		opt:  opt,
+		seen: map[S]edge[S]{},
+		succ: map[S][]TraceStep[S]{},
+	}
+
+	var res Result[S]
+	violated := map[string]bool{} // invariant name -> already reported
+	report := func(v Violation[S]) {
+		if !violated[v.Invariant] {
+			violated[v.Invariant] = true
+			res.Violations = append(res.Violations, v)
+		}
+	}
+	checkState := func(s S) {
+		for _, inv := range invs {
+			if inv.always != nil && !inv.always(s) {
+				report(Violation[S]{
+					Invariant: inv.Name, Kind: "always",
+					Trace:  ex.traceTo(s),
+					Detail: fmt.Sprintf("state %+v violates %s", s, inv.Name),
+				})
+			}
+		}
+	}
+	checkStep := func(from S, rule string, to S) {
+		for _, inv := range invs {
+			if inv.step != nil && !inv.step(from, rule, to) {
+				tr := ex.traceTo(from)
+				tr.Steps = append(tr.Steps, TraceStep[S]{Rule: rule, To: to})
+				report(Violation[S]{
+					Invariant: inv.Name, Kind: "step",
+					Trace:  tr,
+					Detail: fmt.Sprintf("transition %q from %+v to %+v violates %s", rule, from, to, inv.Name),
+				})
+			}
+		}
+	}
+
+	// Breadth-first enumeration. The queue is a slice index walk over the
+	// discovery order, so exploration is deterministic: initial states in
+	// declaration order, rules in ruleset order, outcomes in Next order.
+	for _, s := range sys.Init {
+		if _, ok := ex.seen[s]; ok {
+			continue
+		}
+		ex.seen[s] = edge[S]{}
+		ex.order = append(ex.order, s)
+		checkState(s)
+	}
+	for qi := 0; qi < len(ex.order); qi++ {
+		s := ex.order[qi]
+		d := ex.seen[s].depth
+		enabled := 0
+		for _, r := range ex.sys.Rules {
+			if !r.Enabled(s) {
+				continue
+			}
+			for _, to := range r.Next(s) {
+				enabled++
+				ex.edges++
+				ex.succ[s] = append(ex.succ[s], TraceStep[S]{Rule: r.Name, To: to})
+				checkStep(s, r.Name, to)
+				if _, ok := ex.seen[to]; !ok {
+					if len(ex.seen) >= max {
+						return res, fmt.Errorf("fsm: system %q exceeds MaxStates=%d reachable states; shrink the bound parameters", sys.Name, max)
+					}
+					ex.seen[to] = edge[S]{from: s, rule: r.Name, hasFrom: true, depth: d + 1}
+					ex.order = append(ex.order, to)
+					if d+1 > ex.depth {
+						ex.depth = d + 1
+					}
+					checkState(to)
+				}
+			}
+		}
+		if enabled == 0 && (opt.AllowDeadlock == nil || !opt.AllowDeadlock(s)) {
+			report(Violation[S]{
+				Invariant: "deadlock", Kind: "deadlock",
+				Trace:  ex.traceTo(s),
+				Detail: fmt.Sprintf("state %+v has no enabled transition and is not an allowed terminal state", s),
+			})
+		}
+	}
+
+	res.States = len(ex.seen)
+	res.Transitions = ex.edges
+	res.Depth = ex.depth
+
+	// Bounded-possibility invariants need the full graph: for each, a
+	// multi-source reverse reachability sweep from the target states
+	// labels every state with its distance to the nearest target.
+	for _, inv := range invs {
+		if inv.target == nil {
+			continue
+		}
+		if v, bad := ex.checkEventually(inv); bad {
+			report(v)
+		}
+	}
+	return res, nil
+}
+
+// checkEventually verifies one EventuallyWithin invariant over the explored
+// graph, returning a minimal counterexample if some reachable state cannot
+// reach a target state within the bound.
+func (ex *explorer[S]) checkEventually(inv Invariant[S]) (Violation[S], bool) {
+	// Forward distances computed by value iteration over dist(s) =
+	// 0 if target(s) else 1 + min over successors. The explored graph is
+	// finite; iterate to a fixed point (distances only decrease, bounded
+	// runs suffice: a shortest path has at most States edges).
+	const inf = int(^uint(0) >> 1)
+	dist := make(map[S]int, len(ex.order))
+	for _, s := range ex.order {
+		if inv.target(s) {
+			dist[s] = 0
+		} else {
+			dist[s] = inf
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		// Walk discovery order (deterministic); order does not affect the
+		// fixed point, only how fast it converges.
+		for _, s := range ex.order {
+			if dist[s] == 0 {
+				continue
+			}
+			best := dist[s]
+			for _, st := range ex.succ[s] {
+				if d := dist[st.To]; d != inf && d+1 < best {
+					best = d + 1
+				}
+			}
+			if best < dist[s] {
+				dist[s] = best
+				changed = true
+			}
+		}
+	}
+	for _, s := range ex.order {
+		if d := dist[s]; d > inv.within {
+			detail := fmt.Sprintf("no target state reachable from %+v within %d transitions", s, inv.within)
+			if d != inf {
+				detail = fmt.Sprintf("nearest target state is %d transitions from %+v; bound is %d", d, s, inv.within)
+			}
+			return Violation[S]{
+				Invariant: inv.Name, Kind: "eventually",
+				Trace:  ex.traceTo(s),
+				Detail: detail,
+			}, true
+		}
+	}
+	return Violation[S]{}, false
+}
+
+// traceTo reconstructs the shortest discovery path to s.
+func (ex *explorer[S]) traceTo(s S) Trace[S] {
+	var rev []TraceStep[S]
+	cur := s
+	for {
+		e, ok := ex.seen[cur]
+		if !ok || !e.hasFrom {
+			break
+		}
+		rev = append(rev, TraceStep[S]{Rule: e.rule, To: cur})
+		cur = e.from
+	}
+	tr := Trace[S]{Init: cur, Steps: make([]TraceStep[S], 0, len(rev))}
+	for i := len(rev) - 1; i >= 0; i-- {
+		tr.Steps = append(tr.Steps, rev[i])
+	}
+	return tr
+}
+
+// Reachable searches breadth-first for a state satisfying pred and returns
+// a minimal witness trace. The boolean reports whether such a state is
+// reachable within the option bounds; the error reports a state-space
+// overflow. Tests use this to extract schedules ("drive both TNIs to the
+// brink simultaneously") that are then replayed against the real
+// implementation as regression tests.
+func Reachable[S comparable](sys System[S], opt Options[S], pred func(S) bool) (Trace[S], bool, error) {
+	if len(sys.Init) == 0 {
+		return Trace[S]{}, false, fmt.Errorf("fsm: system %q has no initial states", sys.Name)
+	}
+	max := opt.MaxStates
+	if max <= 0 {
+		max = 1 << 20
+	}
+	ex := &explorer[S]{sys: sys, opt: opt, seen: map[S]edge[S]{}, succ: map[S][]TraceStep[S]{}}
+	for _, s := range sys.Init {
+		if _, ok := ex.seen[s]; ok {
+			continue
+		}
+		ex.seen[s] = edge[S]{}
+		ex.order = append(ex.order, s)
+		if pred(s) {
+			return ex.traceTo(s), true, nil
+		}
+	}
+	for qi := 0; qi < len(ex.order); qi++ {
+		s := ex.order[qi]
+		d := ex.seen[s].depth
+		for _, r := range ex.sys.Rules {
+			if !r.Enabled(s) {
+				continue
+			}
+			for _, to := range r.Next(s) {
+				if _, ok := ex.seen[to]; ok {
+					continue
+				}
+				if len(ex.seen) >= max {
+					return Trace[S]{}, false, fmt.Errorf("fsm: system %q exceeds MaxStates=%d during search", sys.Name, max)
+				}
+				ex.seen[to] = edge[S]{from: s, rule: r.Name, hasFrom: true, depth: d + 1}
+				ex.order = append(ex.order, to)
+				if pred(to) {
+					return ex.traceTo(to), true, nil
+				}
+			}
+		}
+	}
+	return Trace[S]{}, false, nil
+}

@@ -1,0 +1,234 @@
+package fsm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// counter is the test system: a bounded counter with inc/dec/reset. The
+// bound is a "bindable parameter" in the package-doc sense.
+type counter struct {
+	N    int8
+	Done bool
+}
+
+func counterSys(max int8, withFinish bool) System[counter] {
+	rules := []Rule[counter]{
+		{
+			Name:  "inc",
+			Guard: func(s counter) bool { return !s.Done && s.N < max },
+			Next:  func(s counter) []counter { return []counter{{N: s.N + 1}} },
+		},
+		{
+			Name:  "dec",
+			Guard: func(s counter) bool { return !s.Done && s.N > 0 },
+			Next:  func(s counter) []counter { return []counter{{N: s.N - 1}} },
+		},
+	}
+	if withFinish {
+		rules = append(rules, Rule[counter]{
+			Name:  "finish",
+			Guard: func(s counter) bool { return !s.Done && s.N == max },
+			Next:  func(s counter) []counter { return []counter{{N: s.N, Done: true}} },
+		})
+	}
+	return System[counter]{Name: "counter", Init: []counter{{}}, Rules: rules}
+}
+
+func TestCheckCountsAndClean(t *testing.T) {
+	res, err := Check(counterSys(3, true), Options[counter]{
+		AllowDeadlock: func(s counter) bool { return s.Done },
+	},
+		Always("bounded", func(s counter) bool { return s.N >= 0 && s.N <= 3 }),
+		AlwaysStep("unit-steps", func(from counter, rule string, to counter) bool {
+			d := to.N - from.N
+			return d >= -1 && d <= 1
+		}),
+		EventuallyWithin("can-finish", 4, func(s counter) bool { return s.Done }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("violations on a clean system: %v", res.Violations)
+	}
+	// 0..3 not-done plus the single done state.
+	if res.States != 5 {
+		t.Errorf("States = %d, want 5", res.States)
+	}
+	// inc edges 0->1..2->3, dec edges 3->2..1->0, finish 3->done.
+	if res.Transitions != 7 {
+		t.Errorf("Transitions = %d, want 7", res.Transitions)
+	}
+	if res.Depth != 4 {
+		t.Errorf("Depth = %d, want 4", res.Depth)
+	}
+}
+
+func TestAlwaysViolationMinimalTrace(t *testing.T) {
+	res, err := Check(counterSys(5, false), Options[counter]{},
+		Always("below-three", func(s counter) bool { return s.N < 3 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations = %v, want exactly one", res.Violations)
+	}
+	v := res.Violations[0]
+	if v.Invariant != "below-three" || v.Kind != "always" {
+		t.Errorf("violation = %q/%q", v.Invariant, v.Kind)
+	}
+	// Minimal counterexample: exactly three incs, never a dec.
+	if got := v.Trace.Rules(); !reflect.DeepEqual(got, []string{"inc", "inc", "inc"}) {
+		t.Errorf("counterexample schedule = %v, want [inc inc inc]", got)
+	}
+	if v.Trace.Last() != (counter{N: 3}) {
+		t.Errorf("counterexample final state = %+v", v.Trace.Last())
+	}
+}
+
+func TestStepViolationCarriesOffendingEdge(t *testing.T) {
+	res, err := Check(counterSys(2, false), Options[counter]{},
+		AlwaysStep("never-dec", func(from counter, rule string, to counter) bool {
+			return rule != "dec"
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+	tr := res.Violations[0].Trace
+	if tr.Len() != 2 || tr.Steps[1].Rule != "dec" {
+		t.Errorf("step counterexample = %v, want inc then dec", tr.Rules())
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	// Without finish, state N==max still has dec enabled, so no deadlock;
+	// with Done and no AllowDeadlock, the done state is stuck.
+	res, err := Check(counterSys(2, true), Options[counter]{},
+		Always("true", func(counter) bool { return true }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 1 || res.Violations[0].Kind != "deadlock" {
+		t.Fatalf("violations = %v, want one deadlock", res.Violations)
+	}
+	if last := res.Violations[0].Trace.Last(); !last.Done {
+		t.Errorf("deadlock state = %+v, want the done state", last)
+	}
+}
+
+func TestEventuallyWithinTooTightBound(t *testing.T) {
+	res, err := Check(counterSys(4, true), Options[counter]{
+		AllowDeadlock: func(s counter) bool { return s.Done },
+	},
+		EventuallyWithin("can-finish-fast", 2, func(s counter) bool { return s.Done }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 1 || res.Violations[0].Kind != "eventually" {
+		t.Fatalf("violations = %v, want one eventually violation", res.Violations)
+	}
+	// The minimal violating state is the initial one (distance 5 > 2).
+	if res.Violations[0].Trace.Len() != 0 {
+		t.Errorf("violating state trace = %v, want the initial state", res.Violations[0].Trace.Rules())
+	}
+	if !strings.Contains(res.Violations[0].Detail, "bound is 2") {
+		t.Errorf("detail = %q", res.Violations[0].Detail)
+	}
+}
+
+func TestEventuallyWithinUnreachableTarget(t *testing.T) {
+	res, err := Check(counterSys(2, false), Options[counter]{},
+		EventuallyWithin("impossible", 10, func(s counter) bool { return s.Done }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations = %v", res.Violations)
+	}
+	if !strings.Contains(res.Violations[0].Detail, "no target state reachable") {
+		t.Errorf("detail = %q", res.Violations[0].Detail)
+	}
+}
+
+func TestMaxStatesOverflow(t *testing.T) {
+	_, err := Check(counterSys(100, false), Options[counter]{MaxStates: 10})
+	if err == nil || !strings.Contains(err.Error(), "MaxStates") {
+		t.Fatalf("err = %v, want MaxStates overflow", err)
+	}
+}
+
+func TestNoInitialStates(t *testing.T) {
+	if _, err := Check(System[counter]{Name: "empty"}, Options[counter]{}); err == nil {
+		t.Fatal("Check on a system with no initial states must error")
+	}
+	if _, _, err := Reachable(System[counter]{Name: "empty"}, Options[counter]{}, func(counter) bool { return true }); err == nil {
+		t.Fatal("Reachable on a system with no initial states must error")
+	}
+}
+
+func TestStepReplaysSingleOutcome(t *testing.T) {
+	sys := counterSys(2, false)
+	s := counter{}
+	s, ok := sys.Step(s, "inc", 0)
+	if !ok || s.N != 1 {
+		t.Fatalf("Step inc: %+v ok=%v", s, ok)
+	}
+	if _, ok := sys.Step(s, "nonesuch", 0); ok {
+		t.Error("Step accepted an unknown rule")
+	}
+	if _, ok := sys.Step(counter{N: 2}, "inc", 0); ok {
+		t.Error("Step accepted a guard-disabled rule")
+	}
+	if _, ok := sys.Step(s, "inc", 5); ok {
+		t.Error("Step accepted an out-of-range outcome index")
+	}
+}
+
+func TestReachableWitness(t *testing.T) {
+	tr, ok, err := Reachable(counterSys(5, false), Options[counter]{}, func(s counter) bool { return s.N == 4 })
+	if err != nil || !ok {
+		t.Fatalf("Reachable: ok=%v err=%v", ok, err)
+	}
+	if got := tr.Rules(); !reflect.DeepEqual(got, []string{"inc", "inc", "inc", "inc"}) {
+		t.Errorf("witness schedule = %v", got)
+	}
+	_, ok, err = Reachable(counterSys(2, false), Options[counter]{}, func(s counter) bool { return s.N == 9 })
+	if err != nil || ok {
+		t.Errorf("unreachable target reported reachable (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestDeterministicCounterexamples(t *testing.T) {
+	var first []string
+	for i := 0; i < 5; i++ {
+		res, err := Check(counterSys(4, false), Options[counter]{},
+			Always("below-four", func(s counter) bool { return s.N < 4 }))
+		if err != nil || len(res.Violations) != 1 {
+			t.Fatalf("run %d: err=%v violations=%v", i, err, res.Violations)
+		}
+		rules := res.Violations[0].Trace.Rules()
+		if first == nil {
+			first = rules
+			continue
+		}
+		if !reflect.DeepEqual(first, rules) {
+			t.Fatalf("run %d counterexample %v differs from first %v", i, rules, first)
+		}
+	}
+}
+
+func TestTraceStringRendersSchedule(t *testing.T) {
+	tr, ok, err := Reachable(counterSys(2, false), Options[counter]{}, func(s counter) bool { return s.N == 1 })
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	s := tr.String()
+	if !strings.Contains(s, "init:") || !strings.Contains(s, "--inc-->") {
+		t.Errorf("trace rendering = %q", s)
+	}
+}

@@ -1,0 +1,514 @@
+// Package models encodes the fabric's protocol state machines as
+// internal/fsm transition systems: the health detector
+// (healthy→suspect→quarantined with probe re-arm and cluster epochs), the
+// uTofu retransmit/backoff protocol, the VCQ create/free/reuse lifecycle,
+// and checkpoint-rollback epoch selection. Each model binds its capacities
+// (resource counts, thresholds, fault budgets) from a config struct, so the
+// same ruleset enumerates every small configuration exhaustively.
+//
+// The models deliberately duplicate the implementation logic rather than
+// calling into it: the point is an independent, state-explicit statement of
+// the protocol that the checker can enumerate. Conformance between the two
+// is pinned separately — each model ships an adapter that replays a model
+// event onto the real implementation, and fuzz-driven traces assert model
+// step ≡ implementation step (see the *_test.go conformance harnesses).
+//
+// Every config carries Mutate* knobs that seed a known protocol bug; the
+// mutation tests prove the checker actually catches an invariant break
+// with a minimal counterexample, guarding against vacuous invariants.
+package models
+
+import (
+	"fmt"
+
+	"tofumd/internal/fsm"
+	"tofumd/internal/health"
+)
+
+// Resource state encoding shared by the health model. The values mirror
+// health.State but are small fixed-width integers so states stay
+// comparable and compact.
+const (
+	Healthy     uint8 = 0
+	Suspect     uint8 = 1
+	Quarantined uint8 = 2
+)
+
+// Health model capacity ceilings: fixed-size arrays keep HealthState
+// comparable. Configs must stay within them.
+const (
+	MaxHealthTNIs  = 3
+	MaxHealthLinks = 3
+)
+
+// HealthConfig binds the health-detector model's parameters.
+type HealthConfig struct {
+	// Links and TNIs are the monitored resource counts (1..MaxHealth*).
+	Links, TNIs int
+	// SuspectAfter and QuarantineAfter are the consecutive-failure
+	// thresholds (tracker defaults are 2 and 4; models usually shrink
+	// QuarantineAfter to 3 to keep the space tight).
+	SuspectAfter, QuarantineAfter int
+	// TNIFloor enables the last-TNI floor (tracker SetTNITotal(TNIs)): the
+	// final surviving TNI is never quarantined.
+	TNIFloor bool
+	// EpochCap saturates the modeled health epoch so the state space stays
+	// finite; epoch arithmetic invariants apply below the cap.
+	EpochCap uint8
+
+	// MutateNonStickyQuarantine seeds a protocol bug for mutation testing:
+	// a link success re-arms a quarantined link, violating stickiness.
+	MutateNonStickyQuarantine bool
+	// MutateSkipTNIFloor seeds a bug: the last-TNI floor is not applied,
+	// so a fault storm can quarantine every injection interface.
+	MutateSkipTNIFloor bool
+}
+
+// Res is one monitored resource's modeled state.
+type Res struct {
+	St uint8
+	// Consec is the consecutive-failure streak, saturated at
+	// QuarantineAfter (larger values are behaviorally indistinguishable:
+	// only comparisons against the thresholds matter).
+	Consec uint8
+}
+
+// LinkRes is a link's state: a resource plus the TNI its most recent
+// failure was observed on (-1 before any failure), which drives
+// forgiveness when that TNI is quarantined.
+type LinkRes struct {
+	Res
+	LastTNI int8
+}
+
+// HealthState is the model state: per-TNI and per-link resources plus the
+// saturating health epoch.
+type HealthState struct {
+	TNI   [MaxHealthTNIs]Res
+	Link  [MaxHealthLinks]LinkRes
+	Epoch uint8
+}
+
+// HealthEventKind enumerates the detector's inputs.
+type HealthEventKind uint8
+
+const (
+	// LinkFail is a retransmit-exhausted delivery on a link, observed on a
+	// TNI (Tracker.RecordLinkFailure).
+	LinkFail HealthEventKind = iota
+	// LinkOK is a delivered message on a link (RecordLinkSuccess).
+	LinkOK
+	// TNIFail is a retransmit-exhausted delivery served by a TNI
+	// (RecordTNIFailure).
+	TNIFail
+	// TNIOK is a delivered message served by a TNI (RecordTNISuccess).
+	TNIOK
+	// ProbeLink is the explicit link probe (ProbeLink); Alive carries the
+	// verdict.
+	ProbeLink
+	// ProbeTNI is the explicit TNI probe (ProbeTNI).
+	ProbeTNI
+)
+
+// HealthEvent is one detector input with its parameters bound.
+type HealthEvent struct {
+	Kind  HealthEventKind
+	Link  int8 // LinkFail, LinkOK, ProbeLink
+	TNI   int8 // LinkFail (observing TNI), TNIFail, TNIOK, ProbeTNI
+	Alive bool // probes
+}
+
+// String names the event; these are the fsm rule names, so counterexample
+// schedules read as detector call sequences.
+func (e HealthEvent) String() string {
+	switch e.Kind {
+	case LinkFail:
+		return fmt.Sprintf("link-fail l%d@t%d", e.Link, e.TNI)
+	case LinkOK:
+		return fmt.Sprintf("link-ok l%d", e.Link)
+	case TNIFail:
+		return fmt.Sprintf("tni-fail t%d", e.TNI)
+	case TNIOK:
+		return fmt.Sprintf("tni-ok t%d", e.TNI)
+	case ProbeLink:
+		return fmt.Sprintf("probe-link l%d alive=%v", e.Link, e.Alive)
+	case ProbeTNI:
+		return fmt.Sprintf("probe-tni t%d alive=%v", e.TNI, e.Alive)
+	}
+	return "unknown"
+}
+
+// validate panics on configs outside the model ceilings; models are
+// test-side machinery, so misconfiguration is a programming error.
+func (c HealthConfig) validate() {
+	if c.Links < 1 || c.Links > MaxHealthLinks || c.TNIs < 1 || c.TNIs > MaxHealthTNIs {
+		panic(fmt.Sprintf("models: health config %d links / %d TNIs outside [1,%d]/[1,%d]",
+			c.Links, c.TNIs, MaxHealthLinks, MaxHealthTNIs))
+	}
+	if c.SuspectAfter < 1 || c.QuarantineAfter <= c.SuspectAfter {
+		panic(fmt.Sprintf("models: health thresholds %d/%d invalid", c.SuspectAfter, c.QuarantineAfter))
+	}
+	if c.EpochCap == 0 {
+		panic("models: health EpochCap must be positive")
+	}
+}
+
+// Events returns every event instance the config admits, in a fixed order.
+func (c HealthConfig) Events() []HealthEvent {
+	c.validate()
+	var out []HealthEvent
+	for l := int8(0); l < int8(c.Links); l++ {
+		for t := int8(0); t < int8(c.TNIs); t++ {
+			out = append(out, HealthEvent{Kind: LinkFail, Link: l, TNI: t})
+		}
+		out = append(out, HealthEvent{Kind: LinkOK, Link: l})
+		out = append(out, HealthEvent{Kind: ProbeLink, Link: l, Alive: true})
+	}
+	for t := int8(0); t < int8(c.TNIs); t++ {
+		out = append(out,
+			HealthEvent{Kind: TNIFail, TNI: t},
+			HealthEvent{Kind: TNIOK, TNI: t},
+			HealthEvent{Kind: ProbeTNI, TNI: t, Alive: true})
+	}
+	return out
+}
+
+// Apply is the model's transition function: the next state after event e.
+// It is total (no-op events return the state unchanged) and mirrors
+// health.Tracker exactly, including the subtleties: lastTNI updates even on
+// a quarantined link, TNI quarantine forgives links whose last failure was
+// observed on it (even quarantined ones), and the last-TNI floor holds the
+// final interface at suspect.
+func (c HealthConfig) Apply(s HealthState, e HealthEvent) HealthState {
+	qa := uint8(c.QuarantineAfter)
+	bumpEpoch := func() {
+		if s.Epoch < c.EpochCap {
+			s.Epoch++
+		}
+	}
+	// fail advances one resource by a failure, mirroring Tracker.fail:
+	// returns whether this failure crossed into quarantine.
+	fail := func(r Res) (Res, bool) {
+		if r.St == Quarantined {
+			return r, false
+		}
+		if r.Consec < qa {
+			r.Consec++
+		}
+		if r.Consec >= qa {
+			r.St = Quarantined
+			return r, true
+		}
+		if r.Consec >= uint8(c.SuspectAfter) {
+			r.St = Suspect
+		}
+		return r, false
+	}
+	ok := func(r Res) Res {
+		if r.St != Quarantined {
+			r.St, r.Consec = Healthy, 0
+		}
+		return r
+	}
+	switch e.Kind {
+	case LinkFail:
+		l := &s.Link[e.Link]
+		l.LastTNI = e.TNI
+		var crossed bool
+		l.Res, crossed = fail(l.Res)
+		if crossed {
+			bumpEpoch()
+		}
+	case LinkOK:
+		l := &s.Link[e.Link]
+		if c.MutateNonStickyQuarantine && l.St == Quarantined {
+			l.St, l.Consec = Healthy, 0 // seeded bug: success re-arms quarantine
+			break
+		}
+		l.Res = ok(l.Res)
+	case TNIFail:
+		t := &s.TNI[e.TNI]
+		// Last-TNI floor: never quarantine the final surviving interface
+		// (Tracker.RecordTNIFailure's floor branch).
+		if c.TNIFloor && !c.MutateSkipTNIFloor &&
+			t.St != Quarantined && t.Consec+1 >= qa &&
+			c.quarantinedTNIs(s) >= c.TNIs-1 {
+			if t.Consec < qa {
+				t.Consec++
+			}
+			t.St = Suspect
+			break
+		}
+		var crossed bool
+		*t, crossed = fail(*t)
+		if crossed {
+			// Forgive links whose failures were observed on this TNI: the
+			// TNI was the culprit. This re-arms even quarantined links.
+			for l := 0; l < c.Links; l++ {
+				if s.Link[l].LastTNI == e.TNI {
+					s.Link[l].St, s.Link[l].Consec = Healthy, 0
+				}
+			}
+			bumpEpoch()
+		}
+	case TNIOK:
+		s.TNI[e.TNI] = ok(s.TNI[e.TNI])
+	case ProbeLink:
+		l := &s.Link[e.Link]
+		if l.St == Quarantined && e.Alive {
+			l.St, l.Consec = Healthy, 0
+		}
+	case ProbeTNI:
+		t := &s.TNI[e.TNI]
+		if t.St == Quarantined && e.Alive {
+			t.St, t.Consec = Healthy, 0
+		}
+	}
+	return s
+}
+
+// quarantinedTNIs counts quarantined TNIs in s.
+func (c HealthConfig) quarantinedTNIs(s HealthState) int {
+	n := 0
+	for t := 0; t < c.TNIs; t++ {
+		if s.TNI[t].St == Quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// enabled trims no-op self-loops from exploration: an event is enabled
+// only when it can change the state. Apply stays total regardless (the
+// conformance replay feeds arbitrary events); the guard only keeps the
+// enumerated graph free of stutter edges.
+func (c HealthConfig) enabled(s HealthState, e HealthEvent) bool {
+	switch e.Kind {
+	case LinkFail:
+		l := s.Link[e.Link]
+		return l.St != Quarantined || l.LastTNI != e.TNI
+	case LinkOK:
+		l := s.Link[e.Link]
+		if c.MutateNonStickyQuarantine && l.St == Quarantined {
+			return true
+		}
+		return l.St != Quarantined && (l.St != Healthy || l.Consec > 0)
+	case TNIFail:
+		return s.TNI[e.TNI].St != Quarantined
+	case TNIOK:
+		t := s.TNI[e.TNI]
+		return t.St != Quarantined && (t.St != Healthy || t.Consec > 0)
+	case ProbeLink:
+		return s.Link[e.Link].St == Quarantined
+	case ProbeTNI:
+		return s.TNI[e.TNI].St == Quarantined
+	}
+	return false
+}
+
+// Initial returns the model's initial state: everything healthy, no
+// failure observed yet.
+func (c HealthConfig) Initial() HealthState {
+	init := HealthState{}
+	for l := range init.Link {
+		init.Link[l].LastTNI = -1
+	}
+	return init
+}
+
+// System builds the health-detector transition system for the config.
+func (c HealthConfig) System() fsm.System[HealthState] {
+	c.validate()
+	init := c.Initial()
+	var rules []fsm.Rule[HealthState]
+	for _, e := range c.Events() {
+		e := e
+		rules = append(rules, fsm.Rule[HealthState]{
+			Name:  e.String(),
+			Guard: func(s HealthState) bool { return c.enabled(s, e) },
+			Next:  func(s HealthState) []HealthState { return []HealthState{c.Apply(s, e)} },
+		})
+	}
+	return fsm.System[HealthState]{
+		Name:  fmt.Sprintf("health l=%d t=%d sa=%d qa=%d floor=%v", c.Links, c.TNIs, c.SuspectAfter, c.QuarantineAfter, c.TNIFloor),
+		Init:  []HealthState{init},
+		Rules: rules,
+	}
+}
+
+// Invariants returns the ROADMAP-named health-detector properties for the
+// config, each with the event-level exception it genuinely has:
+//
+//   - sticky quarantine: a quarantined link re-arms only via a live probe
+//     or TNI-quarantine forgiveness; a quarantined TNI only via a live
+//     probe.
+//   - last-TNI floor: at least one TNI always stays un-quarantined.
+//   - epoch monotonicity: the health epoch never decreases, and below the
+//     saturation cap it increments exactly when a resource newly crosses
+//     into quarantine.
+//   - threshold consistency: suspect implies the streak reached
+//     SuspectAfter; healthy implies it has not.
+//   - probe liveness (bounded possibility): from any state, a schedule of
+//     at most Links+TNIs events returns every resource to healthy.
+func (c HealthConfig) Invariants() []fsm.Invariant[HealthState] {
+	c.validate()
+	invs := []fsm.Invariant[HealthState]{
+		fsm.AlwaysStep("sticky-link-quarantine", func(from HealthState, rule string, to HealthState) bool {
+			for l := int8(0); l < int8(c.Links); l++ {
+				if from.Link[l].St != Quarantined || to.Link[l].St == Quarantined {
+					continue
+				}
+				probe := HealthEvent{Kind: ProbeLink, Link: l, Alive: true}.String()
+				if rule == probe {
+					continue
+				}
+				// Forgiveness: the rule quarantined the TNI this link's
+				// last failure was observed on.
+				t := from.Link[l].LastTNI
+				if t >= 0 && rule == (HealthEvent{Kind: TNIFail, TNI: t}).String() &&
+					from.TNI[t].St != Quarantined && to.TNI[t].St == Quarantined {
+					continue
+				}
+				return false
+			}
+			return true
+		}),
+		fsm.AlwaysStep("sticky-tni-quarantine", func(from HealthState, rule string, to HealthState) bool {
+			for t := int8(0); t < int8(c.TNIs); t++ {
+				if from.TNI[t].St == Quarantined && to.TNI[t].St != Quarantined &&
+					rule != (HealthEvent{Kind: ProbeTNI, TNI: t, Alive: true}).String() {
+					return false
+				}
+			}
+			return true
+		}),
+		fsm.AlwaysStep("epoch-monotone", func(from HealthState, _ string, to HealthState) bool {
+			return to.Epoch >= from.Epoch
+		}),
+		fsm.AlwaysStep("epoch-counts-quarantines", func(from HealthState, _ string, to HealthState) bool {
+			newQ := 0
+			for t := 0; t < c.TNIs; t++ {
+				if from.TNI[t].St != Quarantined && to.TNI[t].St == Quarantined {
+					newQ++
+				}
+			}
+			for l := 0; l < c.Links; l++ {
+				if from.Link[l].St != Quarantined && to.Link[l].St == Quarantined {
+					newQ++
+				}
+			}
+			want := int(from.Epoch) + newQ
+			if want > int(c.EpochCap) {
+				want = int(c.EpochCap)
+			}
+			return int(to.Epoch) == want
+		}),
+		fsm.Always("threshold-consistency", func(s HealthState) bool {
+			check := func(r Res) bool {
+				switch r.St {
+				case Healthy:
+					return r.Consec < uint8(c.SuspectAfter)
+				case Suspect:
+					return r.Consec >= uint8(c.SuspectAfter)
+				}
+				return true
+			}
+			for t := 0; t < c.TNIs; t++ {
+				if !check(s.TNI[t]) {
+					return false
+				}
+			}
+			for l := 0; l < c.Links; l++ {
+				if !check(s.Link[l].Res) {
+					return false
+				}
+			}
+			return true
+		}),
+		fsm.EventuallyWithin("probe-can-rearm", c.Links+c.TNIs, func(s HealthState) bool {
+			for t := 0; t < c.TNIs; t++ {
+				if s.TNI[t].St != Healthy || s.TNI[t].Consec != 0 {
+					return false
+				}
+			}
+			for l := 0; l < c.Links; l++ {
+				if s.Link[l].St != Healthy || s.Link[l].Consec != 0 {
+					return false
+				}
+			}
+			return true
+		}),
+	}
+	if c.TNIFloor {
+		invs = append(invs, fsm.Always("last-tni-floor", func(s HealthState) bool {
+			return c.quarantinedTNIs(s) < c.TNIs
+		}))
+	}
+	return invs
+}
+
+// NewTracker builds the real health.Tracker configured like the model
+// (thresholds and TNI floor), for conformance replay.
+func (c HealthConfig) NewTracker() *health.Tracker {
+	c.validate()
+	tr := health.New(c.SuspectAfter, c.QuarantineAfter)
+	if c.TNIFloor {
+		tr.SetTNITotal(c.TNIs)
+	}
+	return tr
+}
+
+// ApplyReal replays one model event onto the real tracker at virtual time
+// now. Link l is keyed 0→l+1 (the key values are opaque to the tracker).
+func ApplyReal(tr *health.Tracker, e HealthEvent, now float64) {
+	switch e.Kind {
+	case LinkFail:
+		tr.RecordLinkFailure(0, int(e.Link)+1, int(e.TNI), now)
+	case LinkOK:
+		tr.RecordLinkSuccess(0, int(e.Link)+1)
+	case TNIFail:
+		tr.RecordTNIFailure(int(e.TNI), now)
+	case TNIOK:
+		tr.RecordTNISuccess(int(e.TNI))
+	case ProbeLink:
+		tr.ProbeLink(0, int(e.Link)+1, e.Alive, now)
+	case ProbeTNI:
+		tr.ProbeTNI(int(e.TNI), e.Alive, now)
+	}
+}
+
+// Observe projects the real tracker onto the model's observable fields:
+// resource states and the (cap-saturated) epoch. Streak counters are
+// internal to both sides; divergence there surfaces as a later observable
+// divergence, which is what the conformance fuzzers hunt.
+func (c HealthConfig) Observe(tr *health.Tracker) HealthState {
+	var s HealthState
+	for l := 0; l < c.Links; l++ {
+		s.Link[l].St = uint8(tr.LinkState(0, l+1))
+		s.Link[l].LastTNI = -1 // not observable; masked in comparisons
+	}
+	for t := 0; t < c.TNIs; t++ {
+		s.TNI[t].St = uint8(tr.TNIState(t))
+	}
+	ep := tr.Epoch()
+	if ep > uint64(c.EpochCap) {
+		ep = uint64(c.EpochCap)
+	}
+	s.Epoch = uint8(ep)
+	return s
+}
+
+// ObservableOf masks a model state down to the fields Observe can read
+// from the real tracker, for direct comparison.
+func (c HealthConfig) ObservableOf(s HealthState) HealthState {
+	var o HealthState
+	for l := 0; l < c.Links; l++ {
+		o.Link[l].St = s.Link[l].St
+		o.Link[l].LastTNI = -1
+	}
+	for t := 0; t < c.TNIs; t++ {
+		o.TNI[t].St = s.TNI[t].St
+	}
+	o.Epoch = s.Epoch
+	return o
+}

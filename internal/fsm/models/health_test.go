@@ -1,0 +1,194 @@
+package models
+
+import (
+	"testing"
+
+	"tofumd/internal/fsm"
+)
+
+// healthTestConfig is the exhaustively-enumerated small configuration: 2
+// links, 2 TNIs, thresholds 2/3, last-TNI floor on.
+func healthTestConfig() HealthConfig {
+	return HealthConfig{
+		Links: 2, TNIs: 2,
+		SuspectAfter: 2, QuarantineAfter: 3,
+		TNIFloor: true,
+		EpochCap: 5,
+	}
+}
+
+// TestHealthExhaustive enumerates the full small-config state space and
+// checks every ROADMAP-named detector invariant: sticky quarantine, the
+// last-TNI floor, epoch monotonicity/accounting, threshold consistency,
+// and bounded probe re-arm.
+func TestHealthExhaustive(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  HealthConfig
+	}{
+		{"floor", healthTestConfig()},
+		{"no-floor", func() HealthConfig {
+			c := healthTestConfig()
+			c.TNIFloor = false
+			return c
+		}()},
+		{"defaults-1link", HealthConfig{
+			Links: 1, TNIs: 2,
+			SuspectAfter: 2, QuarantineAfter: 4, // tracker defaults
+			TNIFloor: true, EpochCap: 4,
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := tc.cfg.System()
+			res, err := fsm.Check(sys, fsm.Options[HealthState]{}, tc.cfg.Invariants()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %d states, %d transitions, depth %d", sys.Name, res.States, res.Transitions, res.Depth)
+			for _, v := range res.Violations {
+				t.Errorf("invariant violated:\n%v", v)
+			}
+			if res.States < 100 {
+				t.Errorf("state space suspiciously small (%d states): the model is not exploring", res.States)
+			}
+		})
+	}
+}
+
+// TestHealthMutationNonStickyCaught seeds the non-sticky-quarantine bug
+// (success re-arms a quarantined link) and requires the checker to produce
+// the minimal counterexample: QuarantineAfter failures then one success.
+func TestHealthMutationNonStickyCaught(t *testing.T) {
+	cfg := healthTestConfig()
+	cfg.MutateNonStickyQuarantine = true
+	res, err := fsm.Check(cfg.System(), fsm.Options[HealthState]{}, cfg.Invariants()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *fsm.Violation[HealthState]
+	for i := range res.Violations {
+		if res.Violations[i].Invariant == "sticky-link-quarantine" {
+			hit = &res.Violations[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("seeded non-sticky bug not caught; violations: %v", res.Violations)
+	}
+	// Minimal schedule: 3 link failures to quarantine, then the re-arming
+	// success — 4 transitions.
+	if want := cfg.QuarantineAfter + 1; hit.Trace.Len() != want {
+		t.Errorf("counterexample length %d, want minimal %d:\n%v", hit.Trace.Len(), want, hit.Trace)
+	}
+	if last := hit.Trace.Steps[hit.Trace.Len()-1].Rule; last != "link-ok l0" {
+		t.Errorf("counterexample final rule %q, want the re-arming success", last)
+	}
+	t.Logf("minimal counterexample:\n%v", hit.Trace)
+}
+
+// TestHealthMutationFloorSkipCaught seeds the skipped last-TNI floor and
+// requires the minimal all-TNIs-quarantined counterexample.
+func TestHealthMutationFloorSkipCaught(t *testing.T) {
+	cfg := healthTestConfig()
+	cfg.MutateSkipTNIFloor = true
+	res, err := fsm.Check(cfg.System(), fsm.Options[HealthState]{}, cfg.Invariants()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *fsm.Violation[HealthState]
+	for i := range res.Violations {
+		if res.Violations[i].Invariant == "last-tni-floor" {
+			hit = &res.Violations[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("seeded floor-skip bug not caught; violations: %v", res.Violations)
+	}
+	// Minimal schedule: QuarantineAfter failures on each of the two TNIs.
+	if want := 2 * cfg.QuarantineAfter; hit.Trace.Len() != want {
+		t.Errorf("counterexample length %d, want minimal %d:\n%v", hit.Trace.Len(), want, hit.Trace)
+	}
+	t.Logf("minimal counterexample:\n%v", hit.Trace)
+}
+
+// TestHealthModelConformanceReplay replays every rule of witness traces
+// extracted by the checker against the real health.Tracker and requires
+// observable lock-step agreement at every event — the fixed-schedule
+// complement of FuzzHealthConformance.
+func TestHealthModelConformanceReplay(t *testing.T) {
+	cfg := healthTestConfig()
+	cfg.EpochCap = 100 // keep saturation out of short replays
+	sys := cfg.System()
+
+	// Witness schedules: drive to full quarantine, then re-arm everything.
+	targets := []struct {
+		name string
+		pred func(HealthState) bool
+	}{
+		{"link0-quarantined", func(s HealthState) bool { return s.Link[0].St == Quarantined }},
+		{"tni0-quarantined", func(s HealthState) bool { return s.TNI[0].St == Quarantined }},
+		{"one-tni-floor-held", func(s HealthState) bool {
+			return s.TNI[0].St == Quarantined && s.TNI[1].St == Suspect && s.TNI[1].Consec >= uint8(cfg.QuarantineAfter)-1
+		}},
+		{"epoch-3", func(s HealthState) bool { return s.Epoch == 3 }},
+	}
+	events := cfg.Events()
+	byName := map[string]HealthEvent{}
+	for _, e := range events {
+		byName[e.String()] = e
+	}
+	for _, tgt := range targets {
+		t.Run(tgt.name, func(t *testing.T) {
+			trace, ok, err := fsm.Reachable(sys, fsm.Options[HealthState]{}, tgt.pred)
+			if err != nil || !ok {
+				t.Fatalf("witness search: ok=%v err=%v", ok, err)
+			}
+			t.Logf("witness schedule (%d events): %v", trace.Len(), trace.Rules())
+			real := cfg.NewTracker()
+			s := cfg.Initial()
+			for i, rule := range trace.Rules() {
+				e, found := byName[rule]
+				if !found {
+					t.Fatalf("trace rule %q has no event", rule)
+				}
+				s = cfg.Apply(s, e)
+				ApplyReal(real, e, float64(i))
+				if got, want := cfg.Observe(real), cfg.ObservableOf(s); got != want {
+					t.Fatalf("divergence after event %d (%s):\n implementation %+v\n model          %+v", i, rule, got, want)
+				}
+			}
+		})
+	}
+}
+
+// FuzzHealthConformance drives random event schedules through the model
+// and the real tracker simultaneously; any observable divergence (resource
+// states or epoch) fails — model step must equal implementation step.
+func FuzzHealthConformance(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add([]byte{0, 0, 0, 9, 9, 9, 4, 4, 4, 2, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		cfg := healthTestConfig()
+		cfg.EpochCap = 255
+		// First byte picks the configuration corner: floor on/off.
+		cfg.TNIFloor = data[0]%2 == 0
+		data = data[1:]
+		if len(data) > 200 {
+			data = data[:200] // keep epoch below the cap: ≤1 bump per event
+		}
+		events := cfg.Events()
+		real := cfg.NewTracker()
+		s := cfg.Initial()
+		for i, b := range data {
+			e := events[int(b)%len(events)]
+			s = cfg.Apply(s, e)
+			ApplyReal(real, e, float64(i))
+			if got, want := cfg.Observe(real), cfg.ObservableOf(s); got != want {
+				t.Fatalf("divergence after event %d (%s):\n implementation %+v\n model          %+v", i, e, got, want)
+			}
+		}
+	})
+}

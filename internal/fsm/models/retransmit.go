@@ -1,0 +1,138 @@
+package models
+
+import (
+	"fmt"
+
+	"tofumd/internal/fsm"
+)
+
+// The retransmit model encodes the uTofu put/get recovery protocol
+// (utofu.System.retryPlan and the ExecuteRound wave loop): a transfer is
+// injected, each transmission either delivers or is lost, a loss is
+// detected by completion timeout and — while the retry budget lasts —
+// backed off and re-injected; exhausting MaxRetransmits abandons the
+// operation, which the caller recovers from (MPI fallback).
+
+// Retransmit phases.
+const (
+	RIdle      uint8 = iota // not yet injected
+	RInflight               // a transmission is on the wire
+	RBackoff                // loss detected, waiting out the backoff
+	RDelivered              // terminal: payload landed
+	RFailed                 // terminal: budget exhausted, caller recovers
+)
+
+// RetransmitConfig binds the retry budget.
+type RetransmitConfig struct {
+	// MaxRetransmits is tofu.Params.MaxRetransmits: transmissions beyond
+	// the first. Attempt counts transmissions performed minus one,
+	// mirroring tofu.Transfer.Attempt.
+	MaxRetransmits int
+
+	// MutateUnboundedRetry seeds a bug: the exhaustion check is skipped,
+	// so a permanently dead link retries forever (the livelock
+	// MaxRetransmits exists to prevent) and the attempt counter runs past
+	// the budget.
+	MutateUnboundedRetry bool
+	// MutateEarlyExhaust seeds the opposite bug: the budget check is off
+	// by one, abandoning the transfer with an attempt still in hand.
+	MutateEarlyExhaust bool
+}
+
+// RetransmitState is one transfer's protocol state.
+type RetransmitState struct {
+	Phase   uint8
+	Attempt uint8
+}
+
+func (c RetransmitConfig) validate() {
+	if c.MaxRetransmits < 0 || c.MaxRetransmits > 200 {
+		panic(fmt.Sprintf("models: MaxRetransmits %d outside [0,200]", c.MaxRetransmits))
+	}
+}
+
+// System builds the retransmit transition system.
+func (c RetransmitConfig) System() fsm.System[RetransmitState] {
+	c.validate()
+	one := func(s RetransmitState) []RetransmitState { return []RetransmitState{s} }
+	rules := []fsm.Rule[RetransmitState]{
+		{
+			Name:  "inject",
+			Guard: func(s RetransmitState) bool { return s.Phase == RIdle },
+			Next: func(s RetransmitState) []RetransmitState {
+				s.Phase = RInflight
+				return one(s)
+			},
+		},
+		{
+			Name:  "deliver",
+			Guard: func(s RetransmitState) bool { return s.Phase == RInflight },
+			Next: func(s RetransmitState) []RetransmitState {
+				s.Phase = RDelivered
+				return one(s)
+			},
+		},
+		{
+			// Loss and its timeout detection collapse into one rule: the
+			// sender observes nothing between the loss and the detect.
+			Name:  "lose-detect",
+			Guard: func(s RetransmitState) bool { return s.Phase == RInflight },
+			Next: func(s RetransmitState) []RetransmitState {
+				budget := c.MaxRetransmits
+				if c.MutateEarlyExhaust {
+					budget-- // seeded bug: gives up one attempt early
+				}
+				if !c.MutateUnboundedRetry && int(s.Attempt) >= budget {
+					s.Phase = RFailed
+					return one(s)
+				}
+				s.Phase = RBackoff
+				return one(s)
+			},
+		},
+		{
+			Name:  "backoff-expire-reinject",
+			Guard: func(s RetransmitState) bool { return s.Phase == RBackoff },
+			Next: func(s RetransmitState) []RetransmitState {
+				s.Phase = RInflight
+				s.Attempt++
+				return one(s)
+			},
+		},
+	}
+	return fsm.System[RetransmitState]{
+		Name:  fmt.Sprintf("retransmit max=%d", c.MaxRetransmits),
+		Init:  []RetransmitState{{Phase: RIdle}},
+		Rules: rules,
+	}
+}
+
+// Invariants returns the retransmit protocol's properties: a bounded
+// attempt counter, failure only on a genuinely exhausted budget, terminal
+// absorption, and bounded termination possibility.
+func (c RetransmitConfig) Invariants() []fsm.Invariant[RetransmitState] {
+	c.validate()
+	terminal := func(s RetransmitState) bool { return s.Phase == RDelivered || s.Phase == RFailed }
+	return []fsm.Invariant[RetransmitState]{
+		fsm.Always("attempts-bounded", func(s RetransmitState) bool {
+			return int(s.Attempt) <= c.MaxRetransmits
+		}),
+		fsm.Always("failed-only-when-exhausted", func(s RetransmitState) bool {
+			return s.Phase != RFailed || int(s.Attempt) == c.MaxRetransmits
+		}),
+		fsm.AlwaysStep("attempt-monotone", func(from RetransmitState, rule string, to RetransmitState) bool {
+			if to.Attempt < from.Attempt {
+				return false
+			}
+			// Only a re-injection advances the counter.
+			return to.Attempt == from.Attempt || rule == "backoff-expire-reinject"
+		}),
+		fsm.AlwaysStep("terminal-absorbing", func(from RetransmitState, _ string, to RetransmitState) bool {
+			return !terminal(from) || from == to
+		}),
+		// From any state the transfer can terminate within one full drain
+		// of the remaining budget: each remaining attempt costs at most a
+		// lose-detect + reinject pair, plus the final deliver/fail step.
+		fsm.EventuallyWithin("terminates", 2*(c.MaxRetransmits+1)+2, terminal),
+	}
+}

@@ -1,0 +1,227 @@
+package models
+
+import (
+	"testing"
+
+	"tofumd/internal/faultinject"
+	"tofumd/internal/fsm"
+	"tofumd/internal/md/lattice"
+	"tofumd/internal/md/potential"
+	"tofumd/internal/md/restart"
+	"tofumd/internal/md/sim"
+	"tofumd/internal/units"
+	"tofumd/internal/vec"
+)
+
+func rollbackTerminal(s RollbackState) bool {
+	return s.Phase == RBDone || s.Phase == RBGaveUp
+}
+
+func rollbackTestConfig() RollbackConfig {
+	return RollbackConfig{Steps: 12, CheckpointEvery: 4, MaxRollbacks: 3}
+}
+
+// TestRollbackExhaustive enumerates every failure schedule for several
+// cadences and checks epoch monotonicity, checkpoint alignment,
+// resume-from-committed-state, the rollback budget, and termination.
+func TestRollbackExhaustive(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  RollbackConfig
+	}{
+		{"12-4-3", rollbackTestConfig()},
+		{"unaligned-cadence", RollbackConfig{Steps: 10, CheckpointEvery: 3, MaxRollbacks: 2}},
+		{"no-budget", RollbackConfig{Steps: 8, CheckpointEvery: 4, MaxRollbacks: 0}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := tc.cfg.System()
+			res, err := fsm.Check(sys, fsm.Options[RollbackState]{AllowDeadlock: rollbackTerminal}, tc.cfg.Invariants()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %d states, %d transitions, depth %d", sys.Name, res.States, res.Transitions, res.Depth)
+			for _, v := range res.Violations {
+				t.Errorf("invariant violated:\n%v", v)
+			}
+			if res.States < 25 {
+				t.Errorf("state space suspiciously small (%d states)", res.States)
+			}
+		})
+	}
+}
+
+// TestRollbackMutationResumeUncommittedCaught seeds the resume-from-
+// current-step bug (recovering onto uncommitted state) and requires the
+// minimal step/fail/rollback counterexample.
+func TestRollbackMutationResumeUncommittedCaught(t *testing.T) {
+	cfg := rollbackTestConfig()
+	cfg.MutateResumeFromCurrentStep = true
+	res, err := fsm.Check(cfg.System(), fsm.Options[RollbackState]{AllowDeadlock: rollbackTerminal}, cfg.Invariants()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *fsm.Violation[RollbackState]
+	for i := range res.Violations {
+		if res.Violations[i].Invariant == "resume-from-committed" {
+			hit = &res.Violations[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("seeded resume-from-current bug not caught; violations: %v", res.Violations)
+	}
+	if hit.Trace.Len() != 3 {
+		t.Errorf("counterexample length %d, want minimal 3 (step, fail, rollback):\n%v",
+			hit.Trace.Len(), hit.Trace)
+	}
+	t.Logf("minimal counterexample:\n%v", hit.Trace)
+}
+
+// TestRollbackMutationFinalSnapshotCaught seeds the committed-final-step
+// bug and requires the minimal all-steps counterexample: the implementation
+// never snapshots the finish line, so a model that does is misaligned.
+func TestRollbackMutationFinalSnapshotCaught(t *testing.T) {
+	cfg := rollbackTestConfig()
+	cfg.MutateSnapshotFinalStep = true
+	res, err := fsm.Check(cfg.System(), fsm.Options[RollbackState]{AllowDeadlock: rollbackTerminal}, cfg.Invariants()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *fsm.Violation[RollbackState]
+	for i := range res.Violations {
+		if res.Violations[i].Invariant == "snapshot-aligned" {
+			hit = &res.Violations[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("seeded final-snapshot bug not caught; violations: %v", res.Violations)
+	}
+	if want := cfg.Steps; hit.Trace.Len() != want {
+		t.Errorf("counterexample length %d, want minimal %d (a clean run to the finish line):\n%v",
+			hit.Trace.Len(), want, hit.Trace)
+	}
+	t.Logf("minimal counterexample:\n%v", hit.Trace)
+}
+
+// replayRollback drives a fixed rule schedule through the model via
+// System.Step, failing the test if any rule is disabled.
+func replayRollback(t *testing.T, cfg RollbackConfig, rules []string) RollbackState {
+	t.Helper()
+	sys := cfg.System()
+	s := RollbackState{Phase: RBRunning}
+	for i, rule := range rules {
+		next, ok := sys.Step(s, rule, 0)
+		if !ok {
+			t.Fatalf("schedule step %d: rule %q disabled in %+v", i, rule, s)
+		}
+		s = next
+	}
+	return s
+}
+
+// TestRollbackImplementationConformance runs a real MD simulation through
+// restart.RunWithRecovery with one injected rank failure and checks that
+// the implementation's observable outcome (rollback count, the snapshot
+// epoch selected for recovery, success) matches the model's prediction for
+// the same failure schedule.
+func TestRollbackImplementationConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a real MD simulation")
+	}
+	simCfg := func() sim.Config {
+		return sim.Config{
+			UnitsStyle:  units.LJ,
+			Potential:   potential.NewLJ(1, 1, 2.5),
+			Cells:       vec.I3{X: 8, Y: 8, Z: 8},
+			Lat:         lattice.FCCFromDensity(0.8442),
+			Skin:        0.3,
+			NeighEvery:  5,
+			Temperature: 1.44,
+			Seed:        99,
+			NewtonOn:    true,
+		}
+	}
+	newSim := func() (*sim.Simulation, error) {
+		m, err := sim.NewMachine(vec.I3{X: 2, Y: 2, Z: 2})
+		if err != nil {
+			return nil, err
+		}
+		return sim.New(m, sim.Opt(), simCfg())
+	}
+
+	const steps, every, failStep = 20, 5, 10
+	cfg := RollbackConfig{Steps: steps, CheckpointEvery: every, MaxRollbacks: 3}
+
+	// Model prediction: the failure surfaces at the step-10 boundary, right
+	// after the step-10 snapshot commits; one rollback recovers and the
+	// run completes.
+	prefix := make([]string, 0, steps+2)
+	for i := 0; i < failStep; i++ {
+		prefix = append(prefix, "step")
+	}
+	prefix = append(prefix, "fail", "rollback")
+	atRecovery := replayRollback(t, cfg, prefix)
+	// The epoch selected for recovery is the snapshot the run resumed from.
+	recoveryEpoch := atRecovery.Step
+	suffix := make([]string, 0, steps+1)
+	for i := int(recoveryEpoch); i < steps; i++ {
+		suffix = append(suffix, "step")
+	}
+	suffix = append(suffix, "finish")
+	predicted := replayRollback(t, cfg, append(append([]string{}, prefix...), suffix...))
+	if predicted.Phase != RBDone || predicted.Rollbacks != 1 || recoveryEpoch != failStep {
+		t.Fatalf("model prediction %+v (recovery epoch %d) is not the expected single-rollback recovery",
+			predicted, recoveryEpoch)
+	}
+
+	// Implementation run with the same schedule: measure step 10's virtual
+	// time on a clean run, then fail rank 3 at exactly that time.
+	clean, err := newSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Close()
+	clean.Run(failStep)
+	failT := clean.Now()
+
+	spec := faultinject.Spec{Seed: 11, RankFails: []faultinject.RankFail{{Rank: 3, At: failT}}}
+	s, err := newSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetFaults(faultinject.New(spec))
+	var snapSteps []int64
+	got, rollbacks, err := restart.RunWithRecovery(s, steps, restart.RecoveryOptions{
+		CheckpointEvery: every,
+		MaxRollbacks:    cfg.MaxRollbacks,
+		Rebuild: func(snap *restart.Snapshot, failed []int) (*sim.Simulation, error) {
+			snapSteps = append(snapSteps, snap.Step)
+			cfg2 := simCfg()
+			if err := snap.Apply(&cfg2); err != nil {
+				return nil, err
+			}
+			m, err := sim.NewMachine(vec.I3{X: 2, Y: 2, Z: 1})
+			if err != nil {
+				return nil, err
+			}
+			rb, err := sim.New(m, sim.Opt(), cfg2)
+			if err == nil {
+				rb.SetFaults(faultinject.New(spec.WithoutRankFails()))
+			}
+			return rb, err
+		},
+	})
+	if got != s {
+		defer got.Close()
+	}
+	if err != nil {
+		t.Fatalf("implementation gave up where the model completes: %v", err)
+	}
+	if rollbacks != int(predicted.Rollbacks) {
+		t.Errorf("implementation rollbacks = %d, model predicts %d", rollbacks, predicted.Rollbacks)
+	}
+	if len(snapSteps) != 1 || snapSteps[0] != int64(recoveryEpoch) {
+		t.Errorf("implementation recovered from snapshots %v, model predicts [%d]",
+			snapSteps, recoveryEpoch)
+	}
+}

@@ -1,0 +1,275 @@
+package models
+
+import (
+	"testing"
+
+	"tofumd/internal/fsm"
+	"tofumd/internal/tofu"
+	"tofumd/internal/topo"
+	"tofumd/internal/utofu"
+	"tofumd/internal/vec"
+)
+
+func vcqTestConfig() VCQConfig {
+	return VCQConfig{Ranks: 2, TNIs: 2, CQsPerTNI: 2}
+}
+
+// TestVCQExhaustive enumerates the CQ pool protocol and checks the
+// lifecycle invariants: per-rank limit, accounting consistency, no aliased
+// slots, and bounded drainability.
+func TestVCQExhaustive(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  VCQConfig
+	}{
+		{"2r2t2c", vcqTestConfig()},
+		{"contended-1cq", VCQConfig{Ranks: 2, TNIs: 2, CQsPerTNI: 1}},
+		{"1r", VCQConfig{Ranks: 1, TNIs: 2, CQsPerTNI: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := tc.cfg.System()
+			res, err := fsm.Check(sys, fsm.Options[VCQState]{}, tc.cfg.Invariants()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %d states, %d transitions, depth %d", sys.Name, res.States, res.Transitions, res.Depth)
+			for _, v := range res.Violations {
+				t.Errorf("invariant violated:\n%v", v)
+			}
+			if res.States < 16 {
+				t.Errorf("state space suspiciously small (%d states)", res.States)
+			}
+		})
+	}
+}
+
+// TestVCQMutationDoubleFreeCaught seeds the historical FreeVCQ bug (no
+// freed flag) and requires the minimal create/free/double-free
+// counterexample that drives the accounting negative.
+func TestVCQMutationDoubleFreeCaught(t *testing.T) {
+	// One TNI keeps the corrupted mutant's state space small: past the
+	// violation the decoupled accounting grows combinatorially.
+	cfg := VCQConfig{Ranks: 2, TNIs: 1, CQsPerTNI: 2, MutateNoFreedFlag: true}
+	res, err := fsm.Check(cfg.System(), fsm.Options[VCQState]{}, cfg.Invariants()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*fsm.Violation[VCQState]{}
+	for i := range res.Violations {
+		byName[res.Violations[i].Invariant] = &res.Violations[i]
+	}
+	hit := byName["rank-cq-limit"]
+	if hit == nil {
+		t.Fatalf("seeded double-free bug not caught; violations: %v", res.Violations)
+	}
+	if hit.Trace.Len() != 3 {
+		t.Errorf("counterexample length %d, want minimal 3 (create, free, double-free):\n%v",
+			hit.Trace.Len(), hit.Trace)
+	}
+	t.Logf("minimal counterexample:\n%v", hit.Trace)
+	if byName["cq-accounting"] == nil {
+		t.Error("corrupted pool accounting not flagged")
+	}
+}
+
+// vcqHarness pairs the model with a real utofu.System whose pool dimensions
+// match the bound configuration: a 2x2x2 torus with the default 4-ranks-
+// per-node block, so ranks 0 and 1 contend for node 0's CQ slots.
+type vcqHarness struct {
+	cfg   VCQConfig
+	sys   *utofu.System
+	live  map[[2]int8]*utofu.VCQ
+	stale map[[2]int8]*utofu.VCQ
+}
+
+func newVCQHarness(t *testing.T, cfg VCQConfig) *vcqHarness {
+	t.Helper()
+	tr, err := topo.NewTorus3D(vec.I3{X: 2, Y: 2, Z: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := topo.NewRankMap(tr, topo.DefaultBlock, topo.MapTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tofu.DefaultParams()
+	p.TNIsPerNode = cfg.TNIs
+	p.CQsPerTNI = cfg.CQsPerTNI
+	return &vcqHarness{
+		cfg:   cfg,
+		sys:   utofu.NewSystem(tofu.NewFabric(m, p)),
+		live:  map[[2]int8]*utofu.VCQ{},
+		stale: map[[2]int8]*utofu.VCQ{},
+	}
+}
+
+// applyReal performs the event against the real system and reports whether
+// it was accepted plus the CQ index involved (-1 when rejected).
+func (h *vcqHarness) applyReal(e VCQEvent) (accepted bool, cq int8) {
+	key := [2]int8{e.Rank, e.TNI}
+	switch e.Kind {
+	case VCQCreate:
+		v, err := h.sys.CreateVCQ(int(e.Rank), int(e.TNI))
+		if err != nil {
+			return false, -1
+		}
+		h.live[key] = v
+		return true, int8(v.CQ)
+	case VCQFree:
+		v := h.live[key]
+		if v == nil {
+			return false, -1
+		}
+		if err := h.sys.FreeVCQ(v); err != nil {
+			return false, -1
+		}
+		delete(h.live, key)
+		h.stale[key] = v // the caller retains the freed handle
+		return true, int8(v.CQ)
+	default: // VCQDoubleFree
+		v := h.stale[key]
+		if v == nil {
+			return false, -1
+		}
+		delete(h.stale, key) // the error makes the caller drop it
+		if err := h.sys.FreeVCQ(v); err != nil {
+			return false, -1
+		}
+		return true, int8(v.CQ)
+	}
+}
+
+// checkAgainst compares the model state with the harness's observable
+// state: which (rank, TNI) pairs hold live handles and on which CQ.
+func (h *vcqHarness) checkAgainst(t *testing.T, s VCQState, at string) {
+	t.Helper()
+	for r := int8(0); int(r) < h.cfg.Ranks; r++ {
+		for tni := int8(0); int(tni) < h.cfg.TNIs; tni++ {
+			v := h.live[[2]int8{r, tni}]
+			got := int8(-1)
+			if v != nil {
+				got = int8(v.CQ)
+			}
+			if want := s.Hold[r][tni]; got != want {
+				t.Fatalf("%s: rank %d TNI %d implementation holds CQ %d, model %d",
+					at, r, tni, got, want)
+			}
+		}
+	}
+}
+
+// TestVCQModelConformanceReplay extracts witness schedules from the checker
+// (full pool, slot reuse after free, survived double-free) and replays them
+// lock-step against the real utofu.System.
+func TestVCQModelConformanceReplay(t *testing.T) {
+	cfg := vcqTestConfig()
+	sys := cfg.System()
+	targets := []struct {
+		name string
+		pred func(VCQState) bool
+	}{
+		{"pool-full", func(s VCQState) bool {
+			return s.Used[0][0] && s.Used[0][1] && s.Used[1][0] && s.Used[1][1]
+		}},
+		{"slot-reused-across-ranks", func(s VCQState) bool {
+			// Rank 1 holds CQ 0 on TNI 0 while rank 0 retains the stale
+			// handle for it: the freed slot was reallocated.
+			return s.Hold[1][0] == 0 && s.Stale[0][0] == 0
+		}},
+	}
+	events := cfg.Events()
+	byName := map[string]VCQEvent{}
+	for _, e := range events {
+		byName[e.String()] = e
+	}
+	for _, tgt := range targets {
+		t.Run(tgt.name, func(t *testing.T) {
+			trace, ok, err := fsm.Reachable(sys, fsm.Options[VCQState]{}, tgt.pred)
+			if err != nil || !ok {
+				t.Fatalf("witness search: ok=%v err=%v", ok, err)
+			}
+			t.Logf("witness schedule (%d ops): %v", trace.Len(), trace.Rules())
+			h := newVCQHarness(t, cfg)
+			s := cfg.Initial()
+			for i, rule := range trace.Rules() {
+				e, found := byName[rule]
+				if !found {
+					t.Fatalf("trace rule %q has no event", rule)
+				}
+				var mAccepted bool
+				s, mAccepted = cfg.Apply(s, e)
+				rAccepted, _ := h.applyReal(e)
+				if mAccepted != rAccepted {
+					t.Fatalf("op %d (%s): implementation accepted=%v, model accepted=%v",
+						i, rule, rAccepted, mAccepted)
+				}
+				h.checkAgainst(t, s, rule)
+			}
+		})
+	}
+}
+
+// TestVCQDoubleFreeRejectedInBoth runs the canonical double-free schedule
+// through model and implementation: both must reject the second free, and
+// the slot must remain safely reusable by the other rank.
+func TestVCQDoubleFreeRejectedInBoth(t *testing.T) {
+	cfg := vcqTestConfig()
+	h := newVCQHarness(t, cfg)
+	s := cfg.Initial()
+	schedule := []struct {
+		e      VCQEvent
+		accept bool
+	}{
+		{VCQEvent{Kind: VCQCreate, Rank: 0, TNI: 0}, true},
+		{VCQEvent{Kind: VCQFree, Rank: 0, TNI: 0}, true},
+		{VCQEvent{Kind: VCQCreate, Rank: 1, TNI: 0}, true}, // reuses CQ 0
+		{VCQEvent{Kind: VCQDoubleFree, Rank: 0, TNI: 0}, false},
+		{VCQEvent{Kind: VCQDoubleFree, Rank: 0, TNI: 0}, false}, // handle already dropped
+	}
+	for i, step := range schedule {
+		var mAccepted bool
+		s, mAccepted = cfg.Apply(s, step.e)
+		rAccepted, _ := h.applyReal(step.e)
+		if mAccepted != step.accept || rAccepted != step.accept {
+			t.Fatalf("op %d (%s): model accepted=%v, implementation accepted=%v, want %v",
+				i, step.e, mAccepted, rAccepted, step.accept)
+		}
+		h.checkAgainst(t, s, step.e.String())
+	}
+	// Rank 1's handle survived the double-free attempts on its slot.
+	if s.Hold[1][0] != 0 {
+		t.Fatalf("rank 1 lost its reused CQ: %+v", s)
+	}
+}
+
+// FuzzVCQConformance drives random operation schedules through the model
+// and the real utofu.System; acceptance and live-handle placement must
+// agree at every step.
+func FuzzVCQConformance(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 2, 2, 2})
+	f.Add([]byte{0, 3, 1, 4, 0, 3, 2, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		cfg := vcqTestConfig()
+		if len(data) > 300 {
+			data = data[:300]
+		}
+		events := cfg.Events()
+		h := newVCQHarness(t, cfg)
+		s := cfg.Initial()
+		for i, b := range data {
+			e := events[int(b)%len(events)]
+			var mAccepted bool
+			s, mAccepted = cfg.Apply(s, e)
+			rAccepted, _ := h.applyReal(e)
+			if mAccepted != rAccepted {
+				t.Fatalf("op %d (%s): implementation accepted=%v, model accepted=%v",
+					i, e, rAccepted, mAccepted)
+			}
+			h.checkAgainst(t, s, e.String())
+		}
+	})
+}

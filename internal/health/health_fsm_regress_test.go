@@ -1,0 +1,149 @@
+package health_test
+
+// Regression tests driven by fsm witness schedules: the model checker
+// (internal/fsm/models) searches the detector's state space for the
+// scenario, and the witness trace it returns becomes the call sequence
+// replayed against the real Tracker. If a future Tracker change breaks
+// one of these properties, the same schedule pins the failure here
+// without waiting for a fuzzer to rediscover it.
+
+import (
+	"testing"
+
+	"tofumd/internal/fsm"
+	"tofumd/internal/fsm/models"
+	"tofumd/internal/health"
+)
+
+func regressConfig() models.HealthConfig {
+	return models.HealthConfig{
+		Links: 2, TNIs: 2,
+		SuspectAfter: 2, QuarantineAfter: 3,
+		TNIFloor: true,
+		EpochCap: 100,
+	}
+}
+
+// replayWitness finds a model state satisfying pred and replays the
+// witness schedule onto a fresh real Tracker, returning it.
+func replayWitness(t *testing.T, cfg models.HealthConfig, pred func(models.HealthState) bool) *health.Tracker {
+	t.Helper()
+	trace, ok, err := fsm.Reachable(cfg.System(), fsm.Options[models.HealthState]{}, pred)
+	if err != nil || !ok {
+		t.Fatalf("witness search: ok=%v err=%v", ok, err)
+	}
+	t.Logf("witness schedule (%d events): %v", trace.Len(), trace.Rules())
+	events := cfg.Events()
+	byName := map[string]models.HealthEvent{}
+	for _, e := range events {
+		byName[e.String()] = e
+	}
+	tr := cfg.NewTracker()
+	for i, rule := range trace.Rules() {
+		e, found := byName[rule]
+		if !found {
+			t.Fatalf("trace rule %q has no event", rule)
+		}
+		models.ApplyReal(tr, e, float64(i))
+	}
+	return tr
+}
+
+// TestProbeRearmAfterStickyQuarantine drives a link into quarantine along
+// a checker-found schedule, then verifies the two halves of the sticky
+// contract on the real Tracker: traffic successes never re-arm a
+// quarantined link, and an explicit live probe is the only way back.
+func TestProbeRearmAfterStickyQuarantine(t *testing.T) {
+	cfg := regressConfig()
+	tr := replayWitness(t, cfg, func(s models.HealthState) bool {
+		return s.Link[0].St == models.Quarantined
+	})
+	if !tr.LinkQuarantined(0, 1) {
+		t.Fatal("witness replay did not quarantine link 0")
+	}
+
+	// Sticky: delivery successes must not re-arm.
+	for i := 0; i < 5; i++ {
+		tr.RecordLinkSuccess(0, 1)
+	}
+	if got := tr.LinkState(0, 1); got != health.Quarantined {
+		t.Fatalf("link re-armed by traffic success: state %v", got)
+	}
+
+	// A dead probe must not re-arm either.
+	tr.ProbeLink(0, 1, false, 100)
+	if got := tr.LinkState(0, 1); got != health.Quarantined {
+		t.Fatalf("link re-armed by a dead probe: state %v", got)
+	}
+
+	// The sanctioned path: one live probe re-arms fully.
+	tr.ProbeLink(0, 1, true, 101)
+	if got := tr.LinkState(0, 1); got != health.Healthy {
+		t.Fatalf("live probe did not re-arm the link: state %v", got)
+	}
+
+	// The re-armed link degrades through the normal thresholds again —
+	// re-arming reset the streak, not just the state.
+	for i := 0; i < cfg.QuarantineAfter-1; i++ {
+		tr.RecordLinkFailure(0, 1, 0, float64(110+i))
+	}
+	if got := tr.LinkState(0, 1); got != health.Suspect {
+		t.Fatalf("re-armed link at %d failures: state %v, want suspect", cfg.QuarantineAfter-1, got)
+	}
+	tr.RecordLinkFailure(0, 1, 0, 120)
+	if got := tr.LinkState(0, 1); got != health.Quarantined {
+		t.Fatalf("re-armed link did not re-quarantine at threshold: state %v", got)
+	}
+}
+
+// TestLastTNIFloorUnderSimultaneousSuspicion reaches the checker-found
+// brink state — one TNI quarantined, the survivor suspect one failure shy
+// of the threshold — and verifies the real Tracker holds the floor: no
+// amount of further failures quarantines the last TNI, and a live probe
+// still re-arms it.
+func TestLastTNIFloorUnderSimultaneousSuspicion(t *testing.T) {
+	cfg := regressConfig()
+	tr := replayWitness(t, cfg, func(s models.HealthState) bool {
+		return s.TNI[0].St == models.Quarantined &&
+			s.TNI[1].St == models.Suspect &&
+			s.TNI[1].Consec >= uint8(cfg.QuarantineAfter)-1
+	})
+	if got := tr.TNIState(0); got != health.Quarantined {
+		t.Fatalf("witness replay: TNI 0 state %v, want quarantined", got)
+	}
+	if got := tr.TNIState(1); got != health.Suspect {
+		t.Fatalf("witness replay: TNI 1 state %v, want suspect at the brink", got)
+	}
+
+	// Hammer the survivor far past the threshold: the floor must hold it
+	// at suspect, keeping one interface in the communication plan.
+	for i := 0; i < 4*cfg.QuarantineAfter; i++ {
+		tr.RecordTNIFailure(1, float64(200+i))
+	}
+	if got := tr.TNIState(1); got != health.Suspect {
+		t.Fatalf("last TNI fell through the floor: state %v", got)
+	}
+	if q := tr.QuarantinedTNIs(); len(q) != 1 || q[0] != 0 {
+		t.Fatalf("quarantined TNIs %v, want exactly [0]", q)
+	}
+
+	// The floor is a hold, not a pardon: the held TNI is still Suspect,
+	// so one delivery success re-arms it (probes only act on Quarantined),
+	// and a live probe on the quarantined TNI 0 restores slack.
+	tr.RecordTNISuccess(1)
+	if got := tr.TNIState(1); got != health.Healthy {
+		t.Fatalf("held TNI did not re-arm on traffic success: state %v", got)
+	}
+	tr.ProbeTNI(0, true, 301)
+	if got := tr.TNIState(0); got != health.Healthy {
+		t.Fatalf("quarantined TNI did not re-arm on live probe: state %v", got)
+	}
+	// With both healthy again, the threshold machinery is back to normal:
+	// TNI 1 can quarantine now that it is not the last one standing.
+	for i := 0; i < cfg.QuarantineAfter; i++ {
+		tr.RecordTNIFailure(1, float64(310+i))
+	}
+	if got := tr.TNIState(1); got != health.Quarantined {
+		t.Fatalf("TNI 1 with slack restored: state %v, want quarantined", got)
+	}
+}

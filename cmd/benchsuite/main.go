@@ -30,7 +30,7 @@ import (
 // experimentOrder is the canonical run order; it doubles as the known-name
 // list that -experiment values are validated against.
 var experimentOrder = []string{
-	"table1", "fig6", "fig8", "fig11", "fig12", "fig13", "table3", "fig14", "fig15", "ablations", "faults", "failstop", "pdes",
+	"table1", "fig6", "fig8", "fig11", "fig12", "fig13", "table3", "fig14", "fig15", "ablations", "faults", "failstop", "pdes", "lbm",
 }
 
 func main() {
@@ -201,6 +201,10 @@ func main() {
 	})
 	run("pdes", func() (string, *bench.Artifact, error) {
 		r, err := bench.Pdes(opt)
+		return r.Format(), r.Artifact(opt), err
+	})
+	run("lbm", func() (string, *bench.Artifact, error) {
+		r, err := bench.Lbm(opt)
 		return r.Format(), r.Artifact(opt), err
 	})
 

@@ -51,6 +51,7 @@ func main() {
 		ckptFile  = flag.String("checkpoint", "tofumd.restart", "checkpoint file written by -checkpoint-every")
 		restartIn = flag.String("restart", "", "resume from a checkpoint file written by -checkpoint-every")
 		par       = flag.Int("par", 1, "logical processes for the parallel event engine (0 = plain serial; N >= 1 runs the parallel engine, results bit-identical)")
+		planOnly  = flag.Bool("plan", false, "print the static halo neighbor-plan summary (pattern, link graph, rounds) and exit without running")
 		statusAddr = flag.String("status", "", "serve a live JSON run-status endpoint on this address (e.g. localhost:8080, port 0 picks one; GET /status)")
 		explain    = flag.Bool("explain", false, "print the scaling-diagnosis report (per-LP engine profile + critical path) after the run")
 	)
@@ -143,6 +144,14 @@ func main() {
 		Faults:      faults,
 		ParallelLPs: *par,
 		Profile:     *explain || status.Enabled(),
+	}
+	if *planOnly {
+		plan, err := core.Plan(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(plan)
+		return
 	}
 	status.SetSteps(*steps)
 	if *dumpFile != "" {

@@ -6,6 +6,7 @@ package analysis
 func All() []*Analyzer {
 	return []*Analyzer{
 		AtomicMix,
+		DeadAssign,
 		Determinism,
 		Guarded,
 		MapIter,

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tofumd/internal/analysis"
+	"tofumd/internal/analysis/analysistest"
+)
+
+func TestDeadAssign(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.DeadAssign, "tofumd/internal/halo")
+}

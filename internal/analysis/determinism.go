@@ -20,6 +20,8 @@ var determinismScope = []string{
 	"tofumd/internal/bench",
 	"tofumd/internal/threadpool",
 	"tofumd/internal/health",
+	"tofumd/internal/halo",
+	"tofumd/internal/lbm",
 }
 
 // wallclockFuncs are the time-package functions that read the host clock.

@@ -18,6 +18,7 @@ var nilsafeTargets = map[string][]string{
 	"tofumd/internal/trace":   {"Recorder"},
 	"tofumd/internal/health":  {"Tracker"},
 	"tofumd/internal/obs":     {"StatusServer"},
+	"tofumd/internal/halo":    {"Fallback"},
 }
 
 // NilSafe requires every exported pointer-receiver method on the nil-safe

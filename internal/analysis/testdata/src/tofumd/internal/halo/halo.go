@@ -1,0 +1,52 @@
+// Package halo is a deadassign-analyzer fixture standing in for the
+// halo-exchange library.
+package halo
+
+import "fmt"
+
+// Plan computes something and forgets to use part of it — the classic
+// shape the analyzer exists for.
+func Plan(grid [3]int) int {
+	side := grid[0] * grid[1]
+	_ = side // want `dead assignment _ = side`
+	return grid[2]
+}
+
+// Parenthesized blank assignments are the same statement.
+func Volume(n int) int {
+	v := n * n
+	_ = (v) // want `dead assignment _ = v`
+	return n
+}
+
+// Discarding a call result is not a dead variable: the call has effects.
+func Flush(w interface{ Sync() error }) {
+	_ = w.Sync()
+}
+
+// Multi-assigns and comma-ok receives keep a live value alongside the
+// blank; they are not suppressions.
+func Lookup(m map[string]int, k string) int {
+	v, _ := m[k], true
+	return v
+}
+
+// Parameters flow through Sprintf; nothing dead here.
+func Label(dim, iter int) string {
+	return fmt.Sprintf("d%d/i%d", dim, iter)
+}
+
+// A justified suppression carries the escape hatch.
+func Checked(n int) int {
+	probe := n + 1
+	//tofuvet:allow deadassign fixture: probe kept for symmetry with the debug build
+	_ = probe
+	return n
+}
+
+// Compile-time interface assertions are declarations, not assignments.
+type nopSyncer struct{}
+
+func (nopSyncer) Sync() error { return nil }
+
+var _ interface{ Sync() error } = nopSyncer{}

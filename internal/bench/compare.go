@@ -28,6 +28,9 @@ var DefaultTolerances = map[string]float64{
 	// pdes gates a wall-clock speedup, which tracks the measuring host's
 	// core count and load; only a collapse should trip the gate.
 	"pdes": 0.75,
+	// lbm is fully virtual-time deterministic; headroom only for cost-model
+	// recalibrations.
+	"lbm": 0.25,
 }
 
 // compareAbsFloor is the magnitude below which two values are considered

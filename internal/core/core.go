@@ -270,6 +270,36 @@ func Run(spec RunSpec) (*RunResult, error) {
 	return summarize(spec, s, steps, cfg), nil
 }
 
+// Plan builds the simulation the spec describes and returns its static
+// halo neighbor-plan summary without stepping it.
+func Plan(spec RunSpec) (string, error) {
+	mode := topo.MapTopo
+	if spec.LinearMap {
+		mode = topo.MapLinear
+	}
+	m, err := sim.NewMachineMode(spec.TileShape, mode)
+	if err != nil {
+		return "", err
+	}
+	cfg, err := BaseConfig(spec.Workload.Kind)
+	if err != nil {
+		return "", err
+	}
+	fullRanks := spec.Workload.FullShape.Prod() * m.Map.RanksPerNode()
+	tileAtoms := int(float64(spec.Workload.Atoms) * float64(m.Map.Ranks()) / float64(fullRanks))
+	cfg.Cells = lattice.CellsForAtomsOnGrid(tileAtoms, m.Map.Grid)
+	cfg.ScaleRanks = fullRanks
+	if spec.NewtonOff {
+		cfg.NewtonOn = false
+	}
+	s, err := sim.New(m, spec.Variant, cfg)
+	if err != nil {
+		return "", err
+	}
+	defer s.Close()
+	return s.HaloPlan(), nil
+}
+
 func summarize(spec RunSpec, s *sim.Simulation, steps int, cfg sim.Config) *RunResult {
 	bd := trace.Merge(s.Breakdowns())
 	elapsed := s.ElapsedMax()

@@ -1,0 +1,108 @@
+package halo
+
+import (
+	"sort"
+
+	"tofumd/internal/vec"
+)
+
+// Link describes one neighbor message for thread balancing: its payload
+// size and hop count.
+type Link struct {
+	Dir   vec.I3
+	Bytes int
+	Hops  int
+}
+
+// BalanceThreads distributes links over nThreads communication threads so
+// per-thread costs (wire time plus hop latency, the criterion of Fig. 10)
+// are even: longest-processing-time-first greedy assignment. The returned
+// slice maps link index to thread.
+func BalanceThreads(links []Link, nThreads int, bytesPerSec, hopLatency float64) []int {
+	assign := make([]int, len(links))
+	if nThreads <= 1 {
+		return assign
+	}
+	cost := func(l Link) float64 {
+		return float64(l.Bytes)/bytesPerSec + float64(l.Hops)*hopLatency
+	}
+	order := make([]int, len(links))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return cost(links[order[x]]) > cost(links[order[y]])
+	})
+	load := make([]float64, nThreads)
+	for _, idx := range order {
+		best := 0
+		for t := 1; t < nThreads; t++ {
+			if load[t] < load[best] {
+				best = t
+			}
+		}
+		assign[idx] = best
+		load[best] += cost(links[idx])
+	}
+	return assign
+}
+
+// SurvivingTNIs returns the TNI indices in [0, total) that the quarantine
+// predicate does not exclude, in ascending order. The fail-stop re-plan
+// calls it with the health tracker's TNIQuarantined to get the TNI set the
+// §3.3 balance runs over after a TNI failover.
+func SurvivingTNIs(total int, quarantined func(tni int) bool) []int {
+	var out []int
+	for t := 0; t < total; t++ {
+		if quarantined == nil || !quarantined(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SurvivorTNI maps comm thread th onto one of the surviving TNI indices,
+// preserving the thread-bound policy's round-robin thread→TNI pairing when
+// the TNI set shrinks mid-run. Panics on an empty survivor set: a machine
+// with every TNI quarantined cannot run one-sided communication at all,
+// and the caller must have fallen back to MPI before asking.
+func SurvivorTNI(th int, surviving []int) int {
+	if len(surviving) == 0 {
+		panic("halo: no surviving TNIs to bind a comm thread to")
+	}
+	return surviving[th%len(surviving)]
+}
+
+// Res is the thread/TNI assignment of one link's sending side.
+type Res struct {
+	Thread, TNI int
+}
+
+// Assign maps one rank's links onto communication threads and TNIs per the
+// policy, over an explicit surviving-TNI set: the per-rank-slot policy binds
+// everything to the slot's TNI, spray-all round-robins link index over the
+// TNIs, and the thread-bound policy runs the §3.3 balance (specs must carry
+// the per-link bytes and hops; the other policies ignore specs and may pass
+// nil). slot is the rank's node slot; bw and hopLatency parameterize the
+// balance criterion.
+func Assign(policy TNIPolicy, slot int, surviving []int, commThreads int,
+	specs []Link, n int, bw, hopLatency float64) []Res {
+
+	out := make([]Res, n)
+	switch policy {
+	case TNIPerRankSlot:
+		for i := range out {
+			out[i] = Res{Thread: 0, TNI: SurvivorTNI(slot, surviving)}
+		}
+	case TNISprayAll:
+		for i := range out {
+			out[i] = Res{Thread: 0, TNI: SurvivorTNI(i, surviving)}
+		}
+	default: // thread-bound: balance links over the comm threads
+		assign := BalanceThreads(specs, commThreads, bw, hopLatency)
+		for i, th := range assign {
+			out[i] = Res{Thread: th, TNI: SurvivorTNI(th, surviving)}
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package halo
+
+import (
+	"encoding/binary"
+	"math"
+
+	"tofumd/internal/vec"
+)
+
+// Primitive wire codec shared by the halo consumers: little-endian float64
+// words, matching the paper's byte accounting (a 3-float64 position is
+// 24 bytes). Apps compose these into their payload formats — the MD engine's
+// border/position/force records, the LBM distribution planes.
+
+// F64Bytes is the wire size of one float64.
+const F64Bytes = 8
+
+// PutF64 writes v into b little-endian.
+func PutF64(b []byte, v float64) {
+	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+}
+
+// GetF64 reads a little-endian float64 from b.
+func GetF64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// PutV3 writes the three components of v into b.
+func PutV3(b []byte, v vec.V3) {
+	PutF64(b[0:], v.X)
+	PutF64(b[8:], v.Y)
+	PutF64(b[16:], v.Z)
+}
+
+// GetV3 reads three float64 components from b.
+func GetV3(b []byte) vec.V3 {
+	return vec.V3{X: GetF64(b[0:]), Y: GetF64(b[8:]), Z: GetF64(b[16:])}
+}
+
+// Grow returns a buffer of length n, reusing b's storage when it fits.
+func Grow(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// EncodeScalars packs s[base:base+count] into dst.
+func EncodeScalars(dst []byte, s []float64, base, count int) []byte {
+	dst = Grow(dst, count*F64Bytes)
+	for k := 0; k < count; k++ {
+		PutF64(dst[k*F64Bytes:], s[base+k])
+	}
+	return dst
+}
+
+// DecodeScalars writes count scalars into s starting at base.
+func DecodeScalars(src []byte, s []float64, base, count int) {
+	for k := 0; k < count; k++ {
+		s[base+k] = GetF64(src[k*F64Bytes:])
+	}
+}

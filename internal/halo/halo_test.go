@@ -1,0 +1,459 @@
+package halo
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"tofumd/internal/tofu"
+	"tofumd/internal/topo"
+	"tofumd/internal/utofu"
+	"tofumd/internal/vec"
+)
+
+func testRankMap(t *testing.T, shape vec.I3) *topo.RankMap {
+	t.Helper()
+	torus, err := topo.NewTorus3D(shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := topo.NewRankMap(torus, vec.I3{X: 1, Y: 1, Z: 1}, topo.MapTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDecompositionValidation(t *testing.T) {
+	if _, err := NewDecomposition(vec.V3{X: -1, Y: 1, Z: 1}, vec.I3{X: 2, Y: 2, Z: 2}); err == nil {
+		t.Error("accepted negative box")
+	}
+	if _, err := NewDecomposition(vec.V3{X: 1, Y: 1, Z: 1}, vec.I3{X: 0, Y: 2, Z: 2}); err == nil {
+		t.Error("accepted zero grid axis")
+	}
+}
+
+func TestDecompositionSubBoxTiling(t *testing.T) {
+	d, err := NewDecomposition(vec.V3{X: 12, Y: 8, Z: 4}, vec.I3{X: 3, Y: 2, Z: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Side(); got != (vec.V3{X: 4, Y: 4, Z: 4}) {
+		t.Fatalf("side = %+v", got)
+	}
+	// Sub-boxes tile the box: the hi face of coordinate c is the lo face of
+	// c+1, the first lo is 0 and the last hi is the box length.
+	lo, hi := d.SubBox(vec.I3{X: 0, Y: 0, Z: 0})
+	if lo != (vec.V3{}) || hi != (vec.V3{X: 4, Y: 4, Z: 4}) {
+		t.Errorf("subbox(0,0,0) = [%+v, %+v)", lo, hi)
+	}
+	lo2, _ := d.SubBox(vec.I3{X: 1, Y: 0, Z: 0})
+	if lo2.X != hi.X {
+		t.Errorf("adjacent sub-boxes do not tile: hi.X %v, next lo.X %v", hi.X, lo2.X)
+	}
+	_, hiLast := d.SubBox(vec.I3{X: 2, Y: 1, Z: 0})
+	if hiLast != d.Box {
+		t.Errorf("last hi = %+v, want box %+v", hiLast, d.Box)
+	}
+}
+
+func TestOwnerCoordRoundTrip(t *testing.T) {
+	d, err := NewDecomposition(vec.V3{X: 10, Y: 10, Z: 10}, vec.I3{X: 2, Y: 5, Z: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every sub-box's interior point maps back to its coordinate.
+	for z := 0; z < d.Grid.Z; z++ {
+		for y := 0; y < d.Grid.Y; y++ {
+			for x := 0; x < d.Grid.X; x++ {
+				c := vec.I3{X: x, Y: y, Z: z}
+				lo, hi := d.SubBox(c)
+				mid := lo.Add(hi).Scale(0.5)
+				if got := d.OwnerCoord(mid); got != c {
+					t.Fatalf("OwnerCoord(mid of %+v) = %+v", c, got)
+				}
+			}
+		}
+	}
+	// The box edge is guarded against float rounding.
+	if got := d.OwnerCoord(d.Box); got != d.Grid.Sub(vec.I3{X: 1, Y: 1, Z: 1}) {
+		t.Errorf("OwnerCoord(box edge) = %+v", got)
+	}
+}
+
+func TestWrapPosition(t *testing.T) {
+	d, _ := NewDecomposition(vec.V3{X: 4, Y: 4, Z: 4}, vec.I3{X: 2, Y: 2, Z: 2})
+	w := d.WrapPosition(vec.V3{X: -1, Y: 5, Z: 2})
+	if w.X != 3 || w.Y != 1 || w.Z != 2 {
+		t.Errorf("wrap = %+v", w)
+	}
+}
+
+func TestShellsFor(t *testing.T) {
+	d, _ := NewDecomposition(vec.V3{X: 8, Y: 8, Z: 8}, vec.I3{X: 2, Y: 2, Z: 2})
+	// side = 4: a cutoff below the side needs one shell, above it two.
+	if got := d.ShellsFor(3.5); got != 1 {
+		t.Errorf("ShellsFor(3.5) = %d", got)
+	}
+	if got := d.ShellsFor(4.5); got != 2 {
+		t.Errorf("ShellsFor(4.5) = %d", got)
+	}
+	if got := d.ShellsFor(8.5); got != 3 {
+		t.Errorf("ShellsFor(8.5) = %d", got)
+	}
+}
+
+func TestPBCShift(t *testing.T) {
+	d, _ := NewDecomposition(vec.V3{X: 12, Y: 12, Z: 12}, vec.I3{X: 3, Y: 3, Z: 3})
+	// Interior move: no shift.
+	if s := d.PBCShift(vec.I3{X: 1, Y: 1, Z: 1}, vec.I3{X: 1}); s != (vec.V3{}) {
+		t.Errorf("interior shift = %+v", s)
+	}
+	// Wrapping past the high edge shifts the ghost below the box.
+	if s := d.PBCShift(vec.I3{X: 2, Y: 0, Z: 0}, vec.I3{X: 1}); s.X != -12 {
+		t.Errorf("high-edge shift = %+v", s)
+	}
+	// Mirror case shifts up.
+	if s := d.PBCShift(vec.I3{X: 0, Y: 0, Z: 0}, vec.I3{X: -1}); s.X != 12 {
+		t.Errorf("low-edge shift = %+v", s)
+	}
+}
+
+func TestSplitExtentCoversEveryCell(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{{10, 3}, {7, 7}, {16, 4}, {5, 2}} {
+		prev := 0
+		for i := 0; i < tc.parts; i++ {
+			lo, hi := SplitExtent(tc.n, tc.parts, i)
+			if lo != prev {
+				t.Errorf("SplitExtent(%d,%d,%d): lo %d, want %d", tc.n, tc.parts, i, lo, prev)
+			}
+			if hi < lo {
+				t.Errorf("SplitExtent(%d,%d,%d): inverted [%d,%d)", tc.n, tc.parts, i, lo, hi)
+			}
+			prev = hi
+		}
+		if prev != tc.n {
+			t.Errorf("SplitExtent(%d,%d): parts cover %d cells", tc.n, tc.parts, prev)
+		}
+	}
+}
+
+func TestDirectionsAndHalves(t *testing.T) {
+	if got := len(Directions(1)); got != 26 {
+		t.Errorf("one-shell directions = %d", got)
+	}
+	if got := len(Directions(2)); got != 124 {
+		t.Errorf("two-shell directions = %d", got)
+	}
+	if got := len(HalfDirections(1)); got != 13 {
+		t.Errorf("one-shell half = %d", got)
+	}
+	if got := len(HalfDirections(2)); got != 62 {
+		t.Errorf("two-shell half = %d", got)
+	}
+	// UpperHalf partitions: exactly one of d, -d is upper.
+	for _, d := range Directions(2) {
+		neg := vec.I3{X: -d.X, Y: -d.Y, Z: -d.Z}
+		if UpperHalf(d) == UpperHalf(neg) {
+			t.Errorf("UpperHalf does not partition %+v", d)
+		}
+	}
+}
+
+func TestBuildLinkSpecsP2P(t *testing.T) {
+	m := testRankMap(t, vec.I3{X: 2, Y: 2, Z: 2})
+	dirs := Directions(1)
+	specs := BuildLinkSpecs(m, P2P, 1, dirs)
+	if want := m.Ranks() * len(dirs); len(specs) != want {
+		t.Fatalf("p2p specs = %d, want %d", len(specs), want)
+	}
+	for _, s := range specs {
+		if s.Stage3Dim != -1 {
+			t.Fatalf("p2p spec carries stage dim %d", s.Stage3Dim)
+		}
+		if want := m.NeighborRank(s.Src, s.Dir); s.Dst != want {
+			t.Fatalf("spec %+v: dst %d, want %d", s.Dir, s.Dst, want)
+		}
+	}
+	// Enumeration is rank-major: the first len(dirs) specs share Src 0.
+	for i := 0; i < len(dirs); i++ {
+		if specs[i].Src != 0 {
+			t.Fatalf("spec %d src = %d, want rank-major order", i, specs[i].Src)
+		}
+	}
+}
+
+func TestBuildLinkSpecsStaged(t *testing.T) {
+	m := testRankMap(t, vec.I3{X: 2, Y: 2, Z: 2})
+	shells := 2
+	specs := BuildLinkSpecs(m, ThreeStage, shells, nil)
+	// Per dimension, per iteration, both signs, one link per rank.
+	if want := 3 * shells * 2 * m.Ranks(); len(specs) != want {
+		t.Fatalf("staged specs = %d, want %d", len(specs), want)
+	}
+	for _, s := range specs {
+		if s.Stage3Dim < 0 || s.Stage3Dim > 2 {
+			t.Fatalf("stage dim %d out of range", s.Stage3Dim)
+		}
+		// A staged direction is a unit step along its stage dimension.
+		n := s.Dir.X*s.Dir.X + s.Dir.Y*s.Dir.Y + s.Dir.Z*s.Dir.Z
+		if n != 1 {
+			t.Fatalf("staged dir %+v is not axis-aligned", s.Dir)
+		}
+	}
+	// Every staged spec belongs to exactly one round, and the rounds cover
+	// all specs.
+	rounds := Rounds(ThreeStage, shells)
+	if len(rounds) != 3*shells {
+		t.Fatalf("rounds = %d", len(rounds))
+	}
+	covered := 0
+	for _, k := range rounds {
+		for _, s := range specs {
+			if InRound(s.Stage3Dim, s.Stage3Iter, k) {
+				covered++
+			}
+		}
+	}
+	if covered != len(specs) {
+		t.Errorf("rounds cover %d of %d specs", covered, len(specs))
+	}
+}
+
+func TestRoundsP2P(t *testing.T) {
+	rounds := Rounds(P2P, 3)
+	if len(rounds) != 1 || rounds[0].Dim != -1 {
+		t.Fatalf("p2p rounds = %+v", rounds)
+	}
+	if !InRound(-1, 5, rounds[0]) {
+		t.Error("p2p round ignores iteration")
+	}
+}
+
+func TestSpecLessIsStrictWeakOrder(t *testing.T) {
+	m := testRankMap(t, vec.I3{X: 2, Y: 2, Z: 2})
+	specs := BuildLinkSpecs(m, P2P, 1, Directions(1))
+	sorted := append([]LinkSpec(nil), specs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return SpecLess(sorted[i], sorted[j]) })
+	for i := 1; i < len(sorted); i++ {
+		if SpecLess(sorted[i], sorted[i-1]) {
+			t.Fatalf("sort unstable at %d", i)
+		}
+	}
+}
+
+func TestBalanceThreadsEvensLoad(t *testing.T) {
+	links := []Link{
+		{Bytes: 4000, Hops: 1}, {Bytes: 4000, Hops: 1},
+		{Bytes: 1000, Hops: 1}, {Bytes: 1000, Hops: 1},
+		{Bytes: 1000, Hops: 1}, {Bytes: 1000, Hops: 1},
+	}
+	assign := BalanceThreads(links, 2, 1e9, 1e-6)
+	load := map[int]float64{}
+	for i, th := range assign {
+		load[th] += float64(links[i].Bytes)
+	}
+	if load[0] != 6000 || load[1] != 6000 {
+		t.Errorf("LPT loads = %v, want 6000/6000", load)
+	}
+	// Single thread: everything on thread 0.
+	for _, th := range BalanceThreads(links, 1, 1e9, 1e-6) {
+		if th != 0 {
+			t.Fatal("single-thread balance strayed")
+		}
+	}
+}
+
+func TestSurvivingTNIs(t *testing.T) {
+	all := SurvivingTNIs(6, nil)
+	if len(all) != 6 {
+		t.Fatalf("nil predicate: %v", all)
+	}
+	some := SurvivingTNIs(6, func(tni int) bool { return tni == 2 || tni == 5 })
+	if len(some) != 4 || some[0] != 0 || some[3] != 4 {
+		t.Fatalf("quarantined set: %v", some)
+	}
+	if got := SurvivorTNI(3, some); got != some[3%len(some)] {
+		t.Errorf("SurvivorTNI = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SurvivorTNI accepted empty survivor set")
+		}
+	}()
+	SurvivorTNI(0, nil)
+}
+
+func TestAssignPolicies(t *testing.T) {
+	surviving := []int{0, 1, 2}
+	perSlot := Assign(TNIPerRankSlot, 2, surviving, 4, nil, 5, 1e9, 1e-6)
+	for _, r := range perSlot {
+		if r.Thread != 0 || r.TNI != 2 {
+			t.Fatalf("per-slot assign = %+v", r)
+		}
+	}
+	spray := Assign(TNISprayAll, 0, surviving, 4, nil, 5, 1e9, 1e-6)
+	for i, r := range spray {
+		if r.TNI != surviving[i%len(surviving)] {
+			t.Fatalf("spray assign %d = %+v", i, r)
+		}
+	}
+	specs := []Link{{Bytes: 100, Hops: 1}, {Bytes: 100, Hops: 1}, {Bytes: 100, Hops: 1}}
+	bound := Assign(TNIThreadBound, 0, surviving, 3, specs, 3, 1e9, 1e-6)
+	threads := map[int]bool{}
+	for _, r := range bound {
+		threads[r.Thread] = true
+		if r.TNI != surviving[r.Thread%len(surviving)] {
+			t.Fatalf("thread-bound TNI pairing broken: %+v", r)
+		}
+	}
+	if len(threads) != 3 {
+		t.Errorf("3 equal links over 3 threads used %d threads", len(threads))
+	}
+}
+
+func TestFallbackLifecycle(t *testing.T) {
+	var nilFB *Fallback
+	nilFB.RecordFailure(0, 1)
+	nilFB.RecordSuccess(0, 1)
+	nilFB.Reset()
+	if nilFB.Degraded(0, 1) || nilFB.DegradedCount() != 0 {
+		t.Error("nil tracker reports degradation")
+	}
+	if NewFallback(0) != nil {
+		t.Error("k = 0 should disable the tracker")
+	}
+	fb := NewFallback(2)
+	fb.RecordFailure(3, 4)
+	if fb.Degraded(3, 4) {
+		t.Error("degraded below threshold")
+	}
+	fb.RecordFailure(3, 4)
+	if !fb.Degraded(3, 4) || fb.DegradedCount() != 1 {
+		t.Error("not degraded at threshold")
+	}
+	if fb.Degraded(4, 3) {
+		t.Error("pair direction leaked")
+	}
+	fb.RecordSuccess(3, 4)
+	if fb.Degraded(3, 4) {
+		t.Error("success did not re-arm")
+	}
+	fb.RecordFailure(3, 4)
+	fb.RecordFailure(3, 4)
+	fb.Reset()
+	if fb.DegradedCount() != 0 {
+		t.Error("reset did not clear history")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	b := make([]byte, 3*F64Bytes)
+	PutF64(b, math.Pi)
+	if got := GetF64(b); got != math.Pi {
+		t.Errorf("f64 round trip = %v", got)
+	}
+	v := vec.V3{X: 1.5, Y: -2.25, Z: 1e300}
+	PutV3(b, v)
+	if got := GetV3(b); got != v {
+		t.Errorf("v3 round trip = %+v", got)
+	}
+	enc := EncodeScalars(nil, []float64{1, 2, 3}, 0, 3)
+	if len(enc) != 3*F64Bytes {
+		t.Fatalf("encoded %d bytes", len(enc))
+	}
+	dec := make([]float64, 3)
+	DecodeScalars(enc, dec, 0, 3)
+	if dec[0] != 1 || dec[1] != 2 || dec[2] != 3 {
+		t.Errorf("scalars round trip = %v", dec)
+	}
+}
+
+func TestGrow(t *testing.T) {
+	b := Grow(nil, 100)
+	if len(b) < 100 {
+		t.Fatalf("grow(nil, 100) len %d", len(b))
+	}
+	b2 := Grow(b, 50)
+	if &b2[0] != &b[0] {
+		t.Error("grow reallocated a sufficient buffer")
+	}
+}
+
+func testUTofu(t *testing.T) *utofu.System {
+	t.Helper()
+	torus, err := topo.NewTorus3D(vec.I3{X: 2, Y: 2, Z: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := topo.NewRankMap(torus, vec.I3{X: 1, Y: 1, Z: 1}, topo.MapTopo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := tofu.NewFabric(m, tofu.DefaultParams())
+	return utofu.NewSystem(fab)
+}
+
+func TestInboxPreregisterAndEnsure(t *testing.T) {
+	uts := testUTofu(t)
+	ib := &Inbox{}
+	cost := ib.Preregister(uts, 0, 4096)
+	if cost <= 0 {
+		t.Error("pre-registration is free")
+	}
+	if ib.CapBytes != 4096 {
+		t.Fatalf("cap = %d", ib.CapBytes)
+	}
+	for i, r := range ib.Regions {
+		if r == nil || len(ib.Bufs[i]) != 4096 {
+			t.Fatalf("buffer %d not registered", i)
+		}
+	}
+	// Within capacity: no cost, no growth.
+	if c := ib.Ensure(uts, 0, 4096, false); c != 0 {
+		t.Errorf("in-capacity ensure cost %v", c)
+	}
+	// Growth doubles from the current capacity and re-registers.
+	if c := ib.Ensure(uts, 0, 5000, false); c <= 0 {
+		t.Error("growth was free")
+	}
+	if ib.CapBytes != 8192 {
+		t.Errorf("grown cap = %d", ib.CapBytes)
+	}
+}
+
+func TestInboxGrowthFromZero(t *testing.T) {
+	uts := testUTofu(t)
+	ib := &Inbox{}
+	ib.Ensure(uts, 0, 3000, false)
+	if ib.CapBytes != 4096 {
+		t.Errorf("cap from zero = %d, want doubling from 1024", ib.CapBytes)
+	}
+}
+
+func TestInboxFixedOverflowPanics(t *testing.T) {
+	uts := testUTofu(t)
+	ib := &Inbox{}
+	ib.Preregister(uts, 1, 1024)
+	defer func() {
+		if recover() == nil {
+			t.Error("fixed inbox overflow did not panic")
+		}
+	}()
+	ib.Ensure(uts, 1, 2048, true)
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(ThreeStage, TransportUTofu, TNIThreadBound, 4); err != nil {
+		t.Errorf("valid combination rejected: %v", err)
+	}
+	if err := Validate(P2P, TransportMPI, TNISprayAll, 1); err == nil {
+		t.Error("MPI + spray-all TNI policy accepted")
+	}
+	if err := Validate(ThreeStage, TransportMPI, TNIThreadBound, 4); err == nil {
+		t.Error("MPI + thread-bound TNI policy accepted")
+	}
+	if err := Validate(P2P, TransportUTofu, TNIPerRankSlot, 4); err == nil {
+		t.Error("multi-thread per-rank-slot accepted")
+	}
+}

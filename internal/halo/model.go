@@ -1,0 +1,157 @@
+package halo
+
+import "tofumd/internal/vec"
+
+// MessageVolume returns the ghost-region volume (in distance^3, i.e. the
+// expected atom count times inverse density) of the message exchanged with
+// the one-shell neighbor at offset d, for sub-box side a and cutoff r: a on
+// axes where d is 0 and r where it is not — the msg_size column of Table 1
+// (faces a^2 r, edges a r^2, corners r^3).
+func MessageVolume(d vec.I3, a, r float64) float64 {
+	v := 1.0
+	for i := 0; i < 3; i++ {
+		if d.Comp(i) == 0 {
+			v *= a
+		} else {
+			v *= r
+		}
+	}
+	return v
+}
+
+// MessageVolumeAniso is MessageVolume for anisotropic sub-boxes: side_i is
+// used on axes where d is 0 and r where it is not.
+func MessageVolumeAniso(d vec.I3, side vec.V3, r float64) float64 {
+	v := 1.0
+	for i := 0; i < 3; i++ {
+		if d.Comp(i) == 0 {
+			v *= side.Comp(i)
+		} else {
+			v *= r
+		}
+	}
+	return v
+}
+
+// HopCount returns the logical-topology hop count to the neighbor at offset
+// d when the rank mapping preserves adjacency: the number of non-zero axes
+// (Table 1's hop column: faces 1, edges 2, corners 3).
+func HopCount(d vec.I3) int {
+	h := 0
+	for i := 0; i < 3; i++ {
+		if d.Comp(i) != 0 {
+			h++
+		}
+	}
+	return h
+}
+
+// PatternRow is one row of the Table 1 communication-pattern analysis.
+type PatternRow struct {
+	Pattern  Pattern
+	Volume   float64 // ghost-region volume of each message in the row
+	Hops     int
+	Messages int
+}
+
+// AnalyzeTable1 reproduces Table 1 for sub-box side a and cutoff r: the
+// per-class message volumes, hop counts and message counts of the 3-stage
+// and p2p (Newton on) patterns, plus the total exchanged volume of each.
+func AnalyzeTable1(a, r float64) (rows []PatternRow, totalThreeStage, totalP2P float64) {
+	// 3-stage: stage 1 sends a^2 r slabs; stage 2 slabs widened by the
+	// stage-1 ghosts (a^2 r + 2 a r^2); stage 3 widened twice ((a+2r)^2 r).
+	rows = append(rows,
+		PatternRow{ThreeStage, a * a * r, 1, 2},
+		PatternRow{ThreeStage, a*a*r + 2*a*r*r, 1, 2},
+		PatternRow{ThreeStage, (a + 2*r) * (a + 2*r) * r, 1, 2},
+	)
+	totalThreeStage = 8*r*r*r + 12*a*r*r + 6*a*a*r
+	// p2p with Newton's law: the 13 upper-half neighbors, classified.
+	faces, edges, corners := 0, 0, 0
+	for _, d := range halfShellDirs() {
+		switch HopCount(d) {
+		case 1:
+			faces++
+		case 2:
+			edges++
+		case 3:
+			corners++
+		}
+	}
+	rows = append(rows,
+		PatternRow{P2P, a * a * r, 1, faces},
+		PatternRow{P2P, a * r * r, 2, edges},
+		PatternRow{P2P, r * r * r, 3, corners},
+	)
+	totalP2P = 4*r*r*r + 6*a*r*r + 3*a*a*r
+	return rows, totalThreeStage, totalP2P
+}
+
+func halfShellDirs() []vec.I3 {
+	var out []vec.I3
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				d := vec.I3{X: dx, Y: dy, Z: dz}
+				if d == (vec.I3{}) {
+					continue
+				}
+				if dz > 0 || (dz == 0 && dy > 0) || (dz == 0 && dy == 0 && dx > 0) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Model is the analytic communication-time model of section 3.1. T[k] are
+// the peer-to-peer times T_0..T_5 of Table 1 and TInj is the injection
+// interval.
+type Model struct {
+	TInj float64
+	T    [6]float64
+}
+
+// ThreeStageNaive is Equation 3: sequential stages, sequential messages.
+func (m Model) ThreeStageNaive() float64 {
+	return 2*m.T[0] + 2*m.T[1] + 2*m.T[2]
+}
+
+// ThreeStageOpt is Equation 5: the two messages of a stage overlap.
+func (m Model) ThreeStageOpt() float64 {
+	return 3*m.TInj + m.T[0] + m.T[1] + m.T[2]
+}
+
+// P2PNaive is Equation 4 with T_last the time of the final message.
+func (m Model) P2PNaive(tLast float64) float64 {
+	return 12*m.TInj + tLast
+}
+
+// P2POpt is Equation 6: the cheapest message is sent last so earlier
+// transmissions hide behind injection.
+func (m Model) P2POpt() float64 {
+	return 12*m.TInj + min3(m.T[3], m.T[4], m.T[5])
+}
+
+// ThreeStageParallel is Equation 7: per-stage messages fully parallel.
+func (m Model) ThreeStageParallel() float64 {
+	return m.T[0] + m.T[1] + m.T[2]
+}
+
+// P2PParallel is Equation 8: six concurrent injectors cover 13 messages in
+// three waves of injection.
+func (m Model) P2PParallel() float64 {
+	return 2*m.TInj + min3(m.T[3], m.T[4], m.T[5])
+}
+
+func min3(a, b, c float64) float64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}

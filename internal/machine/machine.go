@@ -85,6 +85,14 @@ type CostModel struct {
 	// algorithm of section 3.5.2.
 	BorderBinPerAtom float64
 
+	// LBMCollidePerCell is the BGK collision cost per lattice cell per step
+	// of the D3Q19 lattice-Boltzmann workload (19 equilibria plus the
+	// relaxation update; compute-bound).
+	LBMCollidePerCell float64
+	// LBMStreamPerCell is the pull-streaming propagation cost per cell (19
+	// strided reads; memory-bound).
+	LBMStreamPerCell float64
+
 	// ThermoPerAtom is the local cost of computing thermodynamic output.
 	ThermoPerAtom float64
 	// OutputCost is the fixed cost of formatting/writing one thermo line.
@@ -124,6 +132,9 @@ func DefaultCostModel() CostModel {
 		ScanPerAtom:      4e-9,
 		BorderPerAtom:    55e-9,
 		BorderBinPerAtom: 9e-9,
+
+		LBMCollidePerCell: 180e-9,
+		LBMStreamPerCell:  60e-9,
 
 		ThermoPerAtom: 6e-9,
 		OutputCost:    40e-6,
@@ -193,6 +204,16 @@ func (c *CostModel) BorderDecideTime(n int, borderBins bool) float64 {
 		return float64(n) * c.BorderBinPerAtom
 	}
 	return float64(n) * c.BorderPerAtom
+}
+
+// LBMCollideTime charges the BGK collision over n lattice cells.
+func (c *CostModel) LBMCollideTime(n int, th Threading) float64 {
+	return c.Region(float64(n)*c.LBMCollidePerCell, th)
+}
+
+// LBMStreamTime charges the pull-streaming propagation over n lattice cells.
+func (c *CostModel) LBMStreamTime(n int, th Threading) float64 {
+	return c.Region(float64(n)*c.LBMStreamPerCell, th)
 }
 
 // ThermoTime charges a thermodynamic output computation over n atoms.

@@ -1,386 +1,105 @@
-// Package comm defines the ghost-region communication *plans* of the MD
-// engine: which neighbors a rank exchanges with under the 3-stage and
-// peer-to-peer patterns, how messages are classified by size and hop count
-// (the analysis of Table 1), the analytic time model of section 3.1
-// (Equations 3-8), and the balancing of neighbor messages over the
-// fine-grained communication threads (Fig. 10). The stateful execution of
-// these plans lives in internal/md/sim.
+// Package comm re-exports the ghost-region communication plans of the MD
+// engine under their historical names. The machinery itself — patterns,
+// the Table 1 analysis, the analytic time model of section 3.1
+// (Equations 3-8), thread balancing (Fig. 10) and the graceful-degradation
+// fallback tracker — lives in the generic internal/halo library; this
+// package is a thin alias layer so MD-side code and its tests keep reading
+// in the paper's vocabulary. The stateful execution of the plans lives in
+// internal/md/sim.
 package comm
 
 import (
-	"fmt"
-	"sort"
-
+	"tofumd/internal/halo"
 	"tofumd/internal/vec"
 )
 
 // Pattern selects the halo-exchange communication pattern.
-type Pattern int
+type Pattern = halo.Pattern
 
 const (
 	// ThreeStage is the LAMMPS default: three sequential dimension rounds
 	// of two messages each, with forwarding between rounds (Fig. 4).
-	ThreeStage Pattern = iota
+	ThreeStage = halo.ThreeStage
 	// P2P exchanges directly with every neighbor of the shell (Fig. 5).
-	P2P
+	P2P = halo.P2P
 )
 
-// String names the pattern.
-func (p Pattern) String() string {
-	if p == ThreeStage {
-		return "3stage"
-	}
-	return "p2p"
-}
-
 // Transport selects the software stack driving the fabric.
-type Transport int
+type Transport = halo.Transport
 
 const (
 	// TransportMPI is the heavy two-sided stack (baseline).
-	TransportMPI Transport = iota
+	TransportMPI = halo.TransportMPI
 	// TransportUTofu is the low-overhead one-sided interface.
-	TransportUTofu
+	TransportUTofu = halo.TransportUTofu
 )
 
-// String names the transport.
-func (t Transport) String() string {
-	if t == TransportMPI {
-		return "mpi"
-	}
-	return "utofu"
-}
-
 // TNIPolicy selects how a rank's messages map onto the node's six TNIs.
-type TNIPolicy int
+type TNIPolicy = halo.TNIPolicy
 
 const (
 	// TNIPerRankSlot binds each rank to the one TNI matching its node slot
 	// (the coarse-grained 4-TNI scheme, section 3.2).
-	TNIPerRankSlot TNIPolicy = iota
+	TNIPerRankSlot = halo.TNIPerRankSlot
 	// TNISprayAll cycles one thread's messages over all six TNIs (the
-	// 6TNI-p2p single-thread variant; poor due to VCQ switching and
-	// cross-rank contention, section 4.2).
-	TNISprayAll
+	// 6TNI-p2p single-thread variant, section 4.2).
+	TNISprayAll = halo.TNISprayAll
 	// TNIThreadBound gives each of the six communication threads its own
 	// VCQ on its own TNI (the fine-grained scheme, section 3.3).
-	TNIThreadBound
+	TNIThreadBound = halo.TNIThreadBound
 )
 
-// String names the policy.
-func (p TNIPolicy) String() string {
-	switch p {
-	case TNIPerRankSlot:
-		return "per-rank-slot"
-	case TNISprayAll:
-		return "spray-all"
-	default:
-		return "thread-bound"
-	}
-}
+// MessageVolume returns the ghost-region volume of the message exchanged
+// with the one-shell neighbor at offset d (Table 1's msg_size column).
+func MessageVolume(d vec.I3, a, r float64) float64 { return halo.MessageVolume(d, a, r) }
 
-// MessageVolume returns the ghost-region volume (in distance^3, i.e. the
-// expected atom count times inverse density) of the message exchanged with
-// the one-shell neighbor at offset d, for sub-box side a and cutoff r: a on
-// axes where d is 0 and r where it is not — the msg_size column of Table 1
-// (faces a^2 r, edges a r^2, corners r^3).
-func MessageVolume(d vec.I3, a, r float64) float64 {
-	v := 1.0
-	for i := 0; i < 3; i++ {
-		if d.Comp(i) == 0 {
-			v *= a
-		} else {
-			v *= r
-		}
-	}
-	return v
-}
-
-// MessageVolumeAniso is MessageVolume for anisotropic sub-boxes: side_i is
-// used on axes where d is 0 and r where it is not.
+// MessageVolumeAniso is MessageVolume for anisotropic sub-boxes.
 func MessageVolumeAniso(d vec.I3, side vec.V3, r float64) float64 {
-	v := 1.0
-	for i := 0; i < 3; i++ {
-		if d.Comp(i) == 0 {
-			v *= side.Comp(i)
-		} else {
-			v *= r
-		}
-	}
-	return v
+	return halo.MessageVolumeAniso(d, side, r)
 }
 
 // HopCount returns the logical-topology hop count to the neighbor at offset
-// d when the rank mapping preserves adjacency: the number of non-zero axes
-// (Table 1's hop column: faces 1, edges 2, corners 3).
-func HopCount(d vec.I3) int {
-	h := 0
-	for i := 0; i < 3; i++ {
-		if d.Comp(i) != 0 {
-			h++
-		}
-	}
-	return h
-}
+// d (Table 1's hop column).
+func HopCount(d vec.I3) int { return halo.HopCount(d) }
 
 // PatternRow is one row of the Table 1 communication-pattern analysis.
-type PatternRow struct {
-	Pattern  Pattern
-	Volume   float64 // ghost-region volume of each message in the row
-	Hops     int
-	Messages int
-}
+type PatternRow = halo.PatternRow
 
-// AnalyzeTable1 reproduces Table 1 for sub-box side a and cutoff r: the
-// per-class message volumes, hop counts and message counts of the 3-stage
-// and p2p (Newton on) patterns, plus the total exchanged volume of each.
+// AnalyzeTable1 reproduces Table 1 for sub-box side a and cutoff r.
 func AnalyzeTable1(a, r float64) (rows []PatternRow, totalThreeStage, totalP2P float64) {
-	// 3-stage: stage 1 sends a^2 r slabs; stage 2 slabs widened by the
-	// stage-1 ghosts (a^2 r + 2 a r^2); stage 3 widened twice ((a+2r)^2 r).
-	rows = append(rows,
-		PatternRow{ThreeStage, a * a * r, 1, 2},
-		PatternRow{ThreeStage, a*a*r + 2*a*r*r, 1, 2},
-		PatternRow{ThreeStage, (a + 2*r) * (a + 2*r) * r, 1, 2},
-	)
-	totalThreeStage = 8*r*r*r + 12*a*r*r + 6*a*a*r
-	// p2p with Newton's law: the 13 upper-half neighbors, classified.
-	faces, edges, corners := 0, 0, 0
-	for _, d := range halfShellDirs() {
-		switch HopCount(d) {
-		case 1:
-			faces++
-		case 2:
-			edges++
-		case 3:
-			corners++
-		}
-	}
-	rows = append(rows,
-		PatternRow{P2P, a * a * r, 1, faces},
-		PatternRow{P2P, a * r * r, 2, edges},
-		PatternRow{P2P, r * r * r, 3, corners},
-	)
-	totalP2P = 4*r*r*r + 6*a*r*r + 3*a*a*r
-	return rows, totalThreeStage, totalP2P
+	return halo.AnalyzeTable1(a, r)
 }
 
-func halfShellDirs() []vec.I3 {
-	var out []vec.I3
-	for dz := -1; dz <= 1; dz++ {
-		for dy := -1; dy <= 1; dy++ {
-			for dx := -1; dx <= 1; dx++ {
-				d := vec.I3{X: dx, Y: dy, Z: dz}
-				if d == (vec.I3{}) {
-					continue
-				}
-				if dz > 0 || (dz == 0 && dy > 0) || (dz == 0 && dy == 0 && dx > 0) {
-					out = append(out, d)
-				}
-			}
-		}
-	}
-	return out
-}
+// Model is the analytic communication-time model of section 3.1.
+type Model = halo.Model
 
-// Model is the analytic communication-time model of section 3.1. T[k] are
-// the peer-to-peer times T_0..T_5 of Table 1 and TInj is the injection
-// interval.
-type Model struct {
-	TInj float64
-	T    [6]float64
-}
-
-// ThreeStageNaive is Equation 3: sequential stages, sequential messages.
-func (m Model) ThreeStageNaive() float64 {
-	return 2*m.T[0] + 2*m.T[1] + 2*m.T[2]
-}
-
-// ThreeStageOpt is Equation 5: the two messages of a stage overlap.
-func (m Model) ThreeStageOpt() float64 {
-	return 3*m.TInj + m.T[0] + m.T[1] + m.T[2]
-}
-
-// P2PNaive is Equation 4 with T_last the time of the final message.
-func (m Model) P2PNaive(tLast float64) float64 {
-	return 12*m.TInj + tLast
-}
-
-// P2POpt is Equation 6: the cheapest message is sent last so earlier
-// transmissions hide behind injection.
-func (m Model) P2POpt() float64 {
-	return 12*m.TInj + min3(m.T[3], m.T[4], m.T[5])
-}
-
-// ThreeStageParallel is Equation 7: per-stage messages fully parallel.
-func (m Model) ThreeStageParallel() float64 {
-	return m.T[0] + m.T[1] + m.T[2]
-}
-
-// P2PParallel is Equation 8: six concurrent injectors cover 13 messages in
-// three waves of injection.
-func (m Model) P2PParallel() float64 {
-	return 2*m.TInj + min3(m.T[3], m.T[4], m.T[5])
-}
-
-func min3(a, b, c float64) float64 {
-	m := a
-	if b < m {
-		m = b
-	}
-	if c < m {
-		m = c
-	}
-	return m
-}
-
-// Link describes one neighbor message for thread balancing: its payload
-// size and hop count.
-type Link struct {
-	Dir   vec.I3
-	Bytes int
-	Hops  int
-}
+// Link describes one neighbor message for thread balancing.
+type Link = halo.Link
 
 // BalanceThreads distributes links over nThreads communication threads so
-// per-thread costs (wire time plus hop latency, the criterion of Fig. 10)
-// are even: longest-processing-time-first greedy assignment. The returned
-// slice maps link index to thread.
+// per-thread costs are even (the criterion of Fig. 10).
 func BalanceThreads(links []Link, nThreads int, bytesPerSec, hopLatency float64) []int {
-	assign := make([]int, len(links))
-	if nThreads <= 1 {
-		return assign
-	}
-	cost := func(l Link) float64 {
-		return float64(l.Bytes)/bytesPerSec + float64(l.Hops)*hopLatency
-	}
-	order := make([]int, len(links))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(x, y int) bool {
-		return cost(links[order[x]]) > cost(links[order[y]])
-	})
-	load := make([]float64, nThreads)
-	for _, idx := range order {
-		best := 0
-		for t := 1; t < nThreads; t++ {
-			if load[t] < load[best] {
-				best = t
-			}
-		}
-		assign[idx] = best
-		load[best] += cost(links[idx])
-	}
-	return assign
+	return halo.BalanceThreads(links, nThreads, bytesPerSec, hopLatency)
 }
 
-// SurvivingTNIs returns the TNI indices in [0, total) that the quarantine
-// predicate does not exclude, in ascending order. The fail-stop re-plan
-// calls it with the health tracker's TNIQuarantined to get the TNI set the
-// §3.3 balance runs over after a TNI failover.
+// SurvivingTNIs returns the TNI indices the quarantine predicate does not
+// exclude, in ascending order.
 func SurvivingTNIs(total int, quarantined func(tni int) bool) []int {
-	var out []int
-	for t := 0; t < total; t++ {
-		if quarantined == nil || !quarantined(t) {
-			out = append(out, t)
-		}
-	}
-	return out
+	return halo.SurvivingTNIs(total, quarantined)
 }
 
-// SurvivorTNI maps comm thread th onto one of the surviving TNI indices,
-// preserving the thread-bound policy's round-robin thread→TNI pairing when
-// the TNI set shrinks mid-run. Panics on an empty survivor set: a machine
-// with every TNI quarantined cannot run one-sided communication at all,
-// and the caller must have fallen back to MPI before asking.
-func SurvivorTNI(th int, surviving []int) int {
-	if len(surviving) == 0 {
-		panic("comm: no surviving TNIs to bind a comm thread to")
-	}
-	return surviving[th%len(surviving)]
-}
+// SurvivorTNI maps comm thread th onto one of the surviving TNI indices.
+func SurvivorTNI(th int, surviving []int) int { return halo.SurvivorTNI(th, surviving) }
 
-// Validate sanity-checks a pattern/transport combination: the fine-grained
-// thread-bound policy requires the uTofu transport (MPI progress is single
-// threaded in the baseline).
+// Validate sanity-checks a pattern/transport combination.
 func Validate(p Pattern, t Transport, pol TNIPolicy, threads int) error {
-	if t == TransportMPI && pol != TNIPerRankSlot {
-		return fmt.Errorf("comm: MPI transport supports only the per-rank-slot TNI policy")
-	}
-	if threads > 1 && pol != TNIThreadBound {
-		return fmt.Errorf("comm: %d comm threads require the thread-bound TNI policy", threads)
-	}
-	if pol == TNIThreadBound && t != TransportUTofu {
-		return fmt.Errorf("comm: thread-bound VCQs require the uTofu transport")
-	}
-	return nil
+	return halo.Validate(p, t, pol, threads)
 }
 
 // Fallback tracks per-neighbor retransmission health for graceful
-// degradation: after K consecutive failed uTofu deliveries to a neighbor,
-// the p2p plan routes that neighbor's messages over the 3-stage MPI path
-// for the round instead of burning further retransmit budget. A successful
-// delivery re-arms the neighbor. A nil *Fallback (or K <= 0) disables the
-// mechanism; all methods are nil-safe.
-type Fallback struct {
-	// K is the consecutive-failure threshold that trips a neighbor into
-	// degraded mode.
-	K int
-	// consec counts consecutive failures per (src, dst) ordered pair.
-	consec map[[2]int]int
-}
+// degradation (section 3.4). All methods are nil-safe.
+type Fallback = halo.Fallback
 
 // NewFallback returns a tracker tripping after k consecutive failures, or
 // nil (disabled) for k <= 0.
-func NewFallback(k int) *Fallback {
-	if k <= 0 {
-		return nil
-	}
-	return &Fallback{K: k, consec: make(map[[2]int]int)}
-}
-
-// RecordFailure notes one permanently failed delivery from src to dst.
-func (f *Fallback) RecordFailure(src, dst int) {
-	if f == nil {
-		return
-	}
-	f.consec[[2]int{src, dst}]++
-}
-
-// RecordSuccess notes a clean (possibly retransmitted but delivered) put
-// from src to dst, re-arming the pair.
-func (f *Fallback) RecordSuccess(src, dst int) {
-	if f == nil {
-		return
-	}
-	delete(f.consec, [2]int{src, dst})
-}
-
-// Degraded reports whether src→dst has accumulated K consecutive failures
-// and should be routed over the MPI path.
-func (f *Fallback) Degraded(src, dst int) bool {
-	return f != nil && f.consec[[2]int{src, dst}] >= f.K
-}
-
-// DegradedCount returns the number of currently degraded pairs.
-func (f *Fallback) DegradedCount() int {
-	if f == nil {
-		return 0
-	}
-	n := 0
-	for _, c := range f.consec {
-		if c >= f.K {
-			n++
-		}
-	}
-	return n
-}
-
-// Reset clears all failure history (called when the communication plan is
-// rebuilt, so a re-neighbored topology re-probes every link).
-func (f *Fallback) Reset() {
-	if f == nil {
-		return
-	}
-	clear(f.consec)
-}
+func NewFallback(k int) *Fallback { return halo.NewFallback(k) }

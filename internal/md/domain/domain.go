@@ -1,141 +1,38 @@
 // Package domain implements the spatial domain decomposition of the MD
 // engine: the global periodic box is split into a 3D grid of sub-boxes, one
-// per MPI rank (Fig. 1). It also provides the geometry of ghost-region
-// communication: which neighbor sub-boxes an atom must be sent to, including
-// the 3x3x3 border-bin accelerator of section 3.5.2 and the multi-shell
-// neighborhoods (62/124 neighbors) of the extended experiment (Fig. 15).
+// per MPI rank (Fig. 1). The box/grid geometry itself (sub-boxes, owner
+// lookup, PBC wrapping and shifts, neighborhood enumeration) lives in the
+// generic internal/halo library and is re-exported here; this package adds
+// the MD-specific ghost-send geometry: which neighbor sub-boxes an atom
+// must be sent to, including the 3x3x3 border-bin accelerator of
+// section 3.5.2 and the multi-shell neighborhoods (62/124 neighbors) of the
+// extended experiment (Fig. 15).
 package domain
 
 import (
-	"fmt"
-
+	"tofumd/internal/halo"
 	"tofumd/internal/vec"
 )
 
 // Decomp is the global decomposition.
-type Decomp struct {
-	// Box is the global periodic box lengths.
-	Box vec.V3
-	// Grid is the rank-grid shape.
-	Grid vec.I3
-	// side is the per-axis sub-box side length.
-	side vec.V3
-}
+type Decomp = halo.Decomposition
 
 // NewDecomp validates and builds a decomposition.
 func NewDecomp(box vec.V3, grid vec.I3) (*Decomp, error) {
-	if box.X <= 0 || box.Y <= 0 || box.Z <= 0 {
-		return nil, fmt.Errorf("domain: invalid box %+v", box)
-	}
-	if grid.X <= 0 || grid.Y <= 0 || grid.Z <= 0 {
-		return nil, fmt.Errorf("domain: invalid grid %+v", grid)
-	}
-	return &Decomp{
-		Box:  box,
-		Grid: grid,
-		side: box.Div(grid.ToV3()),
-	}, nil
-}
-
-// Side returns the sub-box side lengths.
-func (d *Decomp) Side() vec.V3 { return d.side }
-
-// SubBox returns the half-open region [lo, hi) of the rank at grid
-// coordinate c.
-func (d *Decomp) SubBox(c vec.I3) (lo, hi vec.V3) {
-	lo = d.side.Mul(c.ToV3())
-	hi = d.side.Mul(c.Add(vec.I3{X: 1, Y: 1, Z: 1}).ToV3())
-	return lo, hi
-}
-
-// OwnerCoord returns the grid coordinate owning position x (which must be
-// inside the box; callers wrap first).
-func (d *Decomp) OwnerCoord(x vec.V3) vec.I3 {
-	c := vec.I3{
-		X: int(x.X / d.side.X),
-		Y: int(x.Y / d.side.Y),
-		Z: int(x.Z / d.side.Z),
-	}
-	// Guard the x == Box edge case from float rounding.
-	if c.X >= d.Grid.X {
-		c.X = d.Grid.X - 1
-	}
-	if c.Y >= d.Grid.Y {
-		c.Y = d.Grid.Y - 1
-	}
-	if c.Z >= d.Grid.Z {
-		c.Z = d.Grid.Z - 1
-	}
-	return c
-}
-
-// WrapPosition maps x into the periodic box.
-func (d *Decomp) WrapPosition(x vec.V3) vec.V3 {
-	return vec.V3{
-		X: vec.WrapPBC(x.X, d.Box.X),
-		Y: vec.WrapPBC(x.Y, d.Box.Y),
-		Z: vec.WrapPBC(x.Z, d.Box.Z),
-	}
-}
-
-// ShellsFor returns how many shells of neighbor sub-boxes the communication
-// needs for the given ghost cutoff: 1 when every sub-box side is at least
-// the cutoff (26 neighbors), 2 when the cutoff exceeds a side (the Fig. 15
-// regime with 62/124 neighbors), and so on.
-func (d *Decomp) ShellsFor(cutoff float64) int {
-	shells := 1
-	for _, side := range []float64{d.side.X, d.side.Y, d.side.Z} {
-		need := int((cutoff-1e-12)/side) + 1
-		if need > shells {
-			shells = need
-		}
-	}
-	return shells
+	return halo.NewDecomposition(box, grid)
 }
 
 // Directions enumerates the neighbor offsets of an s-shell neighborhood:
 // all non-zero offsets in {-s..s}^3. One shell gives 26, two give 124.
-func Directions(shells int) []vec.I3 {
-	var out []vec.I3
-	for dz := -shells; dz <= shells; dz++ {
-		for dy := -shells; dy <= shells; dy++ {
-			for dx := -shells; dx <= shells; dx++ {
-				if dx == 0 && dy == 0 && dz == 0 {
-					continue
-				}
-				out = append(out, vec.I3{X: dx, Y: dy, Z: dz})
-			}
-		}
-	}
-	return out
-}
+func Directions(shells int) []vec.I3 { return halo.Directions(shells) }
 
 // UpperHalf reports whether direction d is in the "upper" half of the
-// neighborhood under the lexicographic (z, y, x) order. With Newton's 3rd
-// law enabled, a rank receives ghosts only from its upper-half neighbors
-// and sends its border atoms to the lower half (Fig. 5): 13 of 26 for one
-// shell, 62 of 124 for two.
-func UpperHalf(d vec.I3) bool {
-	if d.Z != 0 {
-		return d.Z > 0
-	}
-	if d.Y != 0 {
-		return d.Y > 0
-	}
-	return d.X > 0
-}
+// neighborhood under the lexicographic (z, y, x) order (Fig. 5).
+func UpperHalf(d vec.I3) bool { return halo.UpperHalf(d) }
 
 // HalfDirections returns the upper-half directions of an s-shell
 // neighborhood: 13 for one shell, 62 for two.
-func HalfDirections(shells int) []vec.I3 {
-	var out []vec.I3
-	for _, d := range Directions(shells) {
-		if UpperHalf(d) {
-			out = append(out, d)
-		}
-	}
-	return out
-}
+func HalfDirections(shells int) []vec.I3 { return halo.HalfDirections(shells) }
 
 // SendQualifier decides which neighbor sub-boxes an atom must be sent to as
 // a ghost: the atom qualifies for direction d when its distance to rank
@@ -236,32 +133,4 @@ func (q *SendQualifier) BinDirections(dirs []vec.I3) [27][]vec.I3 {
 		}
 	}
 	return out
-}
-
-// PBCShift returns the position shift a ghost atom sent in direction d must
-// carry when the receiving rank sits across a periodic boundary: the
-// receiver at grid coordinate c+d sees the atom offset by -d_wrap * Box on
-// each wrapped axis. srcCoord is the sender's grid coordinate.
-func (d *Decomp) PBCShift(srcCoord, dir vec.I3) vec.V3 {
-	// When the target wraps past the high edge the receiver sits at a low
-	// coordinate, so the ghost must appear below the box (shift -Box); the
-	// mirror case shifts +Box.
-	axis := func(c, dd, n int, box float64) float64 {
-		t := c + dd
-		s := 0.0
-		for t < 0 {
-			s += box
-			t += n
-		}
-		for t >= n {
-			s -= box
-			t -= n
-		}
-		return s
-	}
-	return vec.V3{
-		X: axis(srcCoord.X, dir.X, d.Grid.X, d.Box.X),
-		Y: axis(srcCoord.Y, dir.Y, d.Grid.Y, d.Box.Y),
-		Z: axis(srcCoord.Z, dir.Z, d.Grid.Z, d.Box.Z),
-	}
 }

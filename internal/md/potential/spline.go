@@ -23,8 +23,11 @@ func NewSpline(x0, dx float64, y []float64) (*Spline, error) {
 	if dx <= 0 {
 		return nil, fmt.Errorf("potential: spline dx %v <= 0", dx)
 	}
-	// Solve the tridiagonal system for second derivatives (natural BC).
-	m := make([]float64, n) // second derivatives / 2 staging
+	// Solve the tridiagonal system for the c coefficients (half the second
+	// derivatives). The natural boundary condition y'' = 0 at both ends is
+	// carried by the zero values the system starts from: z[0] = 0 feeds the
+	// forward sweep and c[n-1] = 0 seeds the back-substitution, so no
+	// separate boundary vector is needed.
 	l := make([]float64, n)
 	mu := make([]float64, n)
 	z := make([]float64, n)
@@ -44,15 +47,21 @@ func NewSpline(x0, dx float64, y []float64) (*Spline, error) {
 		b[j] = (y[j+1]-y[j])/dx - dx*(c[j+1]+2*c[j])/3
 		d[j] = (c[j+1] - c[j]) / (3 * dx)
 	}
-	_ = m
 	return &Spline{x0: x0, dx: dx, n: n, a: append([]float64(nil), y...), b: b, c: c, d: d}, nil
 }
 
-// Eval returns the spline value and first derivative at x; x is clamped to
-// the table range.
+// Eval returns the spline value and first derivative at x. Arguments
+// outside [x0, x0+(n-1)dx] are clamped to the table range: the value is
+// held at the end sample and the derivative at the end interval's edge
+// slope, rather than silently extrapolating the end cubic.
 func (s *Spline) Eval(x float64) (y, dy float64) {
-	t := (x - s.x0) / s.dx
-	i := int(t)
+	hi := s.x0 + float64(s.n-1)*s.dx
+	if x < s.x0 {
+		x = s.x0
+	} else if x > hi {
+		x = hi
+	}
+	i := int((x - s.x0) / s.dx)
 	if i < 0 {
 		i = 0
 	}

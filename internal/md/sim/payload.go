@@ -2,40 +2,31 @@ package sim
 
 import (
 	"encoding/binary"
-	"math"
 
+	"tofumd/internal/halo"
 	"tofumd/internal/vec"
 )
 
-// Message payload encodings. Wire sizes match the paper's accounting: a
-// forward-stage position is 24 bytes (3 float64), so the 22-atom messages of
-// the 65K/768-node configuration are 528 bytes (section 4.2); border-stage
+// Message payload encodings, composed from the halo library's primitive
+// wire codec. Wire sizes match the paper's accounting: a forward-stage
+// position is 24 bytes (3 float64), so the 22-atom messages of the
+// 65K/768-node configuration are 528 bytes (section 4.2); border-stage
 // records carry id + type + position (40 bytes).
 
 const (
 	posBytes    = 24
 	borderBytes = 40
 	exchBytes   = 64 // id + type + position + velocity
-	f64Bytes    = 8
+	f64Bytes    = halo.F64Bytes
 )
 
-func putF64(b []byte, v float64) {
-	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
-}
+func putF64(b []byte, v float64) { halo.PutF64(b, v) }
 
-func getF64(b []byte) float64 {
-	return math.Float64frombits(binary.LittleEndian.Uint64(b))
-}
+func getF64(b []byte) float64 { return halo.GetF64(b) }
 
-func putV3(b []byte, v vec.V3) {
-	putF64(b[0:], v.X)
-	putF64(b[8:], v.Y)
-	putF64(b[16:], v.Z)
-}
+func putV3(b []byte, v vec.V3) { halo.PutV3(b, v) }
 
-func getV3(b []byte) vec.V3 {
-	return vec.V3{X: getF64(b[0:]), Y: getF64(b[8:]), Z: getF64(b[16:])}
-}
+func getV3(b []byte) vec.V3 { return halo.GetV3(b) }
 
 // encodePositions packs X[idx]+shift for each index in list.
 func encodePositions(dst []byte, x []vec.V3, list []int32, shift vec.V3) []byte {
@@ -178,9 +169,4 @@ func decodeExchange(src []byte) []exchRecord {
 	return out
 }
 
-func grow(b []byte, n int) []byte {
-	if cap(b) < n {
-		return make([]byte, n)
-	}
-	return b[:n]
-}
+func grow(b []byte, n int) []byte { return halo.Grow(b, n) }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"tofumd/internal/halo"
 	"tofumd/internal/md/atom"
 	"tofumd/internal/md/domain"
 	"tofumd/internal/md/neighbor"
@@ -42,8 +43,8 @@ type link struct {
 	seq int
 	// inbox holds dst's registered receive buffers (uTofu transport);
 	// revInbox holds src's buffers for the reverse direction.
-	inbox    *inbox
-	revInbox *inbox
+	inbox    *halo.Inbox
+	revInbox *halo.Inbox
 	// sendBuf is src's packing scratch.
 	sendBuf []byte
 	// revBuf is dst's packing scratch for the reverse direction.
@@ -60,16 +61,6 @@ type commRes struct {
 // bytesFwd returns the forward-direction wire size for a per-atom payload
 // width.
 func (l *link) bytesFwd(perAtom int) int { return len(l.sendList) * perAtom }
-
-// inbox is a set of four round-robin registered receive buffers
-// (section 3.4, Fig. 10). Under the pre-registered scheme they are sized to
-// the theoretical maximum once; otherwise they grow, paying the
-// registration cost each time.
-type inbox struct {
-	bufs    [4][]byte
-	regions [4]*utofu.MemRegion
-	capBy   int
-}
 
 // Rank is the per-MPI-rank simulation state.
 type Rank struct {

@@ -1,12 +1,9 @@
 package sim
 
 import (
-	"fmt"
-	"math"
-
+	"tofumd/internal/halo"
 	"tofumd/internal/health"
 	"tofumd/internal/md/comm"
-	"tofumd/internal/mpi"
 	"tofumd/internal/trace"
 	"tofumd/internal/utofu"
 )
@@ -54,6 +51,57 @@ const (
 // plan rebuild (border) re-arms the link.
 const fallbackK = 3
 
+// newEngine wires the generic halo round engine to the simulation's state:
+// rank clocks, VCQ tables, the fallback/health trackers, metrics and trace
+// spans all stay on this side of the seam.
+func (s *Simulation) newEngine() *halo.Engine {
+	return &halo.Engine{
+		Fab: s.fab,
+		UTS: s.uts,
+		MPI: s.mpiComm,
+		VCQ: func(rank, tni int) *utofu.VCQ { return s.ranks[rank].vcqByTNI[tni] },
+		Clock: func(rank int) float64 { return s.ranks[rank].Clock },
+		Advance: func(rank int, t float64) {
+			if r := s.ranks[rank]; t > r.Clock {
+				r.Clock = t
+			}
+		},
+		AnyDegraded: func() bool {
+			return s.fb.DegradedCount() > 0 || s.health.QuarantinedLinkCount() > 0
+		},
+		Degraded: func(src, dst int) bool {
+			return s.fb.Degraded(src, dst) || s.health.LinkQuarantined(src, dst)
+		},
+		OnFailure: func(src, dst, tni int, at float64) bool {
+			s.fb.RecordFailure(src, dst)
+			s.health.RecordLinkFailure(src, dst, tni, at)
+			return s.health.RecordTNIFailure(tni, at) == health.Quarantined
+		},
+		OnSuccess: func(src, dst, tni int) {
+			s.fb.RecordSuccess(src, dst)
+			s.health.RecordLinkSuccess(src, dst)
+			s.health.RecordTNISuccess(tni)
+		},
+		OnReplan: func() { s.replanTNIs() },
+		OnFallback: func(msgs []*halo.Msg) {
+			if s.met != nil {
+				s.met.fallbackMsgs.Add(int64(len(msgs)))
+				s.met.fallbackRounds.Inc()
+			}
+		},
+		OnFallbackDone: func(msgs []*halo.Msg) {
+			if s.rec.Enabled() {
+				for _, m := range msgs {
+					s.rec.Span(trace.SpanEvent{
+						Rank: m.Src, Name: "p2p-fallback", Stage: trace.Comm.String(),
+						Step: s.step, Start: m.ReadyAt, End: m.Complete,
+					})
+				}
+			}
+		},
+	}
+}
+
 // runRound executes the messages through the variant's transport and
 // advances the participating ranks' clocks to their completion times.
 // Payload delivery is functional: after the call, receivers read the data
@@ -62,145 +110,24 @@ func (s *Simulation) runRound(msgs []*rmsg) {
 	if len(msgs) == 0 {
 		return
 	}
-	base := math.Inf(1)
-	for _, m := range msgs {
-		if m.readyAt < base {
-			base = m.readyAt
-		}
-		if m.dst.Clock < base {
-			base = m.dst.Clock
-		}
-	}
-	// The fabric's round-relative times become absolute via this offset.
-	s.fab.RecBase = base
-	if s.Var.Transport == comm.TransportMPI {
-		s.runMPIRound(msgs, base)
-	} else {
-		s.runUTofuRoundReliable(msgs, base)
-	}
-	// Advance clocks: receivers to their completions, senders to their
-	// injection completions.
-	for _, m := range msgs {
-		if m.complete > m.dst.Clock {
-			m.dst.Clock = m.complete
-		}
-		if m.issueDone > m.src.Clock {
-			m.src.Clock = m.issueDone
-		}
-	}
-}
-
-func (s *Simulation) runMPIRound(msgs []*rmsg, base float64) {
-	mm := make([]*mpi.Message, len(msgs))
+	hm := make([]*halo.Msg, len(msgs))
 	for i, m := range msgs {
-		mm[i] = &mpi.Message{
-			Src:         m.src.ID,
-			Dst:         m.dst.ID,
-			Tag:         i,
-			Data:        m.data,
-			KnownLength: m.known,
-			ReadyAt:     m.readyAt - base,
-			RecvReadyAt: m.dst.Clock - base,
+		hm[i] = &halo.Msg{
+			Src: m.src.ID, Dst: m.dst.ID,
+			Thread: m.res.thread, DstThread: m.dstThread, TNI: m.res.tni,
+			Data: m.data, Known: m.known,
+			ReadyAt: m.readyAt,
+		}
+		if s.Var.Transport == comm.TransportUTofu {
+			hm[i].Region, hm[i].DstOff = s.putTarget(m)
 		}
 	}
-	s.mpiComm.ExchangeRound(mm)
+	s.eng.RunRound(s.Var.Transport, hm)
 	for i, m := range msgs {
-		m.complete = base + mm[i].RecvComplete
-		m.issueDone = base + mm[i].IssueDone
+		m.readyAt = hm[i].ReadyAt
+		m.complete = hm[i].Complete
+		m.issueDone = hm[i].IssueDone
 	}
-}
-
-// runUTofuRoundReliable delivers a uTofu round even under fault injection:
-// messages to neighbors past the fallback threshold skip uTofu entirely,
-// and puts whose retransmit budget is exhausted are re-sent over the MPI
-// path (section 3.4's graceful degradation). Without faults this reduces
-// to a plain runUTofuRound.
-func (s *Simulation) runUTofuRoundReliable(msgs []*rmsg, base float64) {
-	direct := msgs
-	var fallback []*rmsg
-	if s.fb.DegradedCount() > 0 || s.health.QuarantinedLinkCount() > 0 {
-		direct = direct[:0:0]
-		for _, m := range msgs {
-			if s.fb.Degraded(m.src.ID, m.dst.ID) || s.health.LinkQuarantined(m.src.ID, m.dst.ID) {
-				fallback = append(fallback, m)
-			} else {
-				direct = append(direct, m)
-			}
-		}
-	}
-	fallback = append(fallback, s.runUTofuRound(direct, base)...)
-	if len(fallback) == 0 {
-		return
-	}
-	if s.met != nil {
-		s.met.fallbackMsgs.Add(int64(len(fallback)))
-		s.met.fallbackRounds.Inc()
-	}
-	s.runMPIRound(fallback, base)
-	if s.rec.Enabled() {
-		for _, m := range fallback {
-			s.rec.Span(trace.SpanEvent{
-				Rank: m.src.ID, Name: "p2p-fallback", Stage: trace.Comm.String(),
-				Step: s.step, Start: m.readyAt, End: m.complete,
-			})
-		}
-	}
-}
-
-// runUTofuRound issues the messages as uTofu puts and returns the ones
-// that failed permanently (retransmit budget exhausted); their readyAt is
-// advanced to the failure-detection time so a fallback resend starts from
-// when the sender learned of the loss.
-func (s *Simulation) runUTofuRound(msgs []*rmsg, base float64) []*rmsg {
-	if len(msgs) == 0 {
-		return nil
-	}
-	puts := make([]*utofu.Put, len(msgs))
-	for i, m := range msgs {
-		region, off := s.putTarget(m)
-		vcq := m.src.vcqByTNI[m.res.tni]
-		if vcq == nil {
-			panic(fmt.Sprintf("sim: rank %d has no VCQ on TNI %d", m.src.ID, m.res.tni))
-		}
-		puts[i] = &utofu.Put{
-			VCQ:       vcq,
-			Thread:    m.res.thread,
-			DstThread: m.dstThread,
-			DstSTADD:  region.STADD,
-			DstOff:    off,
-			Src:       m.data,
-			ReadyAt:   m.readyAt - base,
-		}
-	}
-	if err := s.uts.ExecuteRound(puts); err != nil {
-		panic("sim: utofu round failed: " + err.Error())
-	}
-	var failed []*rmsg
-	replan := false
-	for i, m := range msgs {
-		if puts[i].Failed {
-			s.fb.RecordFailure(m.src.ID, m.dst.ID)
-			at := base + puts[i].FailedAt
-			s.health.RecordLinkFailure(m.src.ID, m.dst.ID, m.res.tni, at)
-			if s.health.RecordTNIFailure(m.res.tni, at) == health.Quarantined {
-				replan = true
-			}
-			m.readyAt = at
-			failed = append(failed, m)
-			continue
-		}
-		s.fb.RecordSuccess(m.src.ID, m.dst.ID)
-		s.health.RecordLinkSuccess(m.src.ID, m.dst.ID)
-		s.health.RecordTNISuccess(m.res.tni)
-		m.complete = base + puts[i].RecvComplete
-		m.issueDone = base + puts[i].IssueDone
-	}
-	if replan {
-		// A TNI crossed into quarantine this round: re-balance over the
-		// survivors before the next round injects on a dead interface.
-		s.replanTNIs()
-	}
-	return failed
 }
 
 // putTarget resolves the destination region and offset of a uTofu message.
@@ -210,10 +137,10 @@ func (s *Simulation) putTarget(m *rmsg) (*utofu.MemRegion, int) {
 		return s.xRegion[m.dst.ID], m.dstOff
 	case inboxRev:
 		ib := m.link.revInbox
-		return ib.regions[m.link.seq%4], 0
+		return ib.Regions[m.link.seq%4], 0
 	default:
 		ib := m.link.inbox
-		return ib.regions[m.link.seq%4], 0
+		return ib.Regions[m.link.seq%4], 0
 	}
 }
 
@@ -221,34 +148,11 @@ func (s *Simulation) putTarget(m *rmsg) (*utofu.MemRegion, int) {
 // bytes, charging the registration cost to the owning rank unless the
 // buffers were pre-registered at their maximum size during setup. Returns
 // the virtual-time cost charged.
-func (s *Simulation) ensureInbox(owner *Rank, ib *inbox, need int) float64 {
-	if ib.capBy >= need {
+func (s *Simulation) ensureInbox(owner *Rank, ib *halo.Inbox, need int) float64 {
+	cost := ib.Ensure(s.uts, owner.ID, need, s.Var.Preregistered)
+	if cost == 0 {
 		return 0
 	}
-	if s.Var.Preregistered {
-		// Pre-registered buffers are sized to the theoretical maximum; a
-		// breach means the estimate was wrong — fail loudly.
-		panic(fmt.Sprintf("sim: rank %d pre-registered inbox of %dB overflowed by message of %dB",
-			owner.ID, ib.capBy, need))
-	}
-	newCap := ib.capBy
-	if newCap == 0 {
-		newCap = 1024
-	}
-	for newCap < need {
-		newCap *= 2
-	}
-	var cost float64
-	for i := range ib.bufs {
-		if ib.regions[i] != nil {
-			s.uts.Deregister(ib.regions[i])
-		}
-		ib.bufs[i] = make([]byte, newCap)
-		region, c := s.uts.Register(owner.ID, ib.bufs[i])
-		ib.regions[i] = region
-		cost += c
-	}
-	ib.capBy = newCap
 	owner.Clock += cost
 	if s.rec.Enabled() {
 		s.rec.Instant(trace.InstantEvent{

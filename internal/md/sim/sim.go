@@ -12,6 +12,7 @@ import (
 
 	"tofumd/internal/des"
 	"tofumd/internal/faultinject"
+	"tofumd/internal/halo"
 	"tofumd/internal/health"
 	"tofumd/internal/machine"
 	"tofumd/internal/md/atom"
@@ -135,6 +136,9 @@ type Simulation struct {
 	uts     *utofu.System
 	mpiComm *mpi.Comm
 	pool    *threadpool.Pool
+	// eng executes the bulk-synchronous halo rounds; its hooks close over
+	// the simulation's clocks, VCQ tables and health trackers.
+	eng *halo.Engine
 
 	ranks   []*Rank
 	xRegion []*utofu.MemRegion
@@ -219,6 +223,7 @@ func New(m *Machine, v Variant, cfg Config) (*Simulation, error) {
 	s.health.SetTNITotal(m.Params.TNIsPerNode)
 	s.shells = dec.ShellsFor(s.ghCut)
 	s.nve = &integrate.NVE{Dt: dt, Mass: cfg.Potential.Mass(), Mvv2e: u.Mvv2e}
+	s.eng = s.newEngine()
 
 	// The ghost region may span several sub-boxes (multi-shell exchange,
 	// including a rank's own periodic image), but the force cutoff must
@@ -484,8 +489,6 @@ func (s *Simulation) ElapsedMax() float64 {
 func (s *Simulation) createRanks() {
 	n := s.M.Map.Ranks()
 	s.ranks = make([]*Rank, n)
-	grid := s.M.Map.Grid
-	_ = grid
 	s.forRanks(func(id int) {
 		coord := s.M.Map.RankCoord(id)
 		lo, hi := s.dec.SubBox(coord)
@@ -583,43 +586,19 @@ func (s *Simulation) sendDirs() []vec.I3 {
 	return domain.Directions(s.shells)
 }
 
-// createLinks builds the static link graph of the variant's pattern.
+// createLinks builds the static link graph of the variant's pattern from
+// the generic halo plan.
 func (s *Simulation) createLinks() {
-	if s.Var.Pattern == comm.P2P {
-		for _, src := range s.ranks {
-			for _, d := range s.sendDirs() {
-				dst := s.ranks[s.M.Map.NeighborRank(src.ID, d)]
-				l := &link{
-					src: src, dst: dst, dir: d,
-					shift:      s.dec.PBCShift(src.Coord, d),
-					stage3Dim:  -1,
-					stage3Iter: 0,
-				}
-				src.sendLinks = append(src.sendLinks, l)
-				dst.recvLinks = append(dst.recvLinks, l)
-			}
+	for _, sp := range halo.BuildLinkSpecs(s.M.Map, s.Var.Pattern, s.shells, s.sendDirs()) {
+		src, dst := s.ranks[sp.Src], s.ranks[sp.Dst]
+		l := &link{
+			src: src, dst: dst, dir: sp.Dir,
+			shift:      s.dec.PBCShift(src.Coord, sp.Dir),
+			stage3Dim:  sp.Stage3Dim,
+			stage3Iter: sp.Stage3Iter,
 		}
-	} else {
-		// 3-stage: per dimension, per forwarding iteration, both signs.
-		for dim := 0; dim < 3; dim++ {
-			for iter := 0; iter < s.shells; iter++ {
-				for _, sign := range []int{-1, 1} {
-					d := vec.I3{}
-					d = d.SetComp(dim, sign)
-					for _, src := range s.ranks {
-						dst := s.ranks[s.M.Map.NeighborRank(src.ID, d)]
-						l := &link{
-							src: src, dst: dst, dir: d,
-							shift:      s.dec.PBCShift(src.Coord, d),
-							stage3Dim:  dim,
-							stage3Iter: iter,
-						}
-						src.sendLinks = append(src.sendLinks, l)
-						dst.recvLinks = append(dst.recvLinks, l)
-					}
-				}
-			}
-		}
+		src.sendLinks = append(src.sendLinks, l)
+		dst.recvLinks = append(dst.recvLinks, l)
 	}
 	for _, r := range s.ranks {
 		sort.SliceStable(r.sendLinks, func(i, j int) bool { return linkLess(r.sendLinks[i], r.sendLinks[j]) })
@@ -644,18 +623,10 @@ func (s *Simulation) assignResourcesOver(tnis []int) {
 	for _, r := range s.ranks {
 		_, slot := s.M.Map.NodeOf(r.ID)
 		assignSide := func(links []*link, pick func(l *link) *commRes, hopOf func(l *link) int) []int {
-			threads := make([]int, len(links))
-			switch s.Var.TNIPolicy {
-			case comm.TNIPerRankSlot:
-				for _, l := range links {
-					*pick(l) = commRes{thread: 0, tni: comm.SurvivorTNI(slot, tnis), vcqTag: 0}
-				}
-			case comm.TNISprayAll:
-				for i, l := range links {
-					*pick(l) = commRes{thread: 0, tni: comm.SurvivorTNI(i, tnis), vcqTag: 0}
-				}
-			default: // thread-bound: balance links over the comm threads
-				specs := make([]comm.Link, len(links))
+			// Only the thread-bound policy consults the per-link specs.
+			var specs []comm.Link
+			if s.Var.TNIPolicy != comm.TNIPerRankSlot && s.Var.TNIPolicy != comm.TNISprayAll {
+				specs = make([]comm.Link, len(links))
 				for i, l := range links {
 					vol := comm.MessageVolume(l.dir, avgSide, s.ghCut)
 					specs[i] = comm.Link{
@@ -664,13 +635,13 @@ func (s *Simulation) assignResourcesOver(tnis []int) {
 						Hops:  hopOf(l),
 					}
 				}
-				assign := comm.BalanceThreads(specs, s.Var.CommThreads,
-					s.M.Params.LinkBandwidth, s.M.Params.HopLatency)
-				for i, l := range links {
-					th := assign[i]
-					*pick(l) = commRes{thread: th, tni: comm.SurvivorTNI(th, tnis), vcqTag: 0}
-					threads[i] = th
-				}
+			}
+			res := halo.Assign(s.Var.TNIPolicy, slot, tnis, s.Var.CommThreads,
+				specs, len(links), s.M.Params.LinkBandwidth, s.M.Params.HopLatency)
+			threads := make([]int, len(links))
+			for i, l := range links {
+				*pick(l) = commRes{thread: res[i].Thread, tni: res[i].TNI, vcqTag: 0}
+				threads[i] = res[i].Thread
 			}
 			return threads
 		}
@@ -719,21 +690,21 @@ func (s *Simulation) setupTransport() error {
 	s.xRegion = make([]*utofu.MemRegion, len(s.ranks))
 	for _, r := range s.ranks {
 		for _, l := range r.sendLinks {
-			l.inbox = &inbox{}
-			l.revInbox = &inbox{}
+			l.inbox = &halo.Inbox{}
+			l.revInbox = &halo.Inbox{}
 			if s.Var.Preregistered {
 				// Sized to the theoretical maximum once (section 3.4):
 				// no mid-run expansion, ever.
 				vol := comm.MessageVolumeAniso(clampDir(l.dir), s.dec.Side(), s.ghCut)
 				maxAtoms := int(vol*s.density*1.5) + 16
-				s.SetupTime += s.preregister(l.dst, l.inbox, maxAtoms*borderBytes)
-				s.SetupTime += s.preregister(l.src, l.revInbox, maxAtoms*borderBytes)
+				s.SetupTime += l.inbox.Preregister(s.uts, l.dst.ID, maxAtoms*borderBytes)
+				s.SetupTime += l.revInbox.Preregister(s.uts, l.src.ID, maxAtoms*borderBytes)
 			} else {
 				// Default-size buffers registered during setup, like the
 				// baseline; they re-register whenever a bigger message
 				// forces an expansion mid-run.
-				s.SetupTime += s.preregister(l.dst, l.inbox, initialInboxBytes)
-				s.SetupTime += s.preregister(l.src, l.revInbox, initialInboxBytes)
+				s.SetupTime += l.inbox.Preregister(s.uts, l.dst.ID, initialInboxBytes)
+				s.SetupTime += l.revInbox.Preregister(s.uts, l.src.ID, initialInboxBytes)
 			}
 		}
 		if s.Var.Preregistered {
@@ -749,20 +720,6 @@ func (s *Simulation) setupTransport() error {
 // initialInboxBytes is the default receive-buffer size of the non-pre-
 // registered uTofu variants (LAMMPS's BUFMIN-style initial allocation).
 const initialInboxBytes = 1 << 12
-
-// preregister sizes and registers all four round-robin buffers of an inbox
-// once, returning the setup cost.
-func (s *Simulation) preregister(owner *Rank, ib *inbox, capBy int) float64 {
-	var cost float64
-	for i := range ib.bufs {
-		ib.bufs[i] = make([]byte, capBy)
-		region, c := s.uts.Register(owner.ID, ib.bufs[i])
-		ib.regions[i] = region
-		cost += c
-	}
-	ib.capBy = capBy
-	return cost
-}
 
 func clampDir(d vec.I3) vec.I3 {
 	c := func(v int) int {

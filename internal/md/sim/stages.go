@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"tofumd/internal/halo"
 	"tofumd/internal/machine"
 	"tofumd/internal/md/comm"
 	"tofumd/internal/md/neighbor"
@@ -19,31 +20,20 @@ func (s *Simulation) packThreading() machine.Threading {
 	return machine.Serial
 }
 
-// roundKey identifies one bulk-synchronous round of a halo operation: a
-// single {-1, 0} for p2p, or one (dim, iter) pair per 3-stage round.
-type roundKey struct{ dim, iter int }
-
-func (s *Simulation) commRounds() []roundKey {
-	if s.Var.Pattern == comm.P2P {
-		return []roundKey{{-1, 0}}
-	}
-	var out []roundKey
-	for dim := 0; dim < 3; dim++ {
-		for iter := 0; iter < s.shells; iter++ {
-			out = append(out, roundKey{dim, iter})
-		}
-	}
-	return out
+// commRounds enumerates the bulk-synchronous rounds of one halo operation:
+// a single {-1, 0} for p2p, or one (Dim, Iter) pair per 3-stage round.
+func (s *Simulation) commRounds() []halo.RoundKey {
+	return halo.Rounds(s.Var.Pattern, s.shells)
 }
 
 // inRound reports whether link l belongs to round k.
-func inRound(l *link, k roundKey) bool {
-	return l.stage3Dim == k.dim && (k.dim == -1 || l.stage3Iter == k.iter)
+func inRound(l *link, k halo.RoundKey) bool {
+	return halo.InRound(l.stage3Dim, l.stage3Iter, k)
 }
 
 // linksOfRound returns the send links of rank r belonging to round k, in
 // deterministic order.
-func linksOfRound(r *Rank, k roundKey) []*link {
+func linksOfRound(r *Rank, k halo.RoundKey) []*link {
 	var out []*link
 	for _, l := range r.sendLinks {
 		if inRound(l, k) {
@@ -134,8 +124,8 @@ func (s *Simulation) buildP2PSendLists() {
 // build3StageSendLists fills the send lists of round k: iteration 0 scans
 // locals plus the ghosts of earlier dimensions; iteration k>0 forwards the
 // ghosts received on the same-direction link of iteration k-1.
-func (s *Simulation) build3StageSendLists(k roundKey) {
-	if k.iter == 0 {
+func (s *Simulation) build3StageSendLists(k halo.RoundKey) {
+	if k.Iter == 0 {
 		s.forRanks(func(id int) {
 			s.ranks[id].dimGhostMark = s.ranks[id].Atoms.Total()
 		})
@@ -146,22 +136,22 @@ func (s *Simulation) build3StageSendLists(k roundKey) {
 		scanned := 0
 		for _, l := range linksOfRound(r, k) {
 			l.sendList = l.sendList[:0]
-			sign := l.dir.Comp(k.dim)
+			sign := l.dir.Comp(k.Dim)
 			qualify := func(i int) bool {
-				x := a.X[i].Comp(k.dim)
+				x := a.X[i].Comp(k.Dim)
 				if sign > 0 {
-					return x >= r.Hi.Comp(k.dim)-s.ghCut
+					return x >= r.Hi.Comp(k.Dim)-s.ghCut
 				}
-				return x < r.Lo.Comp(k.dim)+s.ghCut
+				return x < r.Lo.Comp(k.Dim)+s.ghCut
 			}
-			if k.iter == 0 {
+			if k.Iter == 0 {
 				for i := 0; i < r.dimGhostMark; i++ {
 					if qualify(i) {
 						l.sendList = append(l.sendList, int32(i))
 					}
 				}
 				scanned += r.dimGhostMark
-			} else if prev := r.findRecvLink(k.dim, k.iter-1, l.dir); prev != nil {
+			} else if prev := r.findRecvLink(k.Dim, k.Iter-1, l.dir); prev != nil {
 				start, count := prev.ghostRange()
 				for i := start; i < start+count; i++ {
 					if qualify(i) {
@@ -186,7 +176,7 @@ func (r *Rank) findRecvLink(dim, iter int, dir vec.I3) *link {
 }
 
 // borderRound packs, ships and unpacks the border messages of one round.
-func (s *Simulation) borderRound(k roundKey) {
+func (s *Simulation) borderRound(k halo.RoundKey) {
 	packTh := s.packThreading()
 	s.forRanks(func(id int) {
 		r := s.ranks[id]
@@ -245,7 +235,7 @@ func (s *Simulation) deliverToInboxes(msgs []*rmsg) {
 		if m.inboxDst == inboxRev {
 			ib = m.link.revInbox
 		}
-		buf := ib.bufs[m.link.seq%4]
+		buf := ib.Bufs[m.link.seq%4]
 		copy(buf, m.data)
 		m.data = buf[:len(m.data)]
 	}

@@ -1,0 +1,93 @@
+// Command tofud is the simulation-as-a-service daemon: a long-running
+// HTTP server that accepts MD job specs (JSON), schedules them onto a
+// bounded worker pool with admission control, deadlines, priority
+// preemption and bounded retries, and survives restarts by journaling
+// checkpoints — SIGTERM checkpoints in-flight jobs and the next boot
+// resumes them bit-identically.
+//
+// Example:
+//
+//	tofud -listen localhost:8080 -state /var/lib/tofud &
+//	curl -s -X POST localhost:8080/jobs -d '{"potential":"lj","atoms":4000,"nodes":"2x2x2","steps":400}'
+//	curl -s localhost:8080/jobs/job-0001
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tofumd/internal/jobfarm"
+	"tofumd/internal/metrics"
+	"tofumd/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tofud: ")
+	var (
+		listen   = flag.String("listen", "localhost:8080", "HTTP listen address (host:0 picks a free port)")
+		stateDir = flag.String("state", "", "journal directory for job metadata + checkpoints (empty = in-memory only)")
+		workers  = flag.Int("workers", 2, "worker pool size")
+		queueCap = flag.Int("queue", 16, "admission queue capacity (fresh submissions beyond this are shed with 429)")
+		retries  = flag.Int("retries", 2, "default transient-failure retry budget per job")
+		drainSec = flag.Float64("drain", 60, "max seconds to wait for in-flight jobs to checkpoint on SIGTERM")
+		metFile  = flag.String("metrics", "", "dump the metrics registry to this file at exit (.json for JSON, text otherwise)")
+	)
+	flag.Parse()
+
+	var journal *jobfarm.Journal
+	if *stateDir != "" {
+		var err error
+		journal, err = jobfarm.OpenJournal(*stateDir)
+		if err != nil {
+			log.Fatalf("journal: %v", err)
+		}
+	}
+	met := metrics.New()
+	farm, err := jobfarm.New(jobfarm.Config{
+		Workers:    *workers,
+		QueueCap:   *queueCap,
+		MaxRetries: *retries,
+		Journal:    journal,
+		Metrics:    met,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("farm: %v", err)
+	}
+
+	// Bind first so a bad address fails the run instead of a background
+	// goroutine logging after we already claimed the endpoint is up.
+	ln, addr, err := obs.Listen(*listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("listening on http://%s (workers=%d queue=%d)", addr, *workers, *queueCap)
+	go func() {
+		if err := obs.Serve(ln, farm.Handler()); err != nil {
+			log.Printf("http server: %v", err)
+		}
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	sig := <-sigc
+	log.Printf("%s: draining (checkpointing in-flight jobs, max %.0fs)", sig, *drainSec)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSec*float64(time.Second)))
+	defer cancel()
+	if err := farm.Shutdown(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	ln.Close()
+	if *metFile != "" {
+		if err := met.WriteFile(*metFile); err != nil {
+			log.Printf("metrics: %v", err)
+		}
+	}
+	log.Printf("stopped")
+}

@@ -36,9 +36,12 @@ var Guarded = &Analyzer{
 }
 
 // serializedTypes names types documented single-goroutine: all method
-// calls must stay off spawned goroutines.
+// calls must stay off spawned goroutines. jobfarm.Scheduler does no
+// locking by design — the Farm serializes every call under its mutex —
+// so touching it from a freshly spawned goroutine is always a bug.
 var serializedTypes = map[string][]string{
-	"tofumd/internal/health": {"Tracker"},
+	"tofumd/internal/health":  {"Tracker"},
+	"tofumd/internal/jobfarm": {"Scheduler"},
 }
 
 var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)

@@ -10,5 +10,6 @@ import (
 func TestGuarded(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Guarded,
 		"tofumd/internal/faultcache",
-		"tofumd/internal/health")
+		"tofumd/internal/health",
+		"tofumd/internal/farmworker")
 }

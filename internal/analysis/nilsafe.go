@@ -8,7 +8,8 @@ import (
 
 // nilsafeTargets names the types whose documented contract is "a nil
 // receiver is a valid, disabled instance": the metrics registry and its
-// family handle types, the trace recorder, and the health tracker.
+// family handle types, the trace recorder, the health tracker, and the
+// job-farm journal (a farm without persistence runs with a nil *Journal).
 // Instrumented hot paths rely on that contract costing exactly one pointer
 // check, so every exported method must carry its own guard — transitively
 // inheriting nil-safety from a callee rots silently when the callee
@@ -19,6 +20,7 @@ var nilsafeTargets = map[string][]string{
 	"tofumd/internal/health":  {"Tracker"},
 	"tofumd/internal/obs":     {"StatusServer"},
 	"tofumd/internal/halo":    {"Fallback"},
+	"tofumd/internal/jobfarm": {"Journal"},
 }
 
 // NilSafe requires every exported pointer-receiver method on the nil-safe

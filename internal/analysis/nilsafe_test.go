@@ -9,5 +9,6 @@ import (
 
 func TestNilSafe(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.NilSafe,
-		"tofumd/internal/metrics", "tofumd/internal/trace")
+		"tofumd/internal/metrics", "tofumd/internal/trace",
+		"tofumd/internal/jobfarm")
 }

@@ -1,0 +1,82 @@
+// Package farmworker is the guarded fixture for the job farm: a
+// mutex-owning Farm whose scheduler state carries "guarded by mu"
+// comments, plus seeded misuses of jobfarm.Scheduler — single-goroutine
+// by contract — from spawned goroutines.
+package farmworker
+
+import (
+	"sync"
+
+	"tofumd/internal/jobfarm"
+)
+
+// Farm owns the scheduler and serializes access under mu.
+type Farm struct {
+	mu sync.Mutex
+	// sched is the lifecycle core; guarded by mu.
+	sched *jobfarm.Scheduler
+	// closed marks the farm shut down; guarded by mu.
+	closed bool
+}
+
+// Submit takes the lock before touching scheduler state.
+func (f *Farm) Submit() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sched.QueueDepth()
+}
+
+// Depth reads the scheduler locklessly — the race the analyzer exists for.
+func (f *Farm) Depth() int {
+	return f.sched.QueueDepth() // want `guarded by mu`
+}
+
+// Close flips the flag outside the lock.
+func (f *Farm) Close() {
+	f.closed = true // want `guarded by mu`
+}
+
+// dispatchLocked is a sanctioned lock-split helper.
+func (f *Farm) dispatchLocked() {
+	if !f.closed {
+		f.sched.StartNext()
+	}
+}
+
+// drain re-acquires correctly after an unlock window.
+func (f *Farm) drain() {
+	f.mu.Lock()
+	f.sched.StartNext()
+	f.mu.Unlock()
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+}
+
+// misuseDirect drives the scheduler from a spawned goroutine.
+func misuseDirect(sc *jobfarm.Scheduler) {
+	go sc.StartNext() // want `single-goroutine by contract`
+}
+
+// misuseClosure hides the call inside a goroutine closure.
+func misuseClosure(sc *jobfarm.Scheduler) {
+	go func() {
+		_ = sc.QueueDepth() // want `single-goroutine by contract`
+	}()
+}
+
+// worker's body runs on a spawned goroutine, but the scheduler calls are
+// not lexically inside a go statement: the farm pattern `go f.worker()`
+// with locking inside the body is the sanctioned shape.
+func worker(f *Farm) {
+	f.mu.Lock()
+	f.sched.StartNext()
+	f.mu.Unlock()
+}
+
+// spawn launches workers; the go statement itself carries no scheduler call.
+func spawn(f *Farm) {
+	for i := 0; i < 2; i++ {
+		go worker(f)
+	}
+}

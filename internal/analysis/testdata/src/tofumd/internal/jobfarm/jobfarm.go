@@ -1,0 +1,69 @@
+// Package jobfarm is the nilsafe fixture for the simulation job farm:
+// a farm without persistence runs with a nil *Journal, so every exported
+// Journal method must carry its own guard. Scheduler is defined here for
+// the guarded fixture (tofumd/internal/farmworker) to misuse — its
+// single-goroutine contract keys off this package path.
+package jobfarm
+
+// Journal persists job state; a nil *Journal is a valid disabled journal.
+type Journal struct {
+	dir string
+}
+
+// SaveMeta carries the guard.
+func (jn *Journal) SaveMeta(id string) error {
+	if jn == nil {
+		return nil
+	}
+	return save(jn.dir, id)
+}
+
+// GoodFlipped guards with the operands reversed.
+func (jn *Journal) GoodFlipped() string {
+	if nil != jn {
+		return jn.dir
+	}
+	return ""
+}
+
+// LoadAll forgets the guard; delegating to a guarded sibling later is not
+// enough — the first receiver use must be the nil comparison.
+func (jn *Journal) LoadAll() string { // want `exported method \(\*Journal\)\.LoadAll must begin with a nil-receiver guard`
+	return jn.dir
+}
+
+// SaveCheckpoint guards too late: the receiver was already dereferenced.
+func (jn *Journal) SaveCheckpoint(id string) error { // want `exported method \(\*Journal\)\.SaveCheckpoint must begin with a nil-receiver guard`
+	d := jn.dir
+	if jn == nil {
+		return nil
+	}
+	return save(d, id)
+}
+
+// Dir never touches the receiver; trivially nil-safe.
+func (jn *Journal) Dir() string { return "" }
+
+// reload is unexported and outside the contract.
+func (jn *Journal) reload() string { return jn.dir }
+
+func save(dir, id string) error { return nil }
+
+// Scheduler is the pure lifecycle core: no locking by design, the Farm
+// serializes all calls under its mutex.
+type Scheduler struct {
+	Queue []string
+}
+
+// StartNext claims the next queued job.
+func (sc *Scheduler) StartNext() string {
+	if len(sc.Queue) == 0 {
+		return ""
+	}
+	next := sc.Queue[0]
+	sc.Queue = sc.Queue[1:]
+	return next
+}
+
+// QueueDepth reports the queue length.
+func (sc *Scheduler) QueueDepth() int { return len(sc.Queue) }

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteFileCreatesMissingDir pins the `benchsuite -json <dir>` contract:
+// pointing the artifact writer at a directory that does not exist yet (a
+// fresh CI workspace, a nested artifacts/ path) must create it rather than
+// fail at write time.
+func TestWriteFileCreatesMissingDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "artifacts", "run-1")
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("precondition: %s should not exist yet (stat err %v)", dir, err)
+	}
+	a := mkArtifact("fig6", Series{Key: "opt/small_time", Unit: "s", Value: 10e-6, Direction: DirLower})
+	if err := a.WriteFile(dir); err != nil {
+		t.Fatalf("WriteFile into missing dir: %v", err)
+	}
+	got, err := ReadArtifact(filepath.Join(dir, FileName("fig6")))
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if got.Experiment != "fig6" || len(got.Series) != 1 || got.Series[0] != a.Series[0] {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+}
+
+// TestWriteFileReportsUncreatableDir checks the error path: a dir path that
+// collides with an existing regular file must surface the MkdirAll error.
+func TestWriteFileReportsUncreatableDir(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a := mkArtifact("fig6", Series{Key: "k", Value: 1, Direction: DirEqual})
+	if err := a.WriteFile(filepath.Join(blocker, "sub")); err == nil {
+		t.Fatal("WriteFile through a regular file succeeded, want error")
+	}
+}

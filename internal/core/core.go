@@ -201,8 +201,21 @@ type RunResult struct {
 	Thermo []sim.ThermoSample
 }
 
-// Run executes a functional simulation per the spec.
-func Run(spec RunSpec) (*RunResult, error) {
+// Running is a started simulation that a caller drives step by step — the
+// handle behind preemptible drivers like the job farm's workers, which need
+// to observe cancellation between steps and capture checkpoints at safe
+// boundaries. Run is the convenience wrapper that drives one to completion.
+type Running struct {
+	spec  RunSpec
+	cfg   sim.Config
+	s     *sim.Simulation
+	steps int
+	done  int
+}
+
+// Start builds the simulation a spec describes without stepping it. The
+// caller owns Close; Finish summarizes whatever has been stepped so far.
+func Start(spec RunSpec) (*Running, error) {
 	mode := topo.MapTopo
 	if spec.LinearMap {
 		mode = topo.MapLinear
@@ -243,7 +256,6 @@ func Run(spec RunSpec) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer s.Close()
 	if spec.Recorder != nil {
 		s.SetRecorder(spec.Recorder)
 	}
@@ -255,19 +267,65 @@ func Run(spec RunSpec) (*RunResult, error) {
 	}
 	if spec.ParallelLPs > 0 {
 		if err := s.SetParallel(spec.ParallelLPs); err != nil {
+			s.Close()
 			return nil, err
 		}
 	}
 	s.SetProfiling(spec.Profile)
-	if spec.Observer == nil {
-		s.Run(steps)
-	} else {
-		for i := 1; i <= steps; i++ {
-			s.Step()
-			spec.Observer(s, i)
-		}
+	return &Running{spec: spec, cfg: cfg, s: s, steps: steps}, nil
+}
+
+// Step advances one MD step and invokes the spec's Observer, if any.
+func (r *Running) Step() {
+	r.s.Step()
+	r.done++
+	if r.spec.Observer != nil {
+		r.spec.Observer(r.s, r.done)
 	}
-	return summarize(spec, s, steps, cfg), nil
+}
+
+// Sim exposes the underlying simulation (checkpoint capture, diagnostics).
+func (r *Running) Sim() *sim.Simulation { return r.s }
+
+// StepsPlanned is the spec's resolved step count; StepsDone the steps taken.
+func (r *Running) StepsPlanned() int { return r.steps }
+
+// StepsDone reports the steps taken so far.
+func (r *Running) StepsDone() int { return r.done }
+
+// NeighEvery exposes the run's reneighbor cadence — checkpoints that must
+// resume bit-identically have to land on multiples of it.
+func (r *Running) NeighEvery() int { return r.cfg.NeighEvery }
+
+// Dt exposes the run's timestep for performance-metric accounting.
+func (r *Running) Dt() float64 { return r.cfg.Dt }
+
+// Capture takes a decomposition-independent snapshot labeled with the given
+// absolute step (the label matters to resuming drivers that count steps
+// across several Running segments).
+func (r *Running) Capture(step int) *restart.Snapshot {
+	return restart.Capture(r.s, step)
+}
+
+// Finish summarizes the run over the steps taken so far.
+func (r *Running) Finish() *RunResult {
+	return summarize(r.spec, r.s, r.done, r.cfg)
+}
+
+// Close releases the simulation's fabric resources.
+func (r *Running) Close() { r.s.Close() }
+
+// Run executes a functional simulation per the spec.
+func Run(spec RunSpec) (*RunResult, error) {
+	r, err := Start(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	for r.done < r.steps {
+		r.Step()
+	}
+	return r.Finish(), nil
 }
 
 // Plan builds the simulation the spec describes and returns its static

@@ -1,0 +1,408 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tofumd/internal/fsm"
+	"tofumd/internal/jobfarm"
+	"tofumd/internal/md/restart"
+)
+
+// jobFarmTestConfig is the exhaustively-enumerated small configuration:
+// three jobs (job 0 priority), one worker, queue capacity two, one retry.
+// One worker forces every preemption interleaving; capacity two exercises
+// shed load.
+func jobFarmTestConfig() JobFarmConfig {
+	return JobFarmConfig{
+		Jobs: 3, PriorityMask: 0b001,
+		Workers: 1, QueueCap: 2, MaxRetries: 1,
+	}
+}
+
+// TestJobFarmExhaustive enumerates the full state space of several pool
+// geometries and checks the robustness contract: no lost jobs, retry
+// budget respected, checkpointed jobs resumable, pool bound held, drain
+// quiesces.
+func TestJobFarmExhaustive(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  JobFarmConfig
+	}{
+		{"one-worker", jobFarmTestConfig()},
+		{"two-workers", JobFarmConfig{Jobs: 3, PriorityMask: 0b011, Workers: 2, QueueCap: 3, MaxRetries: 0}},
+		{"no-priority", JobFarmConfig{Jobs: 2, PriorityMask: 0, Workers: 2, QueueCap: 1, MaxRetries: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := tc.cfg.System()
+			res, err := fsm.Check(sys, fsm.Options[JobFarmState]{AllowDeadlock: tc.cfg.AllowDeadlock}, tc.cfg.Invariants()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %d states, %d transitions, depth %d", sys.Name, res.States, res.Transitions, res.Depth)
+			for _, v := range res.Violations {
+				t.Errorf("invariant violated:\n%v", v)
+			}
+			if res.States < 100 {
+				t.Errorf("state space suspiciously small (%d states): the model is not exploring", res.States)
+			}
+		})
+	}
+}
+
+// requireViolation asserts the named invariant tripped with the expected
+// minimal counterexample length.
+func requireViolation(t *testing.T, res fsm.Result[JobFarmState], name string, wantLen int) {
+	t.Helper()
+	var hit *fsm.Violation[JobFarmState]
+	for i := range res.Violations {
+		if res.Violations[i].Invariant == name {
+			hit = &res.Violations[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("seeded bug not caught by %s; violations: %v", name, res.Violations)
+	}
+	if hit.Trace.Len() != wantLen {
+		t.Errorf("counterexample length %d, want minimal %d:\n%v", hit.Trace.Len(), wantLen, hit.Trace)
+	}
+	t.Logf("minimal counterexample:\n%v", hit.Trace)
+}
+
+// TestJobFarmMutationDropPreemptedCaught seeds the dropped-yield bug (a
+// preempted job's handback never reaches the scheduler) and requires the
+// minimal counterexample: queue the best-effort job, start it, queue the
+// priority job, preempt, drop at checkpoint.
+func TestJobFarmMutationDropPreemptedCaught(t *testing.T) {
+	cfg := jobFarmTestConfig()
+	cfg.MutateDropPreempted = true
+	res, err := fsm.Check(cfg.System(), fsm.Options[JobFarmState]{AllowDeadlock: cfg.AllowDeadlock}, cfg.Invariants()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireViolation(t, res, "no-lost-job", 5)
+}
+
+// TestJobFarmMutationForgetSnapshotCaught seeds the forgotten-snapshot
+// bug (checkpoint handback records the yield but not the snapshot); same
+// minimal preemption schedule, tripping checkpointed-resumable.
+func TestJobFarmMutationForgetSnapshotCaught(t *testing.T) {
+	cfg := jobFarmTestConfig()
+	cfg.MutateForgetSnapshot = true
+	res, err := fsm.Check(cfg.System(), fsm.Options[JobFarmState]{AllowDeadlock: cfg.AllowDeadlock}, cfg.Invariants()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireViolation(t, res, "checkpointed-resumable", 5)
+}
+
+// TestJobFarmMutationRetryPastBudgetCaught seeds the unbounded-retry bug
+// (the retry decision ignores the budget): submit, start, fail, retry,
+// start, fail — the sixth transition exceeds MaxRetries=1.
+func TestJobFarmMutationRetryPastBudgetCaught(t *testing.T) {
+	cfg := jobFarmTestConfig()
+	cfg.MutateRetryPastBudget = true
+	res, err := fsm.Check(cfg.System(), fsm.Options[JobFarmState]{AllowDeadlock: cfg.AllowDeadlock}, cfg.Invariants()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireViolation(t, res, "retry-budget", 6)
+}
+
+// farmHarness drives a real jobfarm.Scheduler and the model in lock-step:
+// the implementation leads (its own picker chooses victims and queue
+// order), each applied operation is mirrored through fsm.System.Step, and
+// the projected scheduler state must equal the model state after every
+// operation. Any divergence means the implementation left the verified
+// state space.
+type farmHarness struct {
+	cfg   JobFarmConfig
+	sys   fsm.System[JobFarmState]
+	real  *jobfarm.Scheduler
+	jobs  []*jobfarm.Job
+	shed  []bool
+	state JobFarmState
+}
+
+func newFarmHarness(cfg JobFarmConfig) *farmHarness {
+	h := &farmHarness{
+		cfg:  cfg,
+		sys:  cfg.System(),
+		real: jobfarm.NewScheduler(cfg.Workers, cfg.QueueCap),
+		jobs: make([]*jobfarm.Job, cfg.Jobs),
+		shed: make([]bool, cfg.Jobs),
+	}
+	for i := range h.jobs {
+		sp := jobfarm.Spec{Priority: jobfarm.PriorityBestEffort}
+		if cfg.priority(i) {
+			sp.Priority = jobfarm.PriorityHigh
+		}
+		h.jobs[i] = jobfarm.NewJob(fmt.Sprintf("job-%04d", i+1), sp, cfg.MaxRetries)
+	}
+	return h
+}
+
+func (h *farmHarness) index(id string) int {
+	for i, j := range h.jobs {
+		if j.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// phaseOf projects one real job onto the model's phase encoding.
+func (h *farmHarness) phaseOf(i int) uint8 {
+	if h.shed[i] {
+		return JFShed
+	}
+	if h.real.Job(h.jobs[i].ID) == nil {
+		return JFNone
+	}
+	switch h.jobs[i].State {
+	case jobfarm.Queued:
+		return JFQueued
+	case jobfarm.Running:
+		return JFRunning
+	case jobfarm.Preempting:
+		return JFPreempting
+	case jobfarm.Checkpointed:
+		return JFCheckpointed
+	case jobfarm.Retrying:
+		return JFRetrying
+	case jobfarm.Done:
+		return JFDone
+	case jobfarm.Failed:
+		return JFFailed
+	case jobfarm.Cancelled:
+		return JFCancelled
+	}
+	return JFLost
+}
+
+// project maps the real scheduler onto a model state for comparison.
+func (h *farmHarness) project() JobFarmState {
+	var s JobFarmState
+	s.Draining = h.real.Draining()
+	for i := range h.jobs {
+		s.Jobs[i] = JobCell{
+			Phase:   h.phaseOf(i),
+			Retries: uint8(h.jobs[i].Retries),
+			HasSnap: h.jobs[i].Snapshot != nil,
+		}
+	}
+	return s
+}
+
+// op is one schedulable operation: guard on the real scheduler, apply to
+// it, and the model rule to mirror. Weight biases random schedules toward
+// progress ops — unweighted picks drain/cancel/deadline the whole farm
+// into terminal states within a handful of steps, which exercises nothing.
+type op struct {
+	rule    string
+	weight  int
+	enabled func() bool
+	apply   func()
+}
+
+// ops enumerates every operation in a fixed order; enabledness is checked
+// against the real scheduler's observable state.
+func (h *farmHarness) ops() []op {
+	var out []op
+	snap := &restart.Snapshot{Atoms: nil}
+	for i := range h.jobs {
+		i := i
+		j := h.jobs[i]
+		st := func() jobfarm.State { return j.State }
+		tracked := func() bool { return h.real.Job(j.ID) != nil }
+		out = append(out,
+			op{
+				rule:    fmt.Sprintf("submit %d", i),
+				weight:  4,
+				enabled: func() bool { return !h.shed[i] && !tracked() },
+				apply: func() {
+					if !h.real.Submit(j) {
+						h.shed[i] = true
+					}
+				},
+			},
+			op{
+				rule:   fmt.Sprintf("start %d", i),
+				weight: 6,
+				// StartNext picks its own job; this op is enabled only
+				// when the scheduler's deterministic pick is job i.
+				enabled: func() bool { return h.startPick() == i },
+				apply:   func() { h.real.StartNext() },
+			},
+			op{
+				rule:    fmt.Sprintf("finish %d", i),
+				weight:  2,
+				enabled: func() bool { return st() == jobfarm.Running || st() == jobfarm.Preempting },
+				apply:   func() { h.real.OnDone(j) },
+			},
+			op{
+				rule:    fmt.Sprintf("failT %d", i),
+				weight:  3,
+				enabled: func() bool { return st() == jobfarm.Running || st() == jobfarm.Preempting },
+				apply:   func() { h.real.OnFailed(j, true) },
+			},
+			op{
+				rule:    fmt.Sprintf("failP %d", i),
+				weight:  1,
+				enabled: func() bool { return st() == jobfarm.Running || st() == jobfarm.Preempting },
+				apply:   func() { h.real.OnFailed(j, false) },
+			},
+			op{
+				rule:   fmt.Sprintf("preempt %d", i),
+				weight: 6,
+				enabled: func() bool {
+					v := h.real.Preemptible()
+					return v != nil && h.index(v.ID) == i
+				},
+				apply: func() { h.real.Preempt(j) },
+			},
+			op{
+				rule:    fmt.Sprintf("checkpoint %d", i),
+				weight:  6,
+				enabled: func() bool { return st() == jobfarm.Preempting },
+				apply:   func() { h.real.OnCheckpointed(j, snap, 1) },
+			},
+			op{
+				rule:    fmt.Sprintf("requeue %d", i),
+				weight:  6,
+				enabled: func() bool { return st() == jobfarm.Checkpointed && !h.real.Draining() },
+				apply:   func() { h.real.Requeue(j) },
+			},
+			op{
+				rule:    fmt.Sprintf("retry %d", i),
+				weight:  4,
+				enabled: func() bool { return st() == jobfarm.Retrying && !h.real.Draining() },
+				apply:   func() { h.real.RetryReady(j) },
+			},
+			op{
+				rule:   fmt.Sprintf("cancel %d", i),
+				weight: 1,
+				enabled: func() bool {
+					return st() == jobfarm.Queued || st() == jobfarm.Retrying || st() == jobfarm.Checkpointed
+				},
+				apply: func() { h.real.Cancel(j) },
+			},
+			op{
+				rule:    fmt.Sprintf("cancelRun %d", i),
+				weight:  1,
+				enabled: func() bool { return st() == jobfarm.Running || st() == jobfarm.Preempting },
+				apply:   func() { h.real.OnCancelled(j) },
+			},
+			op{
+				rule:    fmt.Sprintf("deadline %d", i),
+				weight:  1,
+				enabled: func() bool { return tracked() && !st().Terminal() },
+				apply:   func() { h.real.OnDeadline(j) },
+			},
+		)
+	}
+	out = append(out, op{
+		rule:    "drain",
+		weight:  1,
+		enabled: func() bool { return !h.real.Draining() },
+		apply:   func() { h.real.BeginDrain() },
+	})
+	return out
+}
+
+// startPick predicts which job index StartNext would claim, -1 for none:
+// priority class first, FIFO within class — mirrored from the queues via
+// job states (the scheduler's pick is deterministic, so predicting it by
+// probing a clone is unnecessary; the projection check catches any drift).
+func (h *farmHarness) startPick() int {
+	if h.real.Draining() || h.real.RunningCount() >= h.cfg.Workers || h.real.QueueDepth() == 0 {
+		return -1
+	}
+	j := h.real.PeekNext()
+	if j == nil {
+		return -1
+	}
+	return h.index(j.ID)
+}
+
+// step applies one op to both sides and compares projections.
+func (h *farmHarness) step(t *testing.T, o op) {
+	t.Helper()
+	o.apply()
+	next, ok := h.sys.Step(h.state, o.rule, 0)
+	if !ok {
+		t.Fatalf("model rejects %q from %+v (impl applied it)", o.rule, h.state)
+	}
+	h.state = next
+	if got := h.project(); got != h.state {
+		t.Fatalf("divergence after %q:\n implementation %+v\n model          %+v", o.rule, got, h.state)
+	}
+}
+
+// TestJobFarmImplementationConformance drives the real scheduler through
+// seeded random schedules, mirroring every operation in the model: the
+// implementation must stay inside the exhaustively-verified state space.
+func TestJobFarmImplementationConformance(t *testing.T) {
+	for _, cfg := range []JobFarmConfig{
+		jobFarmTestConfig(),
+		{Jobs: 3, PriorityMask: 0b011, Workers: 2, QueueCap: 3, MaxRetries: 0},
+		{Jobs: 2, PriorityMask: 0, Workers: 2, QueueCap: 1, MaxRetries: 2},
+	} {
+		total := 0
+		for seed := int64(1); seed <= 16; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			h := newFarmHarness(cfg)
+			ops := h.ops()
+			for step := 0; step < 200; step++ {
+				var enabled []op
+				for _, o := range ops {
+					if o.enabled() {
+						for w := 0; w < o.weight; w++ {
+							enabled = append(enabled, o)
+						}
+					}
+				}
+				if len(enabled) == 0 {
+					break
+				}
+				h.step(t, enabled[rng.Intn(len(enabled))])
+				total++
+			}
+		}
+		// Every schedule absorbs into all-terminal within ~15 ops (the
+		// lifecycle is short); what matters is aggregate depth across
+		// seeds.
+		if total < 80 {
+			t.Errorf("cfg %+v: only %d ops applied across all seeds; schedules too short to mean anything", cfg, total)
+		}
+	}
+}
+
+// FuzzJobFarmConformance lets the fuzzer pick the schedule: each byte
+// selects one enabled operation; the real scheduler and the model must
+// agree after every one.
+func FuzzJobFarmConformance(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 300 {
+			data = data[:300]
+		}
+		h := newFarmHarness(jobFarmTestConfig())
+		ops := h.ops()
+		for _, b := range data {
+			var enabled []op
+			for _, o := range ops {
+				if o.enabled() {
+					enabled = append(enabled, o)
+				}
+			}
+			if len(enabled) == 0 {
+				return
+			}
+			h.step(t, enabled[int(b)%len(enabled)])
+		}
+	})
+}

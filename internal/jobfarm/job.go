@@ -1,0 +1,118 @@
+package jobfarm
+
+import (
+	"time"
+
+	"tofumd/internal/md/restart"
+)
+
+// State is a job-lifecycle phase. The transitions are modeled and
+// exhaustively checked in internal/fsm/models (JobFarm) and conformance-
+// replayed against Scheduler; keep the two in lockstep.
+type State string
+
+const (
+	// Queued: admitted, waiting for a worker.
+	Queued State = "queued"
+	// Running: a worker is stepping the simulation.
+	Running State = "running"
+	// Preempting: asked to yield; the worker will checkpoint at the next
+	// commit boundary.
+	Preempting State = "preempting"
+	// Checkpointed: yielded with a snapshot in hand; about to requeue.
+	Checkpointed State = "checkpointed"
+	// Retrying: failed transiently; waiting out the backoff before
+	// requeueing.
+	Retrying State = "retrying"
+	// Done: completed all steps.
+	Done State = "done"
+	// Failed: permanent failure, retry budget exhausted, or deadline.
+	Failed State = "failed"
+	// Cancelled: client abandoned the job.
+	Cancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == Done || s == Failed || s == Cancelled
+}
+
+// Job is one admitted simulation job. Jobs are owned by the Farm and only
+// mutated under its lock (the Scheduler is pure and called locked), so the
+// struct itself carries no mutex.
+type Job struct {
+	ID       string
+	Spec     Spec
+	Priority bool
+	State    State
+	// Retries counts transient-failure retries consumed so far.
+	Retries int
+	// StepsDone is the committed progress in MD steps — updated at every
+	// checkpoint commit, so status polls see live progress.
+	StepsDone int
+	// Snapshot is the latest committed checkpoint (nil before the first
+	// commit). Resume always starts here.
+	Snapshot *restart.Snapshot
+	// Err holds the failure reason for Failed jobs.
+	Err string
+	// Preemptions counts completed preemption cycles.
+	Preemptions int
+	// Perf is the final ns/day metric for Done jobs.
+	Perf float64
+	// ElapsedVirtual accumulates the simulated fabric seconds across all
+	// attempts.
+	ElapsedVirtual float64
+
+	// cancelRequested marks a client cancel that arrived while the job was
+	// Preempting: the checkpoint completes, then the job cancels instead
+	// of requeueing.
+	cancelRequested bool
+	// deadlineAt is the absolute admission deadline (zero = none).
+	deadlineAt time.Time
+	// maxRetries is the resolved per-job retry budget.
+	maxRetries int
+}
+
+// NewJob builds a job for direct Scheduler use — conformance tests drive
+// the scheduler without a Farm, which otherwise owns job construction.
+func NewJob(id string, sp Spec, maxRetries int) *Job {
+	return &Job{ID: id, Spec: sp, Priority: sp.Priority == PriorityHigh, maxRetries: maxRetries}
+}
+
+// JobStatus is the JSON status view of one job.
+type JobStatus struct {
+	ID             string  `json:"id"`
+	Name           string  `json:"name,omitempty"`
+	State          State   `json:"state"`
+	Priority       string  `json:"priority"`
+	Steps          int     `json:"steps"`
+	StepsDone      int     `json:"steps_done"`
+	Retries        int     `json:"retries"`
+	Preemptions    int     `json:"preemptions"`
+	HasCheckpoint  bool    `json:"has_checkpoint"`
+	Error          string  `json:"error,omitempty"`
+	PerfNsPerDay   float64 `json:"perf_ns_per_day,omitempty"`
+	ElapsedVirtual float64 `json:"elapsed_virtual_s,omitempty"`
+}
+
+// status snapshots the job for JSON encoding. Called under the farm lock.
+func (j *Job) status() JobStatus {
+	prio := PriorityBestEffort
+	if j.Priority {
+		prio = PriorityHigh
+	}
+	return JobStatus{
+		ID:             j.ID,
+		Name:           j.Spec.Name,
+		State:          j.State,
+		Priority:       prio,
+		Steps:          j.Spec.Steps,
+		StepsDone:      j.StepsDone,
+		Retries:        j.Retries,
+		Preemptions:    j.Preemptions,
+		HasCheckpoint:  j.Snapshot != nil,
+		Error:          j.Err,
+		PerfNsPerDay:   j.Perf,
+		ElapsedVirtual: j.ElapsedVirtual,
+	}
+}

@@ -1,0 +1,231 @@
+package jobfarm
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// mdSpec is a short real-MD job: small box, 2x2x2 tile, three commit
+// intervals so a preemption can land strictly mid-run.
+func mdSpec(potential string, steps, every int) Spec {
+	sp := Spec{Potential: potential, Atoms: 2000, Nodes: "2x2x2", Steps: steps, CheckpointEvery: every}
+	if err := sp.Validate(); err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+// runUninterrupted drives MDRunner to completion with no signals and
+// returns the final committed snapshot.
+func runUninterrupted(t *testing.T, sp Spec) Outcome {
+	t.Helper()
+	out := MDRunner(context.Background(), Attempt{JobID: "ref", Spec: sp}, make(chan struct{}))
+	if out.Kind != OutcomeDone {
+		t.Fatalf("reference run: %+v", out)
+	}
+	return out
+}
+
+// TestMDRunnerPreemptResumeBitIdentical is the tentpole acceptance check
+// at the runner level: a job preempted at a commit boundary and resumed
+// from its snapshot produces a final state bit-identical to an
+// uninterrupted run. The runner makes this hold by construction — it
+// rebuilds from its own snapshot at every commit, so the trajectory is a
+// pure function of (spec, checkpoint cadence) regardless of where
+// attempts stop and restart.
+func TestMDRunnerPreemptResumeBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sp   Spec
+	}{
+		{"lj", mdSpec("lj", 120, 40)},
+		{"eam", mdSpec("eam", 45, 15)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := runUninterrupted(t, tc.sp)
+
+			// Preempt at the first commit boundary, then resume.
+			preempt := make(chan struct{})
+			close(preempt)
+			out1 := MDRunner(context.Background(), Attempt{JobID: "j", Spec: tc.sp}, preempt)
+			if out1.Kind != OutcomePreempted || out1.Snapshot == nil {
+				t.Fatalf("first attempt: %+v, want preempted with snapshot", out1)
+			}
+			if out1.StepsDone != tc.sp.CheckpointEvery {
+				t.Fatalf("preempted at step %d, want first commit %d", out1.StepsDone, tc.sp.CheckpointEvery)
+			}
+			out2 := MDRunner(context.Background(), Attempt{
+				JobID: "j", Spec: tc.sp,
+				Resume: out1.Snapshot, StepsDone: out1.StepsDone,
+				ElapsedPrior: out1.Elapsed,
+			}, make(chan struct{}))
+			if out2.Kind != OutcomeDone {
+				t.Fatalf("resumed attempt: %+v", out2)
+			}
+
+			if out2.StepsDone != ref.StepsDone {
+				t.Fatalf("steps %d vs reference %d", out2.StepsDone, ref.StepsDone)
+			}
+			if !reflect.DeepEqual(ref.Snapshot.Atoms, out2.Snapshot.Atoms) {
+				t.Fatalf("preempted+resumed final state differs from uninterrupted run")
+			}
+			if ref.Snapshot.Box != out2.Snapshot.Box {
+				t.Fatalf("box differs: %+v vs %+v", ref.Snapshot.Box, out2.Snapshot.Box)
+			}
+			if out1.Elapsed <= 0 || out2.Elapsed <= 0 || out2.Perf <= 0 {
+				t.Fatalf("cost accounting missing: elapsed %g/%g, perf %g", out1.Elapsed, out2.Elapsed, out2.Perf)
+			}
+		})
+	}
+}
+
+// TestMDRunnerStoppedKeepsCommittedProgress checks cancellation preserves
+// the last commit so a later resume does not restart from scratch.
+func TestMDRunnerStoppedKeepsCommittedProgress(t *testing.T) {
+	sp := mdSpec("lj", 120, 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := MDRunner(ctx, Attempt{JobID: "j", Spec: sp}, make(chan struct{}))
+	if out.Kind != OutcomeStopped || out.Snapshot == nil || out.StepsDone != sp.CheckpointEvery {
+		t.Fatalf("stopped attempt: %+v, want stopped at first commit with snapshot", out)
+	}
+}
+
+// TestFarmMDPreemptionBitIdentical is the farm-level acceptance check: a
+// best-effort MD job preempted by a priority job, checkpointed, requeued
+// and finished by the live farm matches the uninterrupted reference
+// bitwise.
+func TestFarmMDPreemptionBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-MD farm test")
+	}
+	sp := mdSpec("lj", 120, 20)
+	ref := runUninterrupted(t, sp)
+
+	f, err := New(Config{Workers: 1, QueueCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown(context.Background())
+	beID, err := f.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, f, beID, func(st JobStatus) bool { return st.State == Running })
+	prio := mdSpec("lj", 20, 20)
+	prio.Priority = PriorityHigh
+	if _, err := f.Submit(prio); err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, f, beID, terminal)
+	if st.State != Done {
+		t.Fatalf("best-effort job: %+v, want done", st)
+	}
+	if st.Preemptions == 0 {
+		t.Fatalf("best-effort job was never preempted; the test exercised nothing")
+	}
+
+	f.mu.Lock()
+	finalSnap := f.sched.Job(beID).Snapshot
+	f.mu.Unlock()
+	if finalSnap == nil {
+		t.Fatal("no final snapshot recorded")
+	}
+	if !reflect.DeepEqual(ref.Snapshot.Atoms, finalSnap.Atoms) {
+		t.Fatalf("farm-preempted final state differs from uninterrupted run (preemptions=%d)", st.Preemptions)
+	}
+}
+
+// TestSchedulerQueueDiscipline pins the queue semantics conformance
+// replay relies on: priority before best-effort, FIFO within class,
+// preemption requeue at the front.
+func TestSchedulerQueueDiscipline(t *testing.T) {
+	sc := NewScheduler(1, 4)
+	be1 := NewJob("job-0001", Spec{Priority: PriorityBestEffort}, 0)
+	be2 := NewJob("job-0002", Spec{Priority: PriorityBestEffort}, 0)
+	pr1 := NewJob("job-0003", Spec{Priority: PriorityHigh}, 0)
+	for _, j := range []*Job{be1, be2, pr1} {
+		if !sc.Submit(j) {
+			t.Fatalf("submit %s failed", j.ID)
+		}
+	}
+	if got := sc.StartNext(); got != pr1 {
+		t.Fatalf("start picked %v, want the priority job", got)
+	}
+	sc.OnDone(pr1)
+	if got := sc.StartNext(); got != be1 {
+		t.Fatalf("start picked %v, want FIFO best-effort job-0001", got)
+	}
+	// Preempt be1 for a new priority job; after requeue it goes to the
+	// FRONT of the best-effort class.
+	pr2 := NewJob("job-0004", Spec{Priority: PriorityHigh}, 0)
+	if !sc.Submit(pr2) {
+		t.Fatal("submit pr2")
+	}
+	v := sc.Preemptible()
+	if v != be1 {
+		t.Fatalf("preemptible %v, want job-0001", v)
+	}
+	sc.Preempt(v)
+	sc.OnCheckpointed(v, nil, 0)
+	if !sc.Requeue(v) {
+		t.Fatal("requeue failed")
+	}
+	if got := sc.StartNext(); got != pr2 {
+		t.Fatalf("start picked %v, want job-0004", got)
+	}
+	sc.OnDone(pr2)
+	if got := sc.StartNext(); got != be1 {
+		t.Fatalf("start picked %v, want requeued job-0001 ahead of job-0002", got)
+	}
+}
+
+// TestSchedulerPreemptionNeedsExcessDemand pins the preemption guard: no
+// victim while free workers or in-flight yields can absorb the queued
+// priority demand.
+func TestSchedulerPreemptionNeedsExcessDemand(t *testing.T) {
+	sc := NewScheduler(2, 4)
+	be := NewJob("job-0001", Spec{Priority: PriorityBestEffort}, 0)
+	sc.Submit(be)
+	sc.StartNext()
+	pr := NewJob("job-0002", Spec{Priority: PriorityHigh}, 0)
+	sc.Submit(pr)
+	// A worker is free: the priority job can start without preemption.
+	if v := sc.Preemptible(); v != nil {
+		t.Fatalf("preemptible %v with a free worker, want none", v)
+	}
+	if got := sc.StartNext(); got != pr {
+		t.Fatalf("start picked %v", got)
+	}
+	// Pool now full; a second priority job must trigger preemption, and a
+	// third must not double-preempt while the first yield is in flight.
+	pr2 := NewJob("job-0003", Spec{Priority: PriorityHigh}, 0)
+	sc.Submit(pr2)
+	v := sc.Preemptible()
+	if v != be {
+		t.Fatalf("preemptible %v, want the best-effort job", v)
+	}
+	sc.Preempt(v)
+	if v2 := sc.Preemptible(); v2 != nil {
+		t.Fatalf("double preemption of %v while yield in flight", v2)
+	}
+}
+
+// TestFarmStatusDuringLongAttempt checks commit-level progress publishing:
+// a long-running attempt's steps_done advances between scheduler
+// transitions, which the CI smoke poll and any dashboard depend on.
+func TestFarmStatusDuringLongAttempt(t *testing.T) {
+	f, err := New(Config{Workers: 1, Runner: fakeRunner(time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown(context.Background())
+	id, err := f.Submit(testSpec(1_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := waitJob(t, f, id, func(st JobStatus) bool { return st.State == Running && st.StepsDone > 0 })
+	waitJob(t, f, id, func(st JobStatus) bool { return st.StepsDone > first.StepsDone })
+}

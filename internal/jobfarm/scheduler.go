@@ -1,0 +1,280 @@
+package jobfarm
+
+import "tofumd/internal/md/restart"
+
+// Scheduler is the pure job-lifecycle core: a priority-aware bounded queue
+// plus the state-transition rules. It does no locking, no I/O, and no
+// clock reads — the Farm serializes all calls under its mutex, and the
+// fsm conformance test drives a Scheduler directly, replaying each
+// operation against the model (internal/fsm/models.JobFarm) to prove the
+// implementation never leaves the verified state space.
+type Scheduler struct {
+	// Workers bounds how many jobs may be Running or Preempting at once.
+	Workers int
+	// QueueCap bounds freshly-admitted queued jobs; preemption requeues
+	// and retry requeues bypass it (an accepted job is never shed).
+	QueueCap int
+
+	jobs    map[string]*Job
+	prioQ   []string // queued priority job IDs, FIFO
+	beQ     []string // queued best-effort job IDs, FIFO
+	running int      // jobs in Running or Preempting
+	drain   bool
+}
+
+// NewScheduler builds a scheduler with the given pool bounds.
+func NewScheduler(workers, queueCap int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	return &Scheduler{Workers: workers, QueueCap: queueCap, jobs: map[string]*Job{}}
+}
+
+// Job returns a job by ID, or nil.
+func (sc *Scheduler) Job(id string) *Job { return sc.jobs[id] }
+
+// Jobs returns all tracked jobs (any order).
+func (sc *Scheduler) Jobs() []*Job {
+	out := make([]*Job, 0, len(sc.jobs))
+	for _, j := range sc.jobs {
+		out = append(out, j)
+	}
+	return out
+}
+
+// QueueDepth reports the number of queued jobs across both classes.
+func (sc *Scheduler) QueueDepth() int { return len(sc.prioQ) + len(sc.beQ) }
+
+// RunningCount reports jobs occupying workers (Running or Preempting).
+func (sc *Scheduler) RunningCount() int { return sc.running }
+
+// Draining reports whether admission is closed.
+func (sc *Scheduler) Draining() bool { return sc.drain }
+
+// Submit admits a new job. It returns false — shed load — when draining
+// or when the fresh-admission queue is full. An accepted job enters
+// Queued at the back of its class queue.
+func (sc *Scheduler) Submit(j *Job) bool {
+	if sc.drain || sc.QueueDepth() >= sc.QueueCap {
+		return false
+	}
+	j.State = Queued
+	sc.jobs[j.ID] = j
+	sc.enqueue(j, false)
+	return true
+}
+
+// StartNext picks the next queued job (priority class first, FIFO within
+// class) and marks it Running. It returns nil when draining, when all
+// workers are busy, or when nothing is queued.
+func (sc *Scheduler) StartNext() *Job {
+	if sc.drain || sc.running >= sc.Workers {
+		return nil
+	}
+	var id string
+	switch {
+	case len(sc.prioQ) > 0:
+		id, sc.prioQ = sc.prioQ[0], sc.prioQ[1:]
+	case len(sc.beQ) > 0:
+		id, sc.beQ = sc.beQ[0], sc.beQ[1:]
+	default:
+		return nil
+	}
+	j := sc.jobs[id]
+	j.State = Running
+	sc.running++
+	return j
+}
+
+// PeekNext returns the job StartNext would claim, without claiming it.
+func (sc *Scheduler) PeekNext() *Job {
+	if sc.drain || sc.running >= sc.Workers {
+		return nil
+	}
+	if len(sc.prioQ) > 0 {
+		return sc.jobs[sc.prioQ[0]]
+	}
+	if len(sc.beQ) > 0 {
+		return sc.jobs[sc.beQ[0]]
+	}
+	return nil
+}
+
+// Preemptible returns the best-effort Running job to preempt for a queued
+// priority job, or nil when preemption would not help: there must be more
+// queued priority jobs than free workers plus already-preempting jobs.
+// The victim is the lowest-ID best-effort Running job (deterministic, and
+// oldest-first under the farm's monotonic IDs).
+func (sc *Scheduler) Preemptible() *Job {
+	free := sc.Workers - sc.running
+	preempting := 0
+	for _, j := range sc.jobs {
+		if j.State == Preempting {
+			preempting++
+		}
+	}
+	if len(sc.prioQ) <= free+preempting {
+		return nil
+	}
+	var victim *Job
+	for _, j := range sc.jobs {
+		if j.State == Running && !j.Priority {
+			if victim == nil || j.ID < victim.ID {
+				victim = j
+			}
+		}
+	}
+	return victim
+}
+
+// Preempt marks a Running job as Preempting. The worker notices via its
+// preempt channel and checkpoints at the next commit boundary.
+func (sc *Scheduler) Preempt(j *Job) {
+	if j.State == Running {
+		j.State = Preempting
+	}
+}
+
+// OnCheckpointed records a preemption yield: the worker stopped at a
+// commit boundary with snap in hand. A nil snap keeps the job's previous
+// snapshot (it never loses already-committed progress).
+func (sc *Scheduler) OnCheckpointed(j *Job, snap *restart.Snapshot, steps int) {
+	if j.State != Preempting {
+		return
+	}
+	j.State = Checkpointed
+	j.Preemptions++
+	if snap != nil {
+		j.Snapshot = snap
+		j.StepsDone = steps
+	}
+	sc.running--
+}
+
+// Requeue moves a Checkpointed job back to Queued at the FRONT of its
+// class queue (it already waited its turn once). It returns false while
+// draining — the job keeps its checkpoint and the journal resumes it on
+// the next boot.
+func (sc *Scheduler) Requeue(j *Job) bool {
+	if j.State != Checkpointed || sc.drain {
+		return false
+	}
+	j.State = Queued
+	sc.enqueue(j, true)
+	return true
+}
+
+// OnDone completes a Running or Preempting job.
+func (sc *Scheduler) OnDone(j *Job) {
+	if j.State != Running && j.State != Preempting {
+		return
+	}
+	j.State = Done
+	sc.running--
+}
+
+// OnFailed records an attempt failure. Transient failures inside the
+// retry budget move the job to Retrying (true); anything else is a
+// permanent Failed (false).
+func (sc *Scheduler) OnFailed(j *Job, transient bool) bool {
+	if j.State != Running && j.State != Preempting {
+		return false
+	}
+	sc.running--
+	if transient && j.Retries < j.maxRetries {
+		j.Retries++
+		j.State = Retrying
+		return true
+	}
+	j.State = Failed
+	return false
+}
+
+// RetryReady requeues a Retrying job after its backoff, at the back of
+// its class queue. It returns false while draining (the journal resumes
+// the job on the next boot).
+func (sc *Scheduler) RetryReady(j *Job) bool {
+	if j.State != Retrying || sc.drain {
+		return false
+	}
+	j.State = Queued
+	sc.enqueue(j, false)
+	return true
+}
+
+// Cancel cancels a job that is not on a worker (Queued, Retrying, or
+// Checkpointed), dequeueing it if queued. It returns false for states it
+// cannot cancel directly — Running/Preempting jobs cancel via their
+// context and land in OnCancelled.
+func (sc *Scheduler) Cancel(j *Job) bool {
+	switch j.State {
+	case Queued:
+		sc.dequeue(j.ID)
+	case Retrying, Checkpointed:
+	default:
+		return false
+	}
+	j.State = Cancelled
+	return true
+}
+
+// OnCancelled records a worker-side cancellation of a Running or
+// Preempting job.
+func (sc *Scheduler) OnCancelled(j *Job) {
+	if j.State != Running && j.State != Preempting {
+		return
+	}
+	j.State = Cancelled
+	sc.running--
+}
+
+// OnDeadline fails a job whose wall-clock deadline expired, from any
+// non-terminal state.
+func (sc *Scheduler) OnDeadline(j *Job) {
+	if j.State.Terminal() {
+		return
+	}
+	switch j.State {
+	case Queued:
+		sc.dequeue(j.ID)
+	case Running, Preempting:
+		sc.running--
+	}
+	j.State = Failed
+	if j.Err == "" {
+		j.Err = "deadline exceeded"
+	}
+}
+
+// BeginDrain closes admission: Submit sheds, StartNext stops dispatching,
+// and Requeue/RetryReady park jobs for the journal instead of requeueing.
+func (sc *Scheduler) BeginDrain() { sc.drain = true }
+
+// Quiescent reports whether no job occupies a worker.
+func (sc *Scheduler) Quiescent() bool { return sc.running == 0 }
+
+func (sc *Scheduler) enqueue(j *Job, front bool) {
+	q := &sc.beQ
+	if j.Priority {
+		q = &sc.prioQ
+	}
+	if front {
+		*q = append([]string{j.ID}, *q...)
+	} else {
+		*q = append(*q, j.ID)
+	}
+}
+
+func (sc *Scheduler) dequeue(id string) {
+	for _, q := range []*[]string{&sc.prioQ, &sc.beQ} {
+		for i, qid := range *q {
+			if qid == id {
+				*q = append((*q)[:i], (*q)[i+1:]...)
+				return
+			}
+		}
+	}
+}

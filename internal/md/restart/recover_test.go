@@ -109,6 +109,108 @@ func TestRankFailRollbackRecovery(t *testing.T) {
 	}
 }
 
+// TestRunWithRecoveryBackToBackPreemptions checkpoints, resumes, and is
+// preempted again the instant the resume comes up (the second rank failure
+// fires at exactly the resume's virtual time, before a single step runs).
+// Both rollbacks must land on the same step-10 snapshot and the doubly
+// recovered trajectory must stay bit-identical to a control resumed once
+// from that snapshot — resuming is idempotent, no matter how quickly
+// preemptions stack up.
+func TestRunWithRecoveryBackToBackPreemptions(t *testing.T) {
+	cfg := testConfig()
+	cfg.NeighEvery = 5
+
+	clean := newSim(t, cfg)
+	clean.Run(10)
+	failT := clean.Now()
+	snap10 := Capture(clean, 10)
+
+	rebuild := func(snap *Snapshot) (*sim.Simulation, error) {
+		cfg2 := testConfig()
+		cfg2.NeighEvery = 5
+		if err := snap.Apply(&cfg2); err != nil {
+			return nil, err
+		}
+		m, err := sim.NewMachine(vec.I3{X: 2, Y: 2, Z: 2})
+		if err != nil {
+			return nil, err
+		}
+		return sim.New(m, sim.Opt(), cfg2)
+	}
+
+	// Checkpoint → resume → immediately checkpoint again: the snapshot
+	// taken from a freshly resumed simulation, before any step, must be
+	// bit-identical to the snapshot it resumed from.
+	probe, err := rebuild(snap10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resnap := Capture(probe, 10)
+	probe.Close()
+	wantAtoms, haveAtoms := snap10.Atoms, resnap.Atoms
+	if len(wantAtoms) != len(haveAtoms) {
+		t.Fatalf("recaptured snapshot has %d atoms, original %d", len(haveAtoms), len(wantAtoms))
+	}
+	for i := range wantAtoms {
+		if haveAtoms[i] != wantAtoms[i] {
+			t.Fatalf("checkpoint of a fresh resume differs at atom %d: %+v != %+v", i, haveAtoms[i], wantAtoms[i])
+		}
+	}
+
+	// First failure stops rank 3 at step 10's time; the rebuild strips it
+	// but injects a second failure at virtual time zero — a rebuilt
+	// simulation's clock restarts at 0, so the resume is preempted again
+	// before it advances a single step.
+	spec1 := faultinject.Spec{Seed: 11, RankFails: []faultinject.RankFail{{Rank: 3, At: failT}}}
+	spec2 := faultinject.Spec{Seed: 11, RankFails: []faultinject.RankFail{{Rank: 1, At: 0}}}
+	s := newSim(t, cfg)
+	s.SetFaults(faultinject.New(spec1))
+	rebuilds := 0
+	got, rollbacks, err := RunWithRecovery(s, 20, RecoveryOptions{
+		CheckpointEvery: 5,
+		Rebuild: func(snap *Snapshot, failed []int) (*sim.Simulation, error) {
+			rebuilds++
+			if int(snap.Step) != 10 {
+				t.Errorf("rollback %d used the step-%d snapshot, want step 10", rebuilds, snap.Step)
+			}
+			rb, err := rebuild(snap)
+			if err != nil {
+				return nil, err
+			}
+			if rebuilds == 1 {
+				rb.SetFaults(faultinject.New(spec2)) // fires immediately on resume
+			}
+			return rb, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		defer got.Close()
+	}
+	if rollbacks != 2 || rebuilds != 2 {
+		t.Fatalf("rollbacks/rebuilds = %d/%d, want 2/2 (back-to-back preemptions)", rollbacks, rebuilds)
+	}
+
+	control, err := rebuild(snap10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer control.Close()
+	control.Run(10)
+
+	want, have := stateOf(control), stateOf(got)
+	if len(want) != len(have) {
+		t.Fatalf("doubly recovered run has %d atoms, control %d", len(have), len(want))
+	}
+	for i := range want {
+		if have[i] != want[i] {
+			t.Fatalf("doubly recovered trajectory diverged at atom %d: %+v != %+v", want[i].id, have[i], want[i])
+		}
+	}
+}
+
 // TestRunWithRecoveryBudget exhausts the rollback budget: a Rebuild that
 // keeps the rank failure in the fault spec can never make progress, and the
 // driver must give up with an error instead of looping.
